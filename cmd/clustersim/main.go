@@ -1,0 +1,43 @@
+// Command clustersim runs the paper's §9 future-work scenario: a cluster
+// serving a stream of malleable applications, comparing a rigid FCFS
+// scheduler against dynamic-allocation policies that use per-phase dynamic
+// efficiency — the quantity the DPS simulator predicts.
+//
+// Usage:
+//
+//	clustersim [-nodes 32] [-jobs 40] [-interarrival 10] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpsim/internal/cluster"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 32, "cluster nodes")
+	jobs := flag.Int("jobs", 40, "jobs in the workload")
+	inter := flag.Float64("interarrival", 10, "mean inter-arrival time [s]")
+	seed := flag.Uint64("seed", 7, "workload seed")
+	flag.Parse()
+
+	wl := cluster.PoissonWorkload(*jobs, *nodes, *inter, *seed)
+	results, err := cluster.Compare(*nodes, wl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cluster of %d nodes, %d LU-profile jobs, mean inter-arrival %.0fs\n\n",
+		*nodes, *jobs, *inter)
+	fmt.Printf("%-18s  %10s  %12s  %12s  %11s  %9s\n",
+		"scheduler", "makespan", "mean resp.", "max resp.", "utilization", "mean eff.")
+	for _, r := range results {
+		fmt.Printf("%-18s  %9.1fs  %11.1fs  %11.1fs  %10.1f%%  %8.1f%%\n",
+			r.Scheduler, r.Makespan, r.MeanResponse, r.MaxResponse,
+			100*r.Utilization, 100*r.MeanAllocEfficiency)
+	}
+	fmt.Println("\nDynamic node allocation (equipartition, efficiency-greedy) raises the")
+	fmt.Println("cluster's service rate over rigid FCFS — the paper's §1/§9 motivation.")
+}

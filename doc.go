@@ -1,0 +1,32 @@
+// Package dpsim is a Go reproduction of "A simulator for parallel
+// applications with dynamically varying compute node allocation"
+// (B. Schaeli, S. Gerlach, R. D. Hersch, EPFL — IPPS 2006).
+//
+// The repository contains the full system the paper describes:
+//
+//   - internal/dps — the Dynamic Parallel Schedules (DPS) framework model:
+//     flow graphs of split/merge/stream/leaf operations, typed data
+//     objects, runtime routing functions, thread collections with dynamic
+//     width and placement, flow control.
+//   - internal/core — the simulation engine: direct execution of the DPS
+//     runtime and application code with atomic-step accounting, partial
+//     direct execution (PDEXEC), the NOALLOC mode, and the paper's network
+//     (t = l + s/b with equal-share contention) and CPU (processor sharing
+//     plus communication overhead) models.
+//   - internal/testbed — a high-fidelity virtual cluster standing in for
+//     the paper's 8×UltraSparc II / Fast Ethernet testbed (packetized
+//     network, jitter, per-node speed variation): the "Measurement" series.
+//   - internal/parallel, internal/transport — the real concurrent DPS
+//     runtime over goroutines and TCP sockets.
+//   - internal/lu — the paper's test application: parallel block LU
+//     factorization in the basic, pipelined (P), flow-controlled (FC) and
+//     parallel-sub-block-multiplication (PM) variants, with dynamic
+//     multiplication-thread removal.
+//   - internal/experiments — regenerates Table 1 and Figs. 8–13.
+//   - internal/cluster — the §9 future work: a malleable cluster server.
+//
+// Entry points: cmd/paperrepro (all tables and figures), cmd/lusim (one
+// configuration), cmd/dpstrace (timing diagrams), cmd/clustersim (the
+// multi-application scheduler comparison), and the runnable programs in
+// examples/.
+package dpsim

@@ -1,0 +1,60 @@
+// Malleable allocation example: the paper's headline scenario (§8,
+// Figs. 11–12). An LU factorization starts on 8 nodes; after the first
+// iteration, four multiplication nodes are handed back to the cluster.
+// The run barely slows down while the dynamic efficiency jumps — the
+// evidence that dynamic node allocation raises cluster utilization.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dpsim/internal/experiments"
+	"dpsim/internal/lu"
+	"dpsim/internal/metrics"
+)
+
+func main() {
+	base := lu.Config{
+		N: 2592, R: 324,
+		Nodes:   4, // storage nodes (hold the column blocks)
+		Threads: 8, // one worker thread per column block
+	}
+	strategies := []struct {
+		label string
+		mt    int
+		mn    int
+		rm    []lu.Removal
+	}{
+		{"static 4 nodes", 4, 4, nil},
+		{"static 8 nodes", 8, 8, nil},
+		{"8 nodes, release 4 after iteration 1", 8, 8, []lu.Removal{{AfterIter: 1, MultThreads: 4}}},
+	}
+
+	fmt.Println("strategy                                time[s]   mean dynamic efficiency")
+	for _, s := range strategies {
+		cfg := base
+		cfg.MultThreads = s.mt
+		cfg.MultNodes = s.mn
+		cfg.Removals = s.rm
+		run, err := experiments.MeasureAndPredict(s.label, cfg, experiments.Setup{Seeds: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s %6.1f   %6.1f%%\n",
+			s.label, run.MeasuredMean(), 100*metrics.MeanEfficiency(run.MeasuredIters))
+	}
+	fmt.Println("\nper-iteration efficiency of the release strategy:")
+	cfg := base
+	cfg.MultThreads = 8
+	cfg.MultNodes = 8
+	cfg.Removals = []lu.Removal{{AfterIter: 1, MultThreads: 4}}
+	run, err := experiments.MeasureAndPredict("release", cfg, experiments.Setup{Seeds: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, it := range run.MeasuredIters {
+		fmt.Printf("  iteration %d: %5.1fs elapsed on %d nodes, efficiency %5.1f%%\n",
+			it.Index+1, it.Elapsed.Seconds(), it.Nodes, 100*it.Efficiency)
+	}
+}

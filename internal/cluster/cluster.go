@@ -1,0 +1,556 @@
+// Package cluster implements the paper's stated future work (§9): the
+// simulation of "a cluster server running concurrently multiple, possibly
+// different applications whose allocations of compute nodes vary
+// dynamically over time".
+//
+// Applications are modeled by their phase profiles — per-phase serial work
+// and a communication factor that determines dynamic efficiency as a
+// function of the allocation — exactly the information the DPS simulator
+// produces for a real application (paper Fig. 11). Phase time on p nodes
+// is work/(p·eff(p)), with eff(p) = 1/(1 + comm·(p-1)).
+//
+// Schedulers reallocate nodes at every arrival, phase boundary and
+// departure:
+//
+//   - Rigid: FCFS with a fixed per-job allocation held to completion (the
+//     conventional space-sharing baseline).
+//   - Equipartition: active jobs share the nodes evenly (classic malleable
+//     scheduling, Cirne/Berman-style moldability taken to runtime).
+//   - EfficiencyGreedy: nodes are assigned one by one to the job with the
+//     highest marginal throughput gain given its current phase's dynamic
+//     efficiency — the policy the paper's simulator enables.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dpsim/internal/eventq"
+	"dpsim/internal/lu"
+	"dpsim/internal/rng"
+)
+
+// Phase is one stage of an application with roughly constant parallel
+// behavior (an LU iteration, a solver sweep, ...).
+type Phase struct {
+	// Work is the phase's serial execution time in seconds.
+	Work float64
+	// Comm is the communication/imbalance factor: efficiency on p nodes
+	// is 1/(1+Comm·(p-1)). Zero means perfectly parallel.
+	Comm float64
+}
+
+// Efficiency returns the dynamic efficiency of the phase on p nodes.
+func (ph Phase) Efficiency(p int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return 1 / (1 + ph.Comm*float64(p-1))
+}
+
+// Rate returns the phase's progress in work-seconds per second on p nodes.
+func (ph Phase) Rate(p int) float64 {
+	return float64(p) * ph.Efficiency(p)
+}
+
+// Job is one application submitted to the cluster.
+type Job struct {
+	ID      int
+	Arrival float64 // seconds
+	Phases  []Phase
+	// MaxNodes caps the allocation (rigid jobs always request MaxNodes).
+	MaxNodes int
+}
+
+// TotalWork returns the job's serial running time.
+func (j *Job) TotalWork() float64 {
+	var w float64
+	for _, ph := range j.Phases {
+		w += ph.Work
+	}
+	return w
+}
+
+// LUProfile derives a job profile from the LU application's per-iteration
+// serial work (paper Fig. 11's baseline), with a communication factor that
+// grows as iterations shrink — matching the measured efficiency decay.
+func LUProfile(n, r int, costs lu.CostModel, maxNodes int) []Phase {
+	blocks := n / r
+	phases := make([]Phase, blocks)
+	for k := 0; k < blocks; k++ {
+		work := lu.SerialWork(costs, n, r, k).Seconds()
+		rem := float64(blocks - k)
+		// Later iterations have less work per communication: comm factor
+		// rises inversely with the remaining block count.
+		comm := 0.08 + 0.25/math.Max(rem, 1)
+		phases[k] = Phase{Work: work, Comm: comm}
+	}
+	_ = maxNodes
+	return phases
+}
+
+// SyntheticProfile builds a uniform job for workload generators.
+func SyntheticProfile(phases int, totalWork, comm float64) []Phase {
+	out := make([]Phase, phases)
+	for i := range out {
+		out[i] = Phase{Work: totalWork / float64(phases), Comm: comm}
+	}
+	return out
+}
+
+// State is the scheduler-visible cluster state.
+type State struct {
+	Nodes  int
+	Active []*JobState
+}
+
+// JobState is one running (or paused) job.
+type JobState struct {
+	Job       *Job
+	PhaseIdx  int
+	Remaining float64 // work-seconds left in the current phase
+	Alloc     int
+	started   float64
+	finished  float64
+	rate      float64
+	last      eventq.Time
+	ev        *eventq.Event
+}
+
+// Phase returns the job's current phase.
+func (js *JobState) Phase() Phase { return js.Job.Phases[js.PhaseIdx] }
+
+// Scheduler decides allocations. Allocate must return a per-job node
+// count whose sum does not exceed state.Nodes; jobs not in the map get 0.
+type Scheduler interface {
+	Name() string
+	Allocate(st State) map[int]int
+}
+
+// --- schedulers ---
+
+// Rigid allocates each job its MaxNodes, FCFS, holding until completion.
+type Rigid struct{}
+
+// Name implements Scheduler.
+func (Rigid) Name() string { return "rigid-fcfs" }
+
+// Allocate implements Scheduler. Running jobs keep their nodes; waiting
+// jobs are admitted FCFS into whatever remains (a running job admitted by
+// backfilling must never be evicted by an older waiter).
+func (Rigid) Allocate(st State) map[int]int {
+	out := make(map[int]int)
+	free := st.Nodes
+	for _, js := range st.Active {
+		if js.Alloc > 0 {
+			out[js.Job.ID] = js.Alloc
+			free -= js.Alloc
+		}
+	}
+	// FCFS by arrival (stable by ID) over the waiting jobs.
+	waiting := make([]*JobState, 0, len(st.Active))
+	for _, js := range st.Active {
+		if js.Alloc == 0 {
+			waiting = append(waiting, js)
+		}
+	}
+	sort.SliceStable(waiting, func(i, j int) bool {
+		if waiting[i].Job.Arrival != waiting[j].Job.Arrival {
+			return waiting[i].Job.Arrival < waiting[j].Job.Arrival
+		}
+		return waiting[i].Job.ID < waiting[j].Job.ID
+	})
+	for _, js := range waiting {
+		if want := js.Job.MaxNodes; want <= free {
+			out[js.Job.ID] = want
+			free -= want
+		}
+	}
+	return out
+}
+
+// Equipartition divides the nodes evenly among active jobs.
+type Equipartition struct{}
+
+// Name implements Scheduler.
+func (Equipartition) Name() string { return "equipartition" }
+
+// Allocate implements Scheduler.
+func (Equipartition) Allocate(st State) map[int]int {
+	out := make(map[int]int)
+	if len(st.Active) == 0 {
+		return out
+	}
+	jobs := append([]*JobState(nil), st.Active...)
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Job.ID < jobs[j].Job.ID })
+	share := st.Nodes / len(jobs)
+	extra := st.Nodes % len(jobs)
+	for i, js := range jobs {
+		a := share
+		if i < extra {
+			a++
+		}
+		if a > js.Job.MaxNodes {
+			a = js.Job.MaxNodes
+		}
+		out[js.Job.ID] = a
+	}
+	return out
+}
+
+// Moldable chooses each job's allocation once, at start, to maximize its
+// own efficiency×speedup trade-off (the moldable-job model of Cirne &
+// Berman, the paper's ref [5]); the allocation never changes afterwards.
+// It captures what is possible *without* runtime reallocation.
+type Moldable struct {
+	// MinEfficiency is the lowest acceptable first-phase efficiency when
+	// picking the start allocation (default 0.5).
+	MinEfficiency float64
+}
+
+// Name implements Scheduler.
+func (Moldable) Name() string { return "moldable" }
+
+// Allocate implements Scheduler.
+func (m Moldable) Allocate(st State) map[int]int {
+	minEff := m.MinEfficiency
+	if minEff <= 0 {
+		minEff = 0.5
+	}
+	out := make(map[int]int)
+	free := st.Nodes
+	for _, js := range st.Active {
+		if js.Alloc > 0 {
+			out[js.Job.ID] = js.Alloc
+			free -= js.Alloc
+		}
+	}
+	waiting := make([]*JobState, 0, len(st.Active))
+	for _, js := range st.Active {
+		if js.Alloc == 0 {
+			waiting = append(waiting, js)
+		}
+	}
+	sort.SliceStable(waiting, func(i, j int) bool {
+		if waiting[i].Job.Arrival != waiting[j].Job.Arrival {
+			return waiting[i].Job.Arrival < waiting[j].Job.Arrival
+		}
+		return waiting[i].Job.ID < waiting[j].Job.ID
+	})
+	for _, js := range waiting {
+		// Largest allocation whose first-phase efficiency stays above the
+		// threshold, molded to what is currently free.
+		ph := js.Job.Phases[0]
+		want := 1
+		for p := 2; p <= js.Job.MaxNodes; p++ {
+			if ph.Efficiency(p) >= minEff {
+				want = p
+			}
+		}
+		if want <= free {
+			out[js.Job.ID] = want
+			free -= want
+		}
+	}
+	return out
+}
+
+// EfficiencyGreedy assigns nodes one at a time to the job with the largest
+// marginal rate gain under its current phase's efficiency curve — the
+// dynamic-efficiency-aware policy.
+type EfficiencyGreedy struct{}
+
+// Name implements Scheduler.
+func (EfficiencyGreedy) Name() string { return "efficiency-greedy" }
+
+// Allocate implements Scheduler.
+func (EfficiencyGreedy) Allocate(st State) map[int]int {
+	out := make(map[int]int)
+	if len(st.Active) == 0 {
+		return out
+	}
+	jobs := append([]*JobState(nil), st.Active...)
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Job.ID < jobs[j].Job.ID })
+	alloc := make([]int, len(jobs))
+	for n := 0; n < st.Nodes; n++ {
+		best, bestGain := -1, 0.0
+		for i, js := range jobs {
+			if alloc[i] >= js.Job.MaxNodes {
+				continue
+			}
+			ph := js.Phase()
+			gain := ph.Rate(alloc[i]+1) - ph.Rate(alloc[i])
+			if gain > bestGain {
+				bestGain, best = gain, i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		alloc[best]++
+	}
+	for i, js := range jobs {
+		out[js.Job.ID] = alloc[i]
+	}
+	return out
+}
+
+// --- the cluster simulation ---
+
+// Result summarizes one simulated workload.
+type Result struct {
+	Scheduler    string
+	Makespan     float64
+	MeanResponse float64
+	MaxResponse  float64
+	// Utilization is total useful serial work divided by nodes×makespan.
+	Utilization float64
+	// MeanAllocEfficiency is the work-weighted dynamic efficiency.
+	MeanAllocEfficiency float64
+	PerJob              []JobOutcome
+}
+
+// JobOutcome is one job's fate.
+type JobOutcome struct {
+	ID       int
+	Arrival  float64
+	Finish   float64
+	Response float64
+}
+
+// Sim runs a workload on a malleable cluster under a scheduler.
+type Sim struct {
+	nodes int
+	sched Scheduler
+	q     *eventq.Queue
+	jobs  []*Job
+
+	active   map[int]*JobState
+	finished []*JobState
+	effNum   float64
+	effDen   float64
+}
+
+// NewSim creates a simulation of the given cluster size.
+func NewSim(nodes int, sched Scheduler, jobs []*Job) (*Sim, error) {
+	if nodes <= 0 {
+		return nil, errors.New("cluster: need nodes")
+	}
+	if sched == nil {
+		return nil, errors.New("cluster: need a scheduler")
+	}
+	for _, j := range jobs {
+		if len(j.Phases) == 0 {
+			return nil, fmt.Errorf("cluster: job %d has no phases", j.ID)
+		}
+		if j.MaxNodes <= 0 {
+			j.MaxNodes = nodes
+		}
+		if j.MaxNodes > nodes {
+			j.MaxNodes = nodes
+		}
+	}
+	return &Sim{nodes: nodes, sched: sched, q: eventq.New(), jobs: jobs, active: make(map[int]*JobState)}, nil
+}
+
+// Run executes the workload and returns the outcome summary.
+func (s *Sim) Run() Result {
+	for _, j := range s.jobs {
+		j := j
+		s.q.At(eventq.Time(eventq.DurationOf(j.Arrival)), func() { s.arrive(j) })
+	}
+	s.q.Run(0)
+	res := Result{Scheduler: s.sched.Name(), Makespan: s.q.Now().Seconds()}
+	var sum float64
+	for _, js := range s.finished {
+		resp := js.finished - js.Job.Arrival
+		res.PerJob = append(res.PerJob, JobOutcome{
+			ID: js.Job.ID, Arrival: js.Job.Arrival, Finish: js.finished, Response: resp,
+		})
+		sum += resp
+		if resp > res.MaxResponse {
+			res.MaxResponse = resp
+		}
+	}
+	sort.Slice(res.PerJob, func(i, j int) bool { return res.PerJob[i].ID < res.PerJob[j].ID })
+	if len(s.finished) > 0 {
+		res.MeanResponse = sum / float64(len(s.finished))
+	}
+	var work float64
+	for _, j := range s.jobs {
+		work += j.TotalWork()
+	}
+	if res.Makespan > 0 {
+		res.Utilization = work / (float64(s.nodes) * res.Makespan)
+	}
+	if s.effDen > 0 {
+		res.MeanAllocEfficiency = s.effNum / s.effDen
+	}
+	return res
+}
+
+func (s *Sim) arrive(j *Job) {
+	js := &JobState{Job: j, Remaining: j.Phases[0].Work, started: s.q.Now().Seconds(), last: s.q.Now()}
+	s.active[j.ID] = js
+	s.reallocate()
+}
+
+// reallocate settles progress, asks the scheduler, and reschedules phase
+// completions.
+func (s *Sim) reallocate() {
+	now := s.q.Now()
+	for _, js := range s.active {
+		dt := (now - js.last).Seconds()
+		if dt > 0 && js.rate > 0 {
+			done := js.rate * dt
+			if done > js.Remaining {
+				done = js.Remaining
+			}
+			js.Remaining -= done
+			// Efficiency accounting: work done at current allocation.
+			if js.Alloc > 0 {
+				s.effNum += done
+				s.effDen += done / js.Phase().Efficiency(js.Alloc)
+			}
+		}
+		js.last = now
+	}
+	st := State{Nodes: s.nodes, Active: s.activeList()}
+	alloc := s.sched.Allocate(st)
+	total := 0
+	for _, a := range alloc {
+		total += a
+	}
+	if total > s.nodes {
+		panic(fmt.Sprintf("cluster: scheduler %s over-allocated %d of %d nodes", s.sched.Name(), total, s.nodes))
+	}
+	ids := make([]int, 0, len(s.active))
+	for id := range s.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		js := s.active[id]
+		js.Alloc = alloc[id]
+		js.rate = js.Phase().Rate(js.Alloc)
+		if js.ev != nil {
+			s.q.Cancel(js.ev)
+			js.ev = nil
+		}
+		if js.rate > 0 {
+			eta := eventq.DurationOf(js.Remaining / js.rate)
+			jj := js
+			js.ev = s.q.After(eta, func() { s.phaseDone(jj) })
+		}
+	}
+}
+
+func (s *Sim) phaseDone(js *JobState) {
+	js.Remaining = 0
+	// Credit the completed slice.
+	now := s.q.Now()
+	dt := (now - js.last).Seconds()
+	if dt > 0 && js.rate > 0 && js.Alloc > 0 {
+		done := js.rate * dt
+		s.effNum += done
+		s.effDen += done / js.Phase().Efficiency(js.Alloc)
+	}
+	js.last = now
+	js.PhaseIdx++
+	if js.PhaseIdx >= len(js.Job.Phases) {
+		js.finished = now.Seconds()
+		delete(s.active, js.Job.ID)
+		s.finished = append(s.finished, js)
+	} else {
+		js.Remaining = js.Job.Phases[js.PhaseIdx].Work
+	}
+	s.reallocate()
+}
+
+func (s *Sim) activeList() []*JobState {
+	out := make([]*JobState, 0, len(s.active))
+	ids := make([]int, 0, len(s.active))
+	for id := range s.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		out = append(out, s.active[id])
+	}
+	return out
+}
+
+// PoissonWorkload generates a reproducible stream of LU-profile jobs with
+// exponential inter-arrival times.
+func PoissonWorkload(jobs, nodes int, meanInterarrival float64, seed uint64) []*Job {
+	src := rng.New(seed)
+	costs := lu.DefaultCostModel()
+	sizes := []struct{ n, r int }{
+		{1296, 162}, {1296, 108}, {648, 81}, {2592, 324},
+	}
+	var out []*Job
+	t := 0.0
+	for i := 0; i < jobs; i++ {
+		t += src.Exp(meanInterarrival)
+		sz := sizes[src.Intn(len(sizes))]
+		maxN := 2 + src.Intn(nodes)
+		out = append(out, &Job{
+			ID:       i,
+			Arrival:  t,
+			Phases:   LUProfile(sz.n, sz.r, costs, maxN),
+			MaxNodes: maxN,
+		})
+	}
+	return out
+}
+
+// FitProfile converts per-iteration statistics produced by a simulated
+// run (metrics.Iterations) into a job profile for the cluster scheduler:
+// the per-phase serial work is taken verbatim and the communication
+// factor is implied by the observed dynamic efficiency at the run's
+// allocation, eff = 1/(1+c·(p-1)). This makes the §9 scenario literal:
+// the scheduler's knowledge comes from the simulator's predictions.
+func FitProfile(iters []IterLike) []Phase {
+	out := make([]Phase, 0, len(iters))
+	for _, it := range iters {
+		comm := 0.0
+		if it.Nodes > 1 && it.Efficiency > 0 && it.Efficiency <= 1 {
+			comm = (1/it.Efficiency - 1) / float64(it.Nodes-1)
+		}
+		if comm < 0 {
+			comm = 0
+		}
+		out = append(out, Phase{Work: it.SerialSeconds, Comm: comm})
+	}
+	return out
+}
+
+// IterLike is the subset of metrics.IterationStat the fit needs (declared
+// here to keep the dependency direction metrics→cluster-free).
+type IterLike struct {
+	SerialSeconds float64
+	Nodes         int
+	Efficiency    float64
+}
+
+// Compare runs the same workload under every scheduler.
+func Compare(nodes int, jobs []*Job) ([]Result, error) {
+	var out []Result
+	for _, sched := range []Scheduler{Rigid{}, Moldable{}, Equipartition{}, EfficiencyGreedy{}} {
+		// Deep-copy jobs: the sim mutates MaxNodes normalization only,
+		// but fresh copies keep runs independent.
+		cp := make([]*Job, len(jobs))
+		for i, j := range jobs {
+			jc := *j
+			cp[i] = &jc
+		}
+		sim, err := NewSim(nodes, sched, cp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sim.Run())
+	}
+	return out, nil
+}

@@ -1,0 +1,318 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dpsim/internal/lu"
+)
+
+func TestPhaseEfficiency(t *testing.T) {
+	ph := Phase{Work: 10, Comm: 0.1}
+	if ph.Efficiency(1) != 1 {
+		t.Fatalf("eff(1) = %v", ph.Efficiency(1))
+	}
+	if e := ph.Efficiency(2); math.Abs(e-1/1.1) > 1e-12 {
+		t.Fatalf("eff(2) = %v", e)
+	}
+	if ph.Efficiency(0) != 0 {
+		t.Fatal("eff(0) != 0")
+	}
+	// Rate grows sublinearly but monotonically.
+	prev := 0.0
+	for p := 1; p <= 16; p++ {
+		r := ph.Rate(p)
+		if r <= prev {
+			t.Fatalf("rate not increasing at p=%d", p)
+		}
+		prev = r
+	}
+}
+
+func TestLUProfileShape(t *testing.T) {
+	phases := LUProfile(2592, 324, lu.DefaultCostModel(), 8)
+	if len(phases) != 8 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	for k := 1; k < len(phases); k++ {
+		if phases[k].Work >= phases[k-1].Work {
+			t.Fatalf("work not decreasing at phase %d", k)
+		}
+		if phases[k].Comm < phases[k-1].Comm {
+			t.Fatalf("comm factor not growing at phase %d", k)
+		}
+	}
+}
+
+func singleJob(work float64, phases, maxNodes int) *Job {
+	return &Job{ID: 0, Phases: SyntheticProfile(phases, work, 0), MaxNodes: maxNodes}
+}
+
+func TestSingleJobPerfectSpeedup(t *testing.T) {
+	job := singleJob(40, 4, 4)
+	sim, err := NewSim(4, Equipartition{}, []*Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	// 40s serial / 4 perfectly parallel nodes = 10s.
+	if math.Abs(res.Makespan-10) > 1e-6 {
+		t.Fatalf("makespan = %v, want 10", res.Makespan)
+	}
+	if math.Abs(res.MeanResponse-10) > 1e-6 {
+		t.Fatalf("response = %v", res.MeanResponse)
+	}
+	if math.Abs(res.Utilization-1) > 1e-6 {
+		t.Fatalf("utilization = %v", res.Utilization)
+	}
+}
+
+func TestRigidQueuesJobs(t *testing.T) {
+	// Two jobs each requesting all 4 nodes: the second waits.
+	j1 := singleJob(40, 2, 4)
+	j2 := singleJob(40, 2, 4)
+	j2.ID = 1
+	sim, err := NewSim(4, Rigid{}, []*Job{j1, j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	if math.Abs(res.Makespan-20) > 1e-6 {
+		t.Fatalf("rigid makespan = %v, want 20", res.Makespan)
+	}
+	if math.Abs(res.PerJob[1].Finish-20) > 1e-6 {
+		t.Fatalf("second job finished at %v", res.PerJob[1].Finish)
+	}
+}
+
+func TestEquipartitionSharesNodes(t *testing.T) {
+	j1 := singleJob(20, 2, 4)
+	j2 := singleJob(20, 2, 4)
+	j2.ID = 1
+	sim, err := NewSim(4, Equipartition{}, []*Job{j1, j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	// Both get 2 nodes: each needs 10s, concurrently → makespan 10.
+	if math.Abs(res.Makespan-10) > 1e-6 {
+		t.Fatalf("equipartition makespan = %v, want 10", res.Makespan)
+	}
+}
+
+func TestEfficiencyGreedyPrefersEfficientJob(t *testing.T) {
+	// Job A parallelizes perfectly; job B saturates quickly.
+	a := &Job{ID: 0, Phases: []Phase{{Work: 30, Comm: 0}}, MaxNodes: 8}
+	b := &Job{ID: 1, Phases: []Phase{{Work: 30, Comm: 0.8}}, MaxNodes: 8}
+	sim, err := NewSim(8, EfficiencyGreedy{}, []*Job{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	eq, err := NewSim(8, Equipartition{}, []*Job{{ID: 0, Phases: []Phase{{Work: 30, Comm: 0}}, MaxNodes: 8}, {ID: 1, Phases: []Phase{{Work: 30, Comm: 0.8}}, MaxNodes: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqRes := eq.Run()
+	if res.MeanResponse >= eqRes.MeanResponse {
+		t.Fatalf("efficiency-greedy (%v) not better than equipartition (%v)",
+			res.MeanResponse, eqRes.MeanResponse)
+	}
+}
+
+func TestDynamicReallocationOnDeparture(t *testing.T) {
+	// A short job departs; the survivor should absorb its nodes and
+	// finish sooner than with a static split.
+	long := singleJob(40, 4, 4)
+	short := singleJob(8, 2, 4)
+	short.ID = 1
+	sim, err := NewSim(4, Equipartition{}, []*Job{long, short})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	// Static halves: long would take 20s. With reallocation after the
+	// short job's 4s, it must beat that.
+	if res.PerJob[0].Finish >= 20 {
+		t.Fatalf("malleable long job finished at %v, want < 20", res.PerJob[0].Finish)
+	}
+}
+
+func TestCompareOrdersSchedulers(t *testing.T) {
+	jobs := PoissonWorkload(12, 16, 20, 99)
+	results, err := Compare(16, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4 schedulers", len(results))
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Scheduler] = r
+		if len(r.PerJob) != 12 {
+			t.Fatalf("%s finished %d of 12 jobs", r.Scheduler, len(r.PerJob))
+		}
+	}
+	rigid := byName["rigid-fcfs"]
+	greedy := byName["efficiency-greedy"]
+	// The efficiency-aware malleable scheduler must beat rigid FCFS on
+	// mean response time (the paper's motivation: dynamic allocation
+	// increases the cluster's service rate).
+	if greedy.MeanResponse >= rigid.MeanResponse {
+		t.Fatalf("greedy response %v >= rigid %v", greedy.MeanResponse, rigid.MeanResponse)
+	}
+	if greedy.MeanAllocEfficiency <= 0 || greedy.MeanAllocEfficiency > 1 {
+		t.Fatalf("alloc efficiency = %v", greedy.MeanAllocEfficiency)
+	}
+}
+
+func TestAllJobsFinishProperty(t *testing.T) {
+	prop := func(seed uint64, jobsRaw, nodesRaw uint8) bool {
+		jobs := int(jobsRaw%10) + 1
+		nodes := int(nodesRaw%12) + 2
+		wl := PoissonWorkload(jobs, nodes, 5, seed)
+		results, err := Compare(nodes, wl)
+		if err != nil {
+			return false
+		}
+		for _, r := range results {
+			if len(r.PerJob) != jobs {
+				return false
+			}
+			for _, j := range r.PerJob {
+				if j.Finish < j.Arrival {
+					return false
+				}
+			}
+			if r.Utilization <= 0 || r.Utilization > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerNeverOverAllocates(t *testing.T) {
+	st := State{Nodes: 5}
+	for i := 0; i < 9; i++ {
+		st.Active = append(st.Active, &JobState{
+			Job: &Job{ID: i, Phases: []Phase{{Work: 1, Comm: 0.1}}, MaxNodes: 3},
+		})
+	}
+	for _, sched := range []Scheduler{Rigid{}, Equipartition{}, EfficiencyGreedy{}} {
+		alloc := sched.Allocate(st)
+		total := 0
+		for _, a := range alloc {
+			total += a
+		}
+		if total > st.Nodes {
+			t.Fatalf("%s allocated %d of %d", sched.Name(), total, st.Nodes)
+		}
+	}
+}
+
+func TestNewSimValidation(t *testing.T) {
+	if _, err := NewSim(0, Rigid{}, nil); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := NewSim(4, nil, nil); err == nil {
+		t.Fatal("nil scheduler accepted")
+	}
+	if _, err := NewSim(4, Rigid{}, []*Job{{ID: 0}}); err == nil {
+		t.Fatal("phaseless job accepted")
+	}
+}
+
+func BenchmarkClusterServer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		wl := PoissonWorkload(40, 32, 10, uint64(i))
+		if _, err := Compare(32, wl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMoldablePicksEfficientAllocation(t *testing.T) {
+	// A job that saturates quickly must get a small start allocation.
+	st := State{Nodes: 16, Active: []*JobState{
+		{Job: &Job{ID: 0, Arrival: 0, Phases: []Phase{{Work: 10, Comm: 0.5}}, MaxNodes: 16}},
+		{Job: &Job{ID: 1, Arrival: 1, Phases: []Phase{{Work: 10, Comm: 0}}, MaxNodes: 8}},
+	}}
+	alloc := Moldable{}.Allocate(st)
+	// comm=0.5: eff(2)=1/1.5=0.67, eff(3)=0.5, eff(4)=0.4 → picks 3.
+	if alloc[0] != 3 {
+		t.Fatalf("saturating job got %d nodes, want 3", alloc[0])
+	}
+	// perfectly parallel job takes its full request
+	if alloc[1] != 8 {
+		t.Fatalf("parallel job got %d nodes, want 8", alloc[1])
+	}
+}
+
+func TestMoldableHoldsAllocation(t *testing.T) {
+	job := &Job{ID: 0, Phases: SyntheticProfile(3, 30, 0.2), MaxNodes: 8}
+	sim, err := NewSim(8, Moldable{}, []*Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	if len(res.PerJob) != 1 || res.PerJob[0].Finish <= 0 {
+		t.Fatalf("moldable run: %+v", res)
+	}
+}
+
+func TestCompareIncludesMoldable(t *testing.T) {
+	wl := PoissonWorkload(8, 12, 15, 5)
+	results, err := Compare(12, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4 schedulers", len(results))
+	}
+	names := map[string]bool{}
+	for _, r := range results {
+		names[r.Scheduler] = true
+	}
+	if !names["moldable"] {
+		t.Fatalf("moldable missing: %v", names)
+	}
+}
+
+func TestFitProfileRoundTrip(t *testing.T) {
+	// A profile fitted from iteration stats must reproduce the observed
+	// efficiency at the observed allocation.
+	iters := []IterLike{
+		{SerialSeconds: 60, Nodes: 8, Efficiency: 0.40},
+		{SerialSeconds: 30, Nodes: 8, Efficiency: 0.30},
+		{SerialSeconds: 10, Nodes: 8, Efficiency: 0.15},
+	}
+	phases := FitProfile(iters)
+	if len(phases) != 3 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	for i, ph := range phases {
+		if got := ph.Efficiency(iters[i].Nodes); math.Abs(got-iters[i].Efficiency) > 1e-9 {
+			t.Fatalf("phase %d: fitted eff(%d) = %v, want %v", i, iters[i].Nodes, got, iters[i].Efficiency)
+		}
+		if ph.Work != iters[i].SerialSeconds {
+			t.Fatalf("phase %d work %v", i, ph.Work)
+		}
+	}
+	// Efficiency at 1 node is always 1 under the fitted model.
+	if phases[0].Efficiency(1) != 1 {
+		t.Fatal("eff(1) != 1")
+	}
+}
+
+func TestFitProfileDegenerate(t *testing.T) {
+	phases := FitProfile([]IterLike{{SerialSeconds: 5, Nodes: 1, Efficiency: 1}})
+	if phases[0].Comm != 0 {
+		t.Fatalf("single-node fit comm = %v, want 0", phases[0].Comm)
+	}
+}

@@ -1,0 +1,195 @@
+// Package core is the DPS simulation engine (paper §3–4): it directly
+// executes a DPS application — operation handlers, routing functions, flow
+// control, dynamic thread allocation — while reconstructing the parallel
+// execution on virtual time.
+//
+// # Execution model
+//
+// Every operation invocation runs in its own goroutine (the analogue of a
+// DPS execution thread); the engine (the simulator thread) resumes exactly
+// one of them at a time and regains control whenever an atomic step ends:
+// at every Post, at a flow-control suspension, and at invocation end
+// (paper Fig. 3/4). The duration of each atomic step is either measured by
+// direct execution (scaled wall-clock time), taken from a calibration
+// table, or charged from an analytic model — the partial direct execution
+// spectrum of §4. Step completions are scheduled on the per-node CPU model
+// and posted objects travel through the platform's network model, so the
+// reconstructed timeline reflects CPU sharing, communication overhead and
+// network contention.
+package core
+
+import (
+	"dpsim/internal/dps"
+	"dpsim/internal/eventq"
+)
+
+// Platform supplies the virtual hardware: an event queue (virtual clock),
+// a network connecting the nodes, and per-node processors. The paper's
+// simulator model (internal/core.SimPlatform) and the high-fidelity
+// virtual cluster (internal/testbed) both implement it.
+type Platform interface {
+	// Queue returns the event queue driving the platform.
+	Queue() *eventq.Queue
+	// Send moves size bytes from node src to node dst and runs done when
+	// the last byte arrives.
+	Send(src, dst int, size int64, done func())
+	// Submit schedules work (duration at reference power) on node's
+	// processor and runs done when it completes.
+	Submit(node int, work eventq.Duration, done func())
+	// Nodes returns the number of compute nodes.
+	Nodes() int
+}
+
+// DurationSource supplies modeled atomic-step durations in ModeModel.
+// StepWork returns the duration of the idx-th executed instance of the
+// computation identified by key, given the analytic estimate supplied by
+// the application.
+type DurationSource interface {
+	StepWork(key string, analytic eventq.Duration, idx int) eventq.Duration
+}
+
+// SourceFunc adapts a function to the DurationSource interface.
+type SourceFunc func(key string, analytic eventq.Duration, idx int) eventq.Duration
+
+// StepWork implements DurationSource.
+func (f SourceFunc) StepWork(key string, analytic eventq.Duration, idx int) eventq.Duration {
+	return f(key, analytic, idx)
+}
+
+// AnalyticSource returns the application's analytic estimate unchanged:
+// the pure parametric model of §4.
+func AnalyticSource() DurationSource {
+	return SourceFunc(func(_ string, analytic eventq.Duration, _ int) eventq.Duration {
+		return analytic
+	})
+}
+
+// TableSource serves averaged prior measurements (the PDEXEC duration
+// table): keys present in the table use the measured mean; others fall
+// back to the analytic estimate.
+type TableSource struct {
+	Table map[string]eventq.Duration
+}
+
+// StepWork implements DurationSource.
+func (t TableSource) StepWork(key string, analytic eventq.Duration, _ int) eventq.Duration {
+	if d, ok := t.Table[key]; ok {
+		return d
+	}
+	return analytic
+}
+
+// Config assembles an engine.
+type Config struct {
+	// Graph is the application flow graph (validated by New).
+	Graph *dps.Graph
+	// Platform is the virtual hardware.
+	Platform Platform
+	// Mode selects direct execution, direct-with-memoization or modeled
+	// durations. Default ModeModel.
+	Mode dps.ExecMode
+	// RunComputations makes ModeModel execute kernel closures (for small
+	// correctness runs). Ignored in the direct modes, which always run
+	// kernels while measuring.
+	RunComputations bool
+	// NoAlloc tells the application (via Ctx.NoAlloc) to skip payload
+	// allocation; sizes then come from the counting serializer.
+	NoAlloc bool
+	// CPUScale converts measured host seconds into target virtual seconds
+	// in the direct modes (host_speed / target_speed). Default 1.
+	CPUScale float64
+	// MemoN is the number of instances measured per key before
+	// ModeDirectMemo switches to the averaged measurement. Default 3.
+	MemoN int
+	// Durations supplies modeled step durations in ModeModel.
+	// Default AnalyticSource().
+	Durations DurationSource
+	// PerStepOverhead is added to every modeled atomic step: the cost of
+	// executing the DPS runtime code itself. Zero is allowed.
+	PerStepOverhead eventq.Duration
+	// LocalLatency is the delivery delay between threads on the same
+	// node (queue handling, no network).
+	LocalLatency eventq.Duration
+	// ControlBytes is the wire size of closure and acknowledgement
+	// control messages. Default 64.
+	ControlBytes int64
+	// RecordDurations collects per-key duration samples during the run;
+	// DurationTable() then yields a PDEXEC calibration table.
+	RecordDurations bool
+	// Trace receives timeline events (nil disables tracing).
+	Trace TraceFn
+}
+
+// TraceKind classifies trace events.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	TraceStepStart TraceKind = iota
+	TraceStepEnd
+	TraceTransferStart
+	TraceTransferEnd
+	TracePhase
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceStepStart:
+		return "step-start"
+	case TraceStepEnd:
+		return "step-end"
+	case TraceTransferStart:
+		return "xfer-start"
+	case TraceTransferEnd:
+		return "xfer-end"
+	case TracePhase:
+		return "phase"
+	default:
+		return "?"
+	}
+}
+
+// TraceEvent is one timeline record (atomic steps and transfers), enough
+// to redraw the paper's Fig. 2/4 timing diagrams.
+type TraceEvent struct {
+	Kind   TraceKind
+	Time   eventq.Time
+	Node   int
+	Op     string
+	Thread int
+	Detail string
+}
+
+// TraceFn consumes trace events as they happen.
+type TraceFn func(ev TraceEvent)
+
+// PhaseMark labels an instant of the run (the application marks iteration
+// boundaries with these; the metrics package slices efficiency per phase).
+type PhaseMark struct {
+	Time eventq.Time
+	Name string
+}
+
+// AllocMark records a change of the allocated-node count.
+type AllocMark struct {
+	Time  eventq.Time
+	Nodes int
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Elapsed is the predicted running time of the application.
+	Elapsed eventq.Time
+	// Steps is the number of atomic steps executed.
+	Steps uint64
+	// Posts is the number of data objects posted.
+	Posts uint64
+	// Transfers is the number of inter-node data transfers.
+	Transfers uint64
+	// LocalDeliveries counts same-node object deliveries.
+	LocalDeliveries uint64
+	// ControlMsgs counts closure and acknowledgement messages.
+	ControlMsgs uint64
+	// Instances is the number of pair instances opened.
+	Instances uint64
+}

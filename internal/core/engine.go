@@ -1,0 +1,500 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dpsim/internal/dps"
+	"dpsim/internal/eventq"
+)
+
+// frame is one level of the instance stack carried by data objects: the
+// object belongs to instance inst of the split–merge pair.
+type frame struct {
+	pair *dps.Pair
+	inst *instance
+}
+
+// token is the immutable instance stack of a data object.
+type token struct {
+	frames []frame
+}
+
+func (t token) push(f frame) token {
+	out := make([]frame, len(t.frames)+1)
+	copy(out, t.frames)
+	out[len(t.frames)] = f
+	return token{frames: out}
+}
+
+func (t token) top() (frame, bool) {
+	if len(t.frames) == 0 {
+		return frame{}, false
+	}
+	return t.frames[len(t.frames)-1], true
+}
+
+func (t token) pop() token {
+	return token{frames: t.frames[:len(t.frames)-1]}
+}
+
+// instance is one activation of a split–merge pair.
+type instance struct {
+	id     uint64
+	pair   *dps.Pair
+	parent token // instance stack of the context that opened it
+
+	sinkThread int // collection-local thread of the aggregating sink
+	posted     int
+	absorbed   int
+	closed     bool // source finished posting
+	finished   bool // Finish has been scheduled
+	state      dps.MergeState
+
+	// activation of the sink (for streams): output instances opened by
+	// the state's posts, closed when the input instance finishes.
+	act *activation
+
+	// source-side bookkeeping for flow control
+	srcColl   *dps.Collection
+	srcThread int
+	inflight  int
+	waiters   []*parkedPost
+}
+
+// activation groups the output pair instances opened by one source
+// activation (a split invocation, or the lifetime of one stream input
+// instance). Instances are kept in creation order for determinism.
+type activation struct {
+	parent token
+	insts  map[*dps.Pair]*instance
+	order  []*instance
+}
+
+func newActivation(parent token) *activation {
+	return &activation{parent: parent, insts: make(map[*dps.Pair]*instance)}
+}
+
+// parkedPost is a post suspended by flow control together with the
+// invocation awaiting its completion.
+type parkedPost struct {
+	env *envelope
+	inv *invocation
+}
+
+// envelope is a routed data object in flight.
+type envelope struct {
+	obj   dps.DataObject
+	size  int64
+	token token
+	edge  *dps.Edge
+	dstOp *dps.Op
+	dst   int // collection-local thread index
+	seq   int // post sequence within the pair instance (routing input)
+}
+
+// workItem is one unit of thread work.
+type workItem struct {
+	kind   workKind
+	env    *envelope   // for wData
+	inst   *instance   // for wFinish
+	parked *parkedPost // for wResume
+}
+
+type workKind int
+
+const (
+	wData workKind = iota
+	wFinish
+	// wResume continues an invocation that was suspended by flow control
+	// after its credit arrived. The suspended operation released its
+	// thread (other operations of the same thread keep running, paper
+	// Fig. 6 interleaving); the continuation queues like any other work.
+	wResume
+)
+
+// thread is the engine-side state of one DPS thread (mapped 1:1 onto a
+// virtual execution thread).
+type thread struct {
+	coll  *dps.Collection
+	idx   int
+	queue []workItem
+	busy  bool
+	store dps.Store
+}
+
+type threadKey struct {
+	coll *dps.Collection
+	idx  int
+}
+
+// engineFailure carries a fatal engine error through panic/recover inside
+// Run.
+type engineFailure struct{ err error }
+
+// DeadlockError reports a run that stalled with pending work: typically a
+// flow-control window that can never be refilled or an application bug.
+type DeadlockError struct {
+	// Pending describes the stuck entities.
+	Pending []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("core: simulation deadlocked with %d pending entities: %v", len(e.Pending), e.Pending)
+}
+
+// Engine executes a DPS application on a Platform. Create with New, seed
+// input with Inject, then call Run once.
+type Engine struct {
+	cfg   Config
+	q     *eventq.Queue
+	plat  Platform
+	graph *dps.Graph
+
+	threads map[threadKey]*thread
+
+	mode       dps.ExecMode
+	nextInstID uint64
+
+	// live invocations for shutdown and deadlock diagnostics
+	live map[*invocation]bool
+
+	// ModeModel per-key instance counters; direct-memo measurement state.
+	keyCount map[string]int
+	memoSum  map[string]eventq.Duration
+	memoCnt  map[string]int
+
+	// recorded duration samples (RecordDurations)
+	samples map[string][]eventq.Duration
+	keys    []string
+
+	phases []PhaseMark
+	allocs []AllocMark
+
+	opSteps map[string]uint64
+	opBusy  map[string]eventq.Duration
+
+	stats   Result
+	pending int // queued + running work items and parked posts
+	failure error
+	ran     bool
+}
+
+// OpStat aggregates the atomic steps of one operation.
+type OpStat struct {
+	// Steps is the number of atomic steps executed by the operation.
+	Steps uint64
+	// Busy is the total charged step duration (before CPU sharing).
+	Busy eventq.Duration
+}
+
+// New builds an engine for the configured graph and platform.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("core: Config.Graph is required")
+	}
+	if cfg.Platform == nil {
+		return nil, errors.New("core: Config.Platform is required")
+	}
+	if err := cfg.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid flow graph: %w", err)
+	}
+	if cfg.CPUScale <= 0 {
+		cfg.CPUScale = 1
+	}
+	if cfg.MemoN <= 0 {
+		cfg.MemoN = 3
+	}
+	if cfg.Durations == nil {
+		cfg.Durations = AnalyticSource()
+	}
+	if cfg.ControlBytes <= 0 {
+		cfg.ControlBytes = 64
+	}
+	e := &Engine{
+		cfg:      cfg,
+		q:        cfg.Platform.Queue(),
+		plat:     cfg.Platform,
+		graph:    cfg.Graph,
+		threads:  make(map[threadKey]*thread),
+		mode:     cfg.Mode,
+		live:     make(map[*invocation]bool),
+		keyCount: make(map[string]int),
+		memoSum:  make(map[string]eventq.Duration),
+		memoCnt:  make(map[string]int),
+		samples:  make(map[string][]eventq.Duration),
+		opSteps:  make(map[string]uint64),
+		opBusy:   make(map[string]eventq.Duration),
+	}
+	// Record allocation history whenever any collection changes.
+	seen := make(map[*dps.Collection]bool)
+	for _, op := range cfg.Graph.Ops() {
+		c := op.Collection()
+		if !seen[c] {
+			seen[c] = true
+			c.SetOnChange(func() { e.recordAlloc() })
+		}
+	}
+	e.recordAlloc()
+	return e, nil
+}
+
+// Queue exposes the platform event queue (to co-schedule application
+// events such as timed reconfigurations).
+func (e *Engine) Queue() *eventq.Queue { return e.q }
+
+// Graph returns the executed flow graph.
+func (e *Engine) Graph() *dps.Graph { return e.graph }
+
+// Phases returns the recorded phase marks.
+func (e *Engine) Phases() []PhaseMark { return e.phases }
+
+// Allocations returns the allocated-node history (one mark per change).
+func (e *Engine) Allocations() []AllocMark { return e.allocs }
+
+// recordAlloc appends the current distinct-node count over all collections.
+func (e *Engine) recordAlloc() {
+	nodes := make(map[int]bool)
+	counted := make(map[*dps.Collection]bool)
+	for _, op := range e.graph.Ops() {
+		c := op.Collection()
+		if counted[c] {
+			continue
+		}
+		counted[c] = true
+		for _, n := range c.Nodes() {
+			nodes[n] = true
+		}
+	}
+	e.allocs = append(e.allocs, AllocMark{Time: e.q.Now(), Nodes: len(nodes)})
+}
+
+// MarkPhase records a named phase boundary at the current virtual time.
+func (e *Engine) MarkPhase(name string) {
+	e.phases = append(e.phases, PhaseMark{Time: e.q.Now(), Name: name})
+	e.trace(TraceEvent{Kind: TracePhase, Time: e.q.Now(), Detail: name})
+}
+
+// OpStats returns per-operation step counts and charged busy time — a
+// quick profile identifying the operations worth optimizing (paper §4).
+func (e *Engine) OpStats() map[string]OpStat {
+	out := make(map[string]OpStat, len(e.opSteps))
+	for name, steps := range e.opSteps {
+		out[name] = OpStat{Steps: steps, Busy: e.opBusy[name]}
+	}
+	return out
+}
+
+// DurationTable returns the mean recorded duration per computation key
+// (requires RecordDurations or a direct mode). This is the paper's "prior
+// measurements" source for partial direct execution.
+func (e *Engine) DurationTable() map[string]eventq.Duration {
+	out := make(map[string]eventq.Duration, len(e.samples))
+	for k, v := range e.samples {
+		var sum eventq.Duration
+		for _, d := range v {
+			sum += d
+		}
+		out[k] = sum / eventq.Duration(len(v))
+	}
+	return out
+}
+
+// DurationSamples returns all recorded samples per key, in execution
+// order.
+func (e *Engine) DurationSamples() map[string][]eventq.Duration {
+	return e.samples
+}
+
+func (e *Engine) recordSample(key string, d eventq.Duration) {
+	if _, ok := e.samples[key]; !ok {
+		e.keys = append(e.keys, key)
+	}
+	e.samples[key] = append(e.samples[key], d)
+}
+
+func (e *Engine) trace(ev TraceEvent) {
+	if e.cfg.Trace != nil {
+		e.cfg.Trace(ev)
+	}
+}
+
+// threadOf returns (creating lazily) the engine thread for (coll, idx).
+func (e *Engine) threadOf(coll *dps.Collection, idx int) *thread {
+	k := threadKey{coll, idx}
+	if th, ok := e.threads[k]; ok {
+		return th
+	}
+	th := &thread{coll: coll, idx: idx, store: make(dps.Store)}
+	e.threads[k] = th
+	return th
+}
+
+// Store returns the local store of a thread (for seeding thread-local
+// data, e.g. the initial matrix distribution, and for inspecting results).
+func (e *Engine) Store(coll *dps.Collection, idx int) dps.Store {
+	return e.threadOf(coll, idx).store
+}
+
+// Inject queues obj for delivery to thread t of op's collection before the
+// run starts (or during it, from application event callbacks). Only split
+// and leaf operations accept injected objects. The delivery happens
+// through the event queue, inside Run's failure handling.
+func (e *Engine) Inject(op *dps.Op, t int, obj dps.DataObject) {
+	if op.IsSink() {
+		if e.failure == nil {
+			e.failure = fmt.Errorf("core: cannot inject into %s", op)
+		}
+		return
+	}
+	env := &envelope{
+		obj:   obj,
+		size:  dps.SizeOf(obj),
+		token: token{},
+		dstOp: op,
+		dst:   t,
+	}
+	e.q.After(0, func() { e.deliver(env) })
+}
+
+// fail aborts the run with err.
+func (e *Engine) fail(err error) {
+	if e.failure == nil {
+		e.failure = err
+	}
+	panic(engineFailure{err})
+}
+
+// Run executes events until the simulation drains, returning the run
+// summary. A second call returns an error.
+func (e *Engine) Run() (Result, error) {
+	if e.ran {
+		return Result{}, errors.New("core: engine already ran")
+	}
+	e.ran = true
+	err := e.drive()
+	e.shutdown()
+	e.stats.Elapsed = e.q.Now()
+	if err != nil {
+		return e.stats, err
+	}
+	if e.pending > 0 {
+		return e.stats, &DeadlockError{Pending: e.pendingDescriptions()}
+	}
+	return e.stats, nil
+}
+
+func (e *Engine) drive() (err error) {
+	if e.failure != nil {
+		return e.failure
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(engineFailure); ok {
+				err = f.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	for e.q.Step() {
+	}
+	return nil
+}
+
+// shutdown unblocks every live invocation goroutine so none leaks.
+func (e *Engine) shutdown() {
+	invs := make([]*invocation, 0, len(e.live))
+	for inv := range e.live {
+		invs = append(invs, inv)
+	}
+	sort.Slice(invs, func(i, j int) bool { return invs[i].id < invs[j].id })
+	for _, inv := range invs {
+		inv.abort()
+	}
+}
+
+func (e *Engine) pendingDescriptions() []string {
+	var out []string
+	for inv := range e.live {
+		out = append(out, inv.describe())
+	}
+	for _, th := range e.threads {
+		if len(th.queue) > 0 {
+			out = append(out, fmt.Sprintf("%s[%d]: %d queued items", th.coll.Name(), th.idx, len(th.queue)))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// enqueue adds a work item to a thread and dispatches if idle.
+func (e *Engine) enqueue(th *thread, item workItem) {
+	th.queue = append(th.queue, item)
+	e.pending++
+	e.dispatch(th)
+}
+
+func (e *Engine) dispatch(th *thread) {
+	if th.busy || len(th.queue) == 0 {
+		return
+	}
+	item := th.queue[0]
+	th.queue = th.queue[1:]
+	e.pending--
+	th.busy = true
+	e.startInvocation(th, item)
+}
+
+// threadIdle marks the invocation's thread free and runs the next item.
+func (e *Engine) threadIdle(th *thread) {
+	th.busy = false
+	e.dispatch(th)
+}
+
+// deliver routes an envelope to its destination thread's queue. Threads
+// deactivated by a resize still drain objects that were routed before the
+// resize (the DPS thread manager destroys a thread only once its queue is
+// empty); newly routed objects are validated against the active width at
+// routing time.
+func (e *Engine) deliver(env *envelope) {
+	coll := env.dstOp.Collection()
+	if env.dst < 0 || env.dst >= coll.MaxWidth() {
+		e.fail(fmt.Errorf("core: object for %s delivered to thread %d outside placement of %d threads",
+			env.dstOp, env.dst, coll.MaxWidth()))
+		return
+	}
+	e.enqueue(e.threadOf(coll, env.dst), workItem{kind: wData, env: env})
+}
+
+// send transports an envelope: local deliveries wait LocalLatency; remote
+// ones traverse the platform network.
+func (e *Engine) send(srcNode int, env *envelope) {
+	dstNode := env.dstOp.Collection().Node(env.dst)
+	e.stats.Posts++
+	if srcNode == dstNode {
+		e.stats.LocalDeliveries++
+		e.q.After(e.cfg.LocalLatency, func() { e.deliver(env) })
+		return
+	}
+	e.stats.Transfers++
+	e.trace(TraceEvent{Kind: TraceTransferStart, Time: e.q.Now(), Node: srcNode,
+		Op: env.dstOp.Name(), Thread: env.dst, Detail: fmt.Sprintf("%dB to node %d", env.size, dstNode)})
+	e.plat.Send(srcNode, dstNode, env.size, func() {
+		e.trace(TraceEvent{Kind: TraceTransferEnd, Time: e.q.Now(), Node: dstNode,
+			Op: env.dstOp.Name(), Thread: env.dst, Detail: fmt.Sprintf("%dB from node %d", env.size, srcNode)})
+		e.deliver(env)
+	})
+}
+
+// control sends a zero-payload control message (closure/ack) between
+// nodes, invoking fn on arrival.
+func (e *Engine) control(srcNode, dstNode int, fn func()) {
+	e.stats.ControlMsgs++
+	if srcNode == dstNode {
+		e.q.After(e.cfg.LocalLatency, fn)
+		return
+	}
+	e.plat.Send(srcNode, dstNode, e.cfg.ControlBytes, fn)
+}

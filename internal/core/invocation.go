@@ -1,0 +1,519 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"dpsim/internal/dps"
+	"dpsim/internal/eventq"
+)
+
+// invKind classifies operation invocations.
+type invKind int
+
+const (
+	iSplit invKind = iota
+	iLeaf
+	iAbsorb
+	iFinish
+)
+
+func (k invKind) String() string {
+	switch k {
+	case iSplit:
+		return "split"
+	case iLeaf:
+		return "leaf"
+	case iAbsorb:
+		return "absorb"
+	case iFinish:
+		return "finish"
+	default:
+		return "?"
+	}
+}
+
+// yieldMsg is what an invocation goroutine hands back to the engine at the
+// end of every atomic step.
+type yieldMsg struct {
+	done     bool            // invocation finished (no further resume expected)
+	work     eventq.Duration // duration of the step that just ended
+	post     *envelope       // non-nil when the step ended with a post
+	panicked any             // user-code panic value
+	stack    []byte
+}
+
+// abortSignal unwinds invocation goroutines during shutdown.
+var abortSignal = new(int)
+
+// invocation is one operation activation: the analogue of a DPS execution
+// thread running one operation (paper §3). Exactly one invocation
+// goroutine runs at any moment; the engine alternates with it through the
+// resume/yield channels, exactly like the simulator thread of Fig. 3.
+type invocation struct {
+	id   uint64
+	eng  *Engine
+	th   *thread
+	op   *dps.Op
+	kind invKind
+
+	env  *envelope   // input (nil for finish)
+	inst *instance   // sink instance for absorb/finish
+	act  *activation // output activation (split invocations)
+
+	resume  chan struct{}
+	yield   chan yieldMsg
+	aborted bool
+
+	charged  eventq.Duration // Compute charges in the current step
+	wallMark time.Time       // step start (direct execution measurement)
+	posts    int             // posts in this invocation (leaf 1:1 check)
+}
+
+func (inv *invocation) describe() string {
+	return fmt.Sprintf("%s invocation of %s on %s[%d]", inv.kind, inv.op, inv.th.coll.Name(), inv.th.idx)
+}
+
+// activationForPosts returns the activation that owns pair instances
+// opened by this invocation's posts.
+func (inv *invocation) activationForPosts() *activation {
+	switch inv.kind {
+	case iSplit:
+		return inv.act
+	case iAbsorb, iFinish:
+		return inv.inst.act
+	default:
+		return nil
+	}
+}
+
+// stepWork computes and resets the duration of the step ending now.
+func (inv *invocation) stepWork() eventq.Duration {
+	w := inv.charged
+	inv.charged = 0
+	if inv.eng.mode == dps.ModeDirect {
+		elapsed := time.Since(inv.wallMark)
+		w += eventq.Duration(float64(elapsed.Nanoseconds()) * inv.eng.cfg.CPUScale)
+	} else {
+		w += inv.eng.cfg.PerStepOverhead
+	}
+	return w
+}
+
+// waitResume blocks until the engine hands control back.
+func (inv *invocation) waitResume() {
+	<-inv.resume
+	if inv.aborted {
+		panic(abortSignal)
+	}
+	inv.wallMark = time.Now()
+}
+
+// handoff ends the current atomic step: it yields msg to the engine and
+// blocks until resumed.
+func (inv *invocation) handoff(msg yieldMsg) {
+	inv.yield <- msg
+	inv.waitResume()
+}
+
+// abort unblocks a parked goroutine during shutdown. The non-blocking send
+// covers invocations whose goroutine already exited (e.g. a failure raised
+// during their end-of-invocation bookkeeping).
+func (inv *invocation) abort() {
+	inv.aborted = true
+	select {
+	case inv.resume <- struct{}{}:
+	default:
+	}
+}
+
+// body is the goroutine running the operation handler.
+func (inv *invocation) body() {
+	defer func() {
+		r := recover()
+		if r == nil || r == abortSignal {
+			return
+		}
+		if f, ok := r.(engineFailure); ok {
+			// Engine-originated failure raised inside a ctx call: forward
+			// the error itself.
+			inv.yield <- yieldMsg{panicked: f.err}
+			return
+		}
+		inv.yield <- yieldMsg{panicked: r, stack: debug.Stack()}
+	}()
+	inv.waitResume()
+	ctx := &opCtx{inv: inv}
+	switch inv.kind {
+	case iSplit:
+		inv.op.CallSplit(ctx, inv.env.obj)
+	case iLeaf:
+		inv.op.CallLeaf(ctx, inv.env.obj)
+	case iAbsorb:
+		inv.inst.state.Absorb(ctx, inv.env.obj)
+	case iFinish:
+		inv.inst.state.Finish(ctx)
+	}
+	inv.yield <- yieldMsg{done: true, work: inv.stepWork()}
+}
+
+// --- engine-side invocation driving ---
+
+var nextInvID uint64
+
+// startInvocation builds and launches the invocation for a work item.
+func (e *Engine) startInvocation(th *thread, item workItem) {
+	nextInvID++
+	inv := &invocation{
+		id:     nextInvID,
+		eng:    e,
+		th:     th,
+		resume: make(chan struct{}),
+		yield:  make(chan yieldMsg),
+	}
+	switch item.kind {
+	case wResume:
+		// Continue a flow-control-suspended invocation on its thread; the
+		// post itself was already launched when the credit arrived.
+		e.resumeInv(item.parked.inv)
+		return
+	case wData:
+		env := item.env
+		inv.env = env
+		inv.op = env.dstOp
+		switch env.dstOp.Kind() {
+		case dps.KindSplit:
+			inv.kind = iSplit
+			inv.act = newActivation(env.token)
+		case dps.KindLeaf:
+			inv.kind = iLeaf
+		case dps.KindMerge, dps.KindStream:
+			fr, ok := env.token.top()
+			if !ok || fr.pair.Sink() != env.dstOp {
+				e.fail(fmt.Errorf("core: object delivered to %s carries no matching pair frame", env.dstOp))
+			}
+			inv.kind = iAbsorb
+			inv.inst = fr.inst
+			if inv.inst.state == nil {
+				inv.inst.state = env.dstOp.NewState(env.obj)
+			}
+			if env.dstOp.Kind() == dps.KindStream && inv.inst.act == nil {
+				inv.inst.act = newActivation(inv.inst.parent)
+			}
+		}
+	case wFinish:
+		inv.kind = iFinish
+		inv.inst = item.inst
+		inv.op = item.inst.pair.Sink()
+		if inv.inst.state == nil {
+			// The instance closed without receiving any object.
+			inv.inst.state = inv.op.NewState(nil)
+		}
+		if inv.op.Kind() == dps.KindStream && inv.inst.act == nil {
+			inv.inst.act = newActivation(inv.inst.parent)
+		}
+	}
+	e.live[inv] = true
+	go inv.body()
+	e.resumeInv(inv)
+}
+
+// resumeInv hands control to the invocation goroutine and processes the
+// next yielded step.
+func (e *Engine) resumeInv(inv *invocation) {
+	inv.resume <- struct{}{}
+	msg := <-inv.yield
+	e.handleYield(inv, msg)
+}
+
+// handleYield accounts an atomic step and schedules its effects.
+func (e *Engine) handleYield(inv *invocation, msg yieldMsg) {
+	if msg.panicked != nil {
+		delete(e.live, inv)
+		if err, ok := msg.panicked.(error); ok && len(msg.stack) == 0 {
+			e.fail(err)
+		}
+		e.fail(fmt.Errorf("core: panic in %s: %v\n%s", inv.describe(), msg.panicked, msg.stack))
+	}
+	e.stats.Steps++
+	e.opSteps[inv.op.Name()]++
+	e.opBusy[inv.op.Name()] += msg.work
+	node := inv.th.coll.Node(inv.th.idx)
+	e.trace(TraceEvent{Kind: TraceStepStart, Time: e.q.Now(), Node: node,
+		Op: inv.op.Name(), Thread: inv.th.idx, Detail: fmt.Sprintf("%v %s", msg.work, inv.kind)})
+	e.plat.Submit(node, msg.work, func() {
+		e.trace(TraceEvent{Kind: TraceStepEnd, Time: e.q.Now(), Node: node,
+			Op: inv.op.Name(), Thread: inv.th.idx, Detail: inv.kind.String()})
+		if msg.post != nil {
+			if e.performPost(inv, msg.post) {
+				// Parked on flow control: the operation is suspended, so
+				// its thread becomes available for other queued work.
+				e.threadIdle(inv.th)
+				return
+			}
+		}
+		if msg.done {
+			e.finishInvocation(inv)
+			return
+		}
+		e.resumeInv(inv)
+	})
+}
+
+// performPost launches (or parks) a post whose atomic step just completed.
+// It reports whether the invocation was parked by flow control.
+func (e *Engine) performPost(inv *invocation, env *envelope) bool {
+	if env.edge != nil && env.edge.Pair() != nil {
+		fr, _ := env.token.top()
+		inst := fr.inst
+		if w := fr.pair.Window(); w > 0 && inst.inflight >= w {
+			inst.waiters = append(inst.waiters, &parkedPost{env: env, inv: inv})
+			e.pending++
+			return true
+		}
+		inst.inflight++
+	}
+	e.send(inv.th.coll.Node(inv.th.idx), env)
+	return false
+}
+
+// finishInvocation runs the end-of-invocation bookkeeping. The invocation
+// leaves the live set first: its goroutine has already exited, so shutdown
+// must not try to unblock it even if the bookkeeping below fails.
+func (e *Engine) finishInvocation(inv *invocation) {
+	delete(e.live, inv)
+	switch inv.kind {
+	case iSplit:
+		e.closeActivation(inv.act, inv.th)
+	case iLeaf:
+		if inv.posts != 1 {
+			e.fail(fmt.Errorf("core: leaf %s posted %d objects; DPS leaves must post exactly one", inv.op, inv.posts))
+		}
+	case iAbsorb:
+		inst := inv.inst
+		inst.absorbed++
+		e.ackAbsorb(inst, inv.th.coll.Node(inv.th.idx))
+		e.checkComplete(inst)
+	case iFinish:
+		if inv.op.Kind() == dps.KindStream {
+			e.closeActivation(inv.inst.act, inv.th)
+		}
+	}
+	e.threadIdle(inv.th)
+}
+
+// closeActivation emits closure control messages for every pair instance
+// the activation opened: the sink learns the final posted count.
+func (e *Engine) closeActivation(act *activation, srcTh *thread) {
+	if act == nil {
+		return
+	}
+	srcNode := srcTh.coll.Node(srcTh.idx)
+	for _, inst := range act.order {
+		inst := inst
+		sinkNode := inst.pair.Sink().Collection().Node(inst.sinkThread)
+		e.control(srcNode, sinkNode, func() {
+			inst.closed = true
+			e.checkComplete(inst)
+		})
+	}
+}
+
+// ackAbsorb returns a flow-control credit to the instance's source.
+func (e *Engine) ackAbsorb(inst *instance, sinkNode int) {
+	if inst.pair.Window() <= 0 {
+		return
+	}
+	srcNode := inst.srcColl.Node(inst.srcThread)
+	e.control(sinkNode, srcNode, func() {
+		inst.inflight--
+		if len(inst.waiters) > 0 && inst.inflight < inst.pair.Window() {
+			p := inst.waiters[0]
+			inst.waiters = inst.waiters[1:]
+			e.pending--
+			inst.inflight++
+			// The suspended post ships as soon as the credit arrives; the
+			// operation's continuation re-queues on its thread.
+			e.send(p.inv.th.coll.Node(p.inv.th.idx), p.env)
+			e.enqueue(p.inv.th, workItem{kind: wResume, parked: p})
+		}
+	})
+}
+
+// checkComplete schedules the Finish invocation once an instance is closed
+// and fully absorbed.
+func (e *Engine) checkComplete(inst *instance) {
+	if inst.finished || !inst.closed || inst.absorbed != inst.posted {
+		return
+	}
+	inst.finished = true
+	sinkTh := e.threadOf(inst.pair.Sink().Collection(), inst.sinkThread)
+	e.enqueue(sinkTh, workItem{kind: wFinish, inst: inst})
+}
+
+// newInstance opens a pair instance; first is the first posted object.
+func (e *Engine) newInstance(pair *dps.Pair, parent token, first dps.DataObject, srcTh *thread) *instance {
+	e.nextInstID++
+	e.stats.Instances++
+	width := pair.Sink().Collection().Width()
+	st := pair.RouteInstance(first, width)
+	if st < 0 || st >= width {
+		e.fail(fmt.Errorf("core: %s routed instance to thread %d outside width %d", pair, st, width))
+	}
+	return &instance{
+		id:         e.nextInstID,
+		pair:       pair,
+		parent:     parent,
+		sinkThread: st,
+		srcColl:    srcTh.coll,
+		srcThread:  srcTh.idx,
+	}
+}
+
+// buildEnvelope routes a posted object. Runs on the invocation goroutine
+// while the engine is blocked, so engine state access is exclusive.
+func (e *Engine) buildEnvelope(inv *invocation, edgeIdx int, obj dps.DataObject) *envelope {
+	if obj == nil {
+		e.fail(fmt.Errorf("core: %s posted a nil data object", inv.op))
+	}
+	if edgeIdx < 0 || edgeIdx >= inv.op.Outs() {
+		e.fail(fmt.Errorf("core: %s posted on edge %d of %d", inv.op, edgeIdx, inv.op.Outs()))
+	}
+	edge := inv.op.Out(edgeIdx)
+	inv.posts++
+	var tok token
+	var seq, dst int
+	if pair := edge.Pair(); pair != nil {
+		act := inv.activationForPosts()
+		if act == nil {
+			e.fail(fmt.Errorf("core: %s invocation cannot open pair instances", inv.kind))
+		}
+		inst := act.insts[pair]
+		if inst == nil {
+			inst = e.newInstance(pair, act.parent, obj, inv.th)
+			act.insts[pair] = inst
+			act.order = append(act.order, inst)
+		}
+		seq = inst.posted
+		inst.posted++
+		tok = act.parent.push(frame{pair: pair, inst: inst})
+		if edge.To() == pair.Sink() {
+			dst = inst.sinkThread
+		} else {
+			dst = e.route(inv, edge, obj, seq)
+		}
+	} else {
+		switch inv.kind {
+		case iLeaf:
+			tok = inv.env.token
+			seq = inv.env.seq
+		case iFinish, iAbsorb:
+			tok = inv.inst.parent
+		default:
+			tok = token{}
+		}
+		if edge.To().IsSink() {
+			fr, ok := tok.top()
+			if !ok || fr.pair.Sink() != edge.To() {
+				e.fail(fmt.Errorf("core: %s posted to %s but the object's instance frame belongs elsewhere", inv.op, edge.To()))
+			}
+			dst = fr.inst.sinkThread
+		} else {
+			dst = e.route(inv, edge, obj, seq)
+		}
+	}
+	return &envelope{
+		obj:   obj,
+		size:  dps.SizeOf(obj),
+		token: tok,
+		edge:  edge,
+		dstOp: edge.To(),
+		dst:   dst,
+		seq:   seq,
+	}
+}
+
+// route evaluates an edge's routing function and validates the result
+// against the destination collection's active width.
+func (e *Engine) route(inv *invocation, edge *dps.Edge, obj dps.DataObject, seq int) int {
+	width := edge.To().Collection().Width()
+	dst := edge.Route()(dps.Routing{Obj: obj, Width: width, SrcThread: inv.th.idx, Seq: seq})
+	if dst < 0 || dst >= width {
+		e.fail(fmt.Errorf("core: edge %s→%s routed object to thread %d outside active width %d (removed thread still addressed?)",
+			edge.From(), edge.To(), dst, width))
+	}
+	return dst
+}
+
+// --- Ctx implementation ---
+
+// opCtx implements dps.Ctx for one invocation.
+type opCtx struct {
+	inv *invocation
+}
+
+func (c *opCtx) Post(obj dps.DataObject) { c.PostTo(0, obj) }
+
+func (c *opCtx) PostTo(edgeIdx int, obj dps.DataObject) {
+	inv := c.inv
+	env := inv.eng.buildEnvelope(inv, edgeIdx, obj)
+	inv.handoff(yieldMsg{work: inv.stepWork(), post: env})
+}
+
+func (c *opCtx) Compute(key string, work eventq.Duration, f func()) {
+	inv := c.inv
+	e := inv.eng
+	switch e.mode {
+	case dps.ModeModel:
+		idx := e.keyCount[key]
+		e.keyCount[key]++
+		d := e.cfg.Durations.StepWork(key, work, idx)
+		if e.cfg.RecordDurations {
+			e.recordSample(key, d)
+		}
+		inv.charged += d
+		if e.cfg.RunComputations && f != nil {
+			f()
+		}
+	case dps.ModeDirect:
+		if f == nil {
+			inv.charged += work
+			return
+		}
+		if e.cfg.RecordDurations {
+			t0 := time.Now()
+			f()
+			d := eventq.Duration(float64(time.Since(t0).Nanoseconds()) * e.cfg.CPUScale)
+			e.recordSample(key, d)
+			return // wall measurement of the step already covers f
+		}
+		f()
+	case dps.ModeDirectMemo:
+		n := e.keyCount[key]
+		e.keyCount[key]++
+		if n < e.cfg.MemoN && f != nil {
+			t0 := time.Now()
+			f()
+			d := eventq.Duration(float64(time.Since(t0).Nanoseconds()) * e.cfg.CPUScale)
+			e.memoSum[key] += d
+			e.memoCnt[key]++
+			e.recordSample(key, d)
+			inv.charged += d
+		} else if cnt := e.memoCnt[key]; cnt > 0 {
+			inv.charged += e.memoSum[key] / eventq.Duration(cnt)
+		} else {
+			inv.charged += work
+		}
+	}
+}
+
+func (c *opCtx) Phase(name string)     { c.inv.eng.MarkPhase(name) }
+func (c *opCtx) Thread() int           { return c.inv.th.idx }
+func (c *opCtx) Width() int            { return c.inv.op.Collection().Width() }
+func (c *opCtx) Node() int             { return c.inv.th.coll.Node(c.inv.th.idx) }
+func (c *opCtx) Now() eventq.Time      { return c.inv.eng.q.Now() }
+func (c *opCtx) Mode() dps.ExecMode    { return c.inv.eng.mode }
+func (c *opCtx) NoAlloc() bool         { return c.inv.eng.cfg.NoAlloc }
+func (c *opCtx) Store() dps.Store      { return c.inv.th.store }
+func (c *opCtx) RunComputations() bool { return c.inv.eng.cfg.RunComputations }

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"dpsim/internal/cpumodel"
+	"dpsim/internal/eventq"
+	"dpsim/internal/netmodel"
+)
+
+// SimPlatform is the paper's simulator platform: the star-topology fluid
+// network model (§4) wired to per-node processor-sharing CPU models whose
+// available power shrinks with the number of concurrent transfers.
+type SimPlatform struct {
+	q    *eventq.Queue
+	net  *netmodel.Network
+	cpus []*cpumodel.CPU
+}
+
+// portsToCPU forwards network port activity to the CPU communication
+// overhead accounting.
+type portsToCPU struct{ cpus []*cpumodel.CPU }
+
+func (p portsToCPU) PortsChanged(node, in, out int) {
+	if node >= 0 && node < len(p.cpus) {
+		p.cpus[node].SetTransfers(in, out)
+	}
+}
+
+// NewSimPlatform builds a simulator platform with the given node count and
+// model parameters. The same cpumodel parameters apply to every node
+// (the paper's homogeneous cluster); heterogeneous power can be modeled by
+// wrapping Submit.
+func NewSimPlatform(nodes int, np netmodel.Params, cp cpumodel.Params) *SimPlatform {
+	if nodes <= 0 {
+		panic("core: platform needs at least one node")
+	}
+	q := eventq.New()
+	net := netmodel.New(q, np)
+	cpus := make([]*cpumodel.CPU, nodes)
+	for i := range cpus {
+		cpus[i] = cpumodel.New(q, i, cp)
+	}
+	net.SetListener(portsToCPU{cpus})
+	return &SimPlatform{q: q, net: net, cpus: cpus}
+}
+
+// Queue implements Platform.
+func (p *SimPlatform) Queue() *eventq.Queue { return p.q }
+
+// Nodes implements Platform.
+func (p *SimPlatform) Nodes() int { return len(p.cpus) }
+
+// Send implements Platform.
+func (p *SimPlatform) Send(src, dst int, size int64, done func()) {
+	p.checkNode(src)
+	p.checkNode(dst)
+	p.net.Send(src, dst, size, nil, func(*netmodel.Transfer) { done() })
+}
+
+// Submit implements Platform.
+func (p *SimPlatform) Submit(node int, work eventq.Duration, done func()) {
+	p.checkNode(node)
+	p.cpus[node].Submit(work, done)
+}
+
+// Network exposes the network model (stats inspection).
+func (p *SimPlatform) Network() *netmodel.Network { return p.net }
+
+// CPU exposes a node's processor model (stats inspection).
+func (p *SimPlatform) CPU(node int) *cpumodel.CPU {
+	p.checkNode(node)
+	return p.cpus[node]
+}
+
+func (p *SimPlatform) checkNode(n int) {
+	if n < 0 || n >= len(p.cpus) {
+		panic(fmt.Sprintf("core: node %d outside platform of %d nodes", n, len(p.cpus)))
+	}
+}

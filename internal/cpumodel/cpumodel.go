@@ -1,0 +1,238 @@
+// Package cpumodel implements the simulator's per-node processing model
+// (paper §4).
+//
+// Each virtual node has one processor of normalized power. Two effects
+// determine how fast an atomic step executes:
+//
+//  1. Communication overhead. Handling transfers costs processing power;
+//     receiving costs more than sending ("receiving data objects induces
+//     more interrupts and more memory copies than sending"). With nIn
+//     active incoming and nOut outgoing transfers, the power left for
+//     computation is max(floor, 1 - nIn·recv - nOut·send).
+//  2. Processor sharing. "The processing power not used for
+//     communications is shared evenly among all running operations":
+//     k concurrently running atomic steps each progress at available/k.
+//
+// Work is expressed as a Duration: the time the step would take alone on
+// an idle node of power 1.0. The model is fluid: rates change only when a
+// job starts/ends or transfer counts change, and completions are
+// rescheduled accordingly.
+package cpumodel
+
+import (
+	"fmt"
+	"sort"
+
+	"dpsim/internal/eventq"
+)
+
+// Params configures one node's CPU model.
+type Params struct {
+	// Power scales the node speed; 1.0 is the reference node. Work of
+	// duration d completes in d/Power on an otherwise idle node.
+	Power float64
+	// RecvOverhead is the fraction of the node's power consumed by each
+	// active incoming transfer.
+	RecvOverhead float64
+	// SendOverhead is the fraction consumed by each active outgoing
+	// transfer.
+	SendOverhead float64
+	// MinAvailable floors the power left for computation so that extreme
+	// fan-in cannot stall progress entirely.
+	MinAvailable float64
+	// Sharing enables even processor sharing between concurrent steps.
+	// When false each step runs at the full available power (ablation).
+	Sharing bool
+	// CommOverhead enables effect 1. When false transfers are free
+	// (ablation; the assumption of the simulators the paper improves on).
+	CommOverhead bool
+}
+
+// Defaults returns the reference parameter set used by the simulator:
+// values in the range the paper implies (receive costlier than send),
+// characterized once per platform, independent of the application.
+func Defaults() Params {
+	return Params{
+		Power:        1.0,
+		RecvOverhead: 0.07,
+		SendOverhead: 0.03,
+		MinAvailable: 0.05,
+		Sharing:      true,
+		CommOverhead: true,
+	}
+}
+
+// Job is one atomic step executing on a CPU.
+type Job struct {
+	id        uint64
+	total     float64 // submitted work in seconds at power 1.0
+	remaining float64 // seconds of work at power 1.0
+	rate      float64 // work-seconds per second
+	last      eventq.Time
+	finish    *eventq.Event
+	done      func()
+}
+
+// CPU models one node's processor. Not safe for concurrent use; only the
+// single-threaded event engine calls it.
+type CPU struct {
+	q      *eventq.Queue
+	p      Params
+	node   int
+	nextID uint64
+	jobs   map[uint64]*Job
+	nIn    int
+	nOut   int
+
+	// accounting
+	workDone     float64 // completed work-seconds
+	busySince    eventq.Time
+	busyIntegral float64 // seconds with >= 1 active job
+}
+
+// New returns a CPU for the given node identifier.
+func New(q *eventq.Queue, node int, p Params) *CPU {
+	if p.Power <= 0 {
+		panic("cpumodel: power must be positive")
+	}
+	if p.MinAvailable <= 0 {
+		p.MinAvailable = 0.01
+	}
+	return &CPU{q: q, p: p, node: node, jobs: make(map[uint64]*Job)}
+}
+
+// Node returns the node identifier this CPU belongs to.
+func (c *CPU) Node() int { return c.node }
+
+// Params returns the model parameters.
+func (c *CPU) Params() Params { return c.p }
+
+// Active returns the number of running atomic steps.
+func (c *CPU) Active() int { return len(c.jobs) }
+
+// WorkDone returns total completed work in seconds at power 1.0.
+func (c *CPU) WorkDone() float64 { return c.workDone }
+
+// BusyTime returns the total virtual time during which at least one atomic
+// step was running.
+func (c *CPU) BusyTime() float64 {
+	t := c.busyIntegral
+	if len(c.jobs) > 0 {
+		t += (c.q.Now() - c.busySince).Seconds()
+	}
+	return t
+}
+
+// Available returns the fraction of node power currently usable for
+// computation, after communication overhead.
+func (c *CPU) Available() float64 {
+	if !c.p.CommOverhead {
+		return 1
+	}
+	avail := 1 - float64(c.nIn)*c.p.RecvOverhead - float64(c.nOut)*c.p.SendOverhead
+	if avail < c.p.MinAvailable {
+		avail = c.p.MinAvailable
+	}
+	return avail
+}
+
+// SetTransfers updates the number of active incoming/outgoing transfers
+// (driven by the network model's Listener callback).
+func (c *CPU) SetTransfers(in, out int) {
+	if in == c.nIn && out == c.nOut {
+		return
+	}
+	c.nIn, c.nOut = in, out
+	c.reflow()
+}
+
+// Submit starts an atomic step requiring work (time at power 1.0 on an
+// idle node) and calls done when it completes. Zero work completes on the
+// next event round without occupying the processor.
+func (c *CPU) Submit(work eventq.Duration, done func()) *Job {
+	if work <= 0 {
+		j := &Job{id: c.nextID, done: done}
+		c.nextID++
+		c.q.After(0, func() {
+			if j.done != nil {
+				j.done()
+			}
+		})
+		return j
+	}
+	j := &Job{
+		id:        c.nextID,
+		total:     work.Seconds(),
+		remaining: work.Seconds(),
+		last:      c.q.Now(),
+		done:      done,
+	}
+	c.nextID++
+	if len(c.jobs) == 0 {
+		c.busySince = c.q.Now()
+	}
+	c.jobs[j.id] = j
+	c.reflow()
+	return j
+}
+
+// rateOf computes a job's current execution rate in work-seconds/second.
+func (c *CPU) rateOf() float64 {
+	avail := c.Available() * c.p.Power
+	if !c.p.Sharing || len(c.jobs) <= 1 {
+		return avail
+	}
+	return avail / float64(len(c.jobs))
+}
+
+// reflow settles all jobs and reschedules their completions under the new
+// rate. Jobs are visited in ID order so that map iteration order never
+// influences the event sequence (determinism).
+func (c *CPU) reflow() {
+	now := c.q.Now()
+	rate := c.rateOf()
+	ids := make([]uint64, 0, len(c.jobs))
+	for id := range c.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		j := c.jobs[id]
+		dt := (now - j.last).Seconds()
+		if dt > 0 && j.rate > 0 {
+			j.remaining -= j.rate * dt
+			if j.remaining < 0 {
+				j.remaining = 0
+			}
+		}
+		j.last = now
+		j.rate = rate
+		if j.finish != nil {
+			c.q.Cancel(j.finish)
+			j.finish = nil
+		}
+		jj := j
+		eta := eventq.DurationOf(j.remaining / rate)
+		j.finish = c.q.After(eta, func() { c.complete(jj) })
+	}
+}
+
+func (c *CPU) complete(j *Job) {
+	// A completed job performed exactly the work it was submitted with.
+	c.workDone += j.total
+	delete(c.jobs, j.id)
+	if len(c.jobs) == 0 {
+		c.busyIntegral += (c.q.Now() - c.busySince).Seconds()
+	}
+	done := j.done
+	j.done = nil
+	c.reflow()
+	if done != nil {
+		done()
+	}
+}
+
+func (c *CPU) String() string {
+	return fmt.Sprintf("cpu{node=%d, jobs=%d, in=%d, out=%d, avail=%.2f}",
+		c.node, len(c.jobs), c.nIn, c.nOut, c.Available())
+}

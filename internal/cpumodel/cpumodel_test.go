@@ -1,0 +1,281 @@
+package cpumodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dpsim/internal/eventq"
+)
+
+func idleParams() Params {
+	return Params{Power: 1, MinAvailable: 0.05, Sharing: true, CommOverhead: true}
+}
+
+func TestSingleJobRunsAtFullPower(t *testing.T) {
+	q := eventq.New()
+	c := New(q, 0, idleParams())
+	var doneAt eventq.Time
+	c.Submit(2*eventq.Second, func() { doneAt = q.Now() })
+	q.Run(0)
+	if doneAt != eventq.Time(2*eventq.Second) {
+		t.Fatalf("job finished at %v, want 2s", doneAt)
+	}
+	if c.WorkDone() != 2 {
+		t.Fatalf("WorkDone = %v, want 2", c.WorkDone())
+	}
+}
+
+func TestPowerScalesDuration(t *testing.T) {
+	q := eventq.New()
+	p := idleParams()
+	p.Power = 0.5
+	c := New(q, 0, p)
+	var doneAt eventq.Time
+	c.Submit(eventq.Second, func() { doneAt = q.Now() })
+	q.Run(0)
+	if doneAt != eventq.Time(2*eventq.Second) {
+		t.Fatalf("half-power job finished at %v, want 2s", doneAt)
+	}
+}
+
+func TestTwoJobsShareProcessor(t *testing.T) {
+	q := eventq.New()
+	c := New(q, 0, idleParams())
+	var aDone, bDone eventq.Time
+	c.Submit(eventq.Second, func() { aDone = q.Now() })
+	c.Submit(eventq.Second, func() { bDone = q.Now() })
+	q.Run(0)
+	// Both share the CPU: each runs at 1/2 rate and finishes at 2s.
+	if aDone != eventq.Time(2*eventq.Second) || bDone != eventq.Time(2*eventq.Second) {
+		t.Fatalf("shared jobs finished at %v and %v, want 2s each", aDone, bDone)
+	}
+}
+
+func TestShorterJobFreesCapacity(t *testing.T) {
+	q := eventq.New()
+	c := New(q, 0, idleParams())
+	var aDone, bDone eventq.Time
+	c.Submit(2*eventq.Second, func() { aDone = q.Now() })
+	c.Submit(eventq.Second, func() { bDone = q.Now() })
+	q.Run(0)
+	// B (1s work) at half rate finishes at t=2; A then has 1s left at
+	// full rate → t=3.
+	if bDone != eventq.Time(2*eventq.Second) {
+		t.Fatalf("B finished at %v, want 2s", bDone)
+	}
+	if aDone != eventq.Time(3*eventq.Second) {
+		t.Fatalf("A finished at %v, want 3s", aDone)
+	}
+}
+
+func TestLateArrivalSlowsRunning(t *testing.T) {
+	q := eventq.New()
+	c := New(q, 0, idleParams())
+	var aDone eventq.Time
+	c.Submit(eventq.Second, func() { aDone = q.Now() })
+	q.After(500*eventq.Millisecond, func() {
+		c.Submit(eventq.Second, func() {})
+	})
+	q.Run(0)
+	// A does 0.5s of work alone, then shares: remaining 0.5s at half rate
+	// takes 1s → finishes at 1.5s.
+	if aDone != eventq.Time(1500*eventq.Millisecond) {
+		t.Fatalf("A finished at %v, want 1.5s", aDone)
+	}
+}
+
+func TestSharingDisabledAblation(t *testing.T) {
+	q := eventq.New()
+	p := idleParams()
+	p.Sharing = false
+	c := New(q, 0, p)
+	var times []eventq.Time
+	for i := 0; i < 4; i++ {
+		c.Submit(eventq.Second, func() { times = append(times, q.Now()) })
+	}
+	q.Run(0)
+	for _, at := range times {
+		if at != eventq.Time(eventq.Second) {
+			t.Fatalf("non-shared job finished at %v, want 1s", at)
+		}
+	}
+}
+
+func TestCommOverheadSlowsComputation(t *testing.T) {
+	q := eventq.New()
+	p := idleParams()
+	p.RecvOverhead = 0.25
+	c := New(q, 0, p)
+	c.SetTransfers(2, 0) // two active receives: available = 0.5
+	var doneAt eventq.Time
+	c.Submit(eventq.Second, func() { doneAt = q.Now() })
+	q.Run(0)
+	if doneAt != eventq.Time(2*eventq.Second) {
+		t.Fatalf("job under comm load finished at %v, want 2s", doneAt)
+	}
+}
+
+func TestRecvCostlierThanSend(t *testing.T) {
+	p := Defaults()
+	if p.RecvOverhead <= p.SendOverhead {
+		t.Fatalf("defaults must make receive (%v) costlier than send (%v)",
+			p.RecvOverhead, p.SendOverhead)
+	}
+}
+
+func TestCommOverheadDisabledAblation(t *testing.T) {
+	q := eventq.New()
+	p := idleParams()
+	p.CommOverhead = false
+	p.RecvOverhead = 0.5
+	c := New(q, 0, p)
+	c.SetTransfers(10, 10)
+	var doneAt eventq.Time
+	c.Submit(eventq.Second, func() { doneAt = q.Now() })
+	q.Run(0)
+	if doneAt != eventq.Time(eventq.Second) {
+		t.Fatalf("job finished at %v with overhead disabled, want 1s", doneAt)
+	}
+}
+
+func TestMinAvailableFloor(t *testing.T) {
+	q := eventq.New()
+	p := idleParams()
+	p.RecvOverhead = 0.2
+	p.MinAvailable = 0.1
+	c := New(q, 0, p)
+	c.SetTransfers(50, 0) // would be -9.0 without the floor
+	if avail := c.Available(); avail != 0.1 {
+		t.Fatalf("Available = %v, want floor 0.1", avail)
+	}
+	var doneAt eventq.Time
+	c.Submit(eventq.Second, func() { doneAt = q.Now() })
+	q.Run(0)
+	if doneAt != eventq.Time(10*eventq.Second) {
+		t.Fatalf("floored job finished at %v, want 10s", doneAt)
+	}
+}
+
+func TestTransferEndSpeedsUp(t *testing.T) {
+	q := eventq.New()
+	p := idleParams()
+	p.RecvOverhead = 0.5
+	c := New(q, 0, p)
+	c.SetTransfers(1, 0) // available = 0.5
+	var doneAt eventq.Time
+	c.Submit(eventq.Second, func() { doneAt = q.Now() })
+	q.After(eventq.Second, func() { c.SetTransfers(0, 0) })
+	q.Run(0)
+	// 0.5s of work in the first second, remaining 0.5s at full rate.
+	if doneAt != eventq.Time(1500*eventq.Millisecond) {
+		t.Fatalf("job finished at %v, want 1.5s", doneAt)
+	}
+}
+
+func TestZeroWorkCompletesImmediately(t *testing.T) {
+	q := eventq.New()
+	c := New(q, 0, idleParams())
+	fired := false
+	c.Submit(0, func() { fired = true })
+	q.Run(0)
+	if !fired || q.Now() != 0 {
+		t.Fatalf("zero-work job: fired=%v at %v", fired, q.Now())
+	}
+	if c.Active() != 0 {
+		t.Fatal("zero-work job left active count non-zero")
+	}
+}
+
+func TestBusyTimeAccounting(t *testing.T) {
+	q := eventq.New()
+	c := New(q, 0, idleParams())
+	c.Submit(eventq.Second, nil)
+	q.After(5*eventq.Second, func() {
+		c.Submit(eventq.Second, nil)
+	})
+	q.Run(0)
+	if bt := c.BusyTime(); math.Abs(bt-2) > 1e-9 {
+		t.Fatalf("BusyTime = %v, want 2", bt)
+	}
+}
+
+func TestActiveCount(t *testing.T) {
+	q := eventq.New()
+	c := New(q, 0, idleParams())
+	c.Submit(eventq.Second, nil)
+	c.Submit(eventq.Second, nil)
+	if c.Active() != 2 {
+		t.Fatalf("Active = %d, want 2", c.Active())
+	}
+	q.Run(0)
+	if c.Active() != 0 {
+		t.Fatalf("Active after drain = %d", c.Active())
+	}
+}
+
+// Property: total completed work equals the sum of submitted work, and
+// with processor sharing the node never completes faster than the total
+// work divided by power.
+func TestPropertyWorkConservation(t *testing.T) {
+	prop := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw%12) + 1
+		q := eventq.New()
+		c := New(q, 0, idleParams())
+		var total float64
+		rnd := seed
+		next := func(mod int) int {
+			rnd = rnd*6364136223846793005 + 1442695040888963407
+			v := int(rnd>>33) % mod
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		for i := 0; i < k; i++ {
+			ms := next(3000) + 1
+			total += float64(ms) / 1000
+			c.Submit(eventq.Duration(ms)*eventq.Millisecond, nil)
+		}
+		q.Run(0)
+		elapsed := q.Now().Seconds()
+		return math.Abs(c.WorkDone()-total) < 1e-6 &&
+			elapsed >= total-1e-6 && // can't beat the work-conservation bound
+			math.Abs(elapsed-total) < 1e-3 // PS is work-conserving: all jobs done by sum
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyJobsDeterministic(t *testing.T) {
+	run := func() eventq.Time {
+		q := eventq.New()
+		c := New(q, 0, idleParams())
+		for i := 0; i < 100; i++ {
+			d := eventq.Duration(i%7+1) * eventq.Millisecond
+			i := i
+			q.At(eventq.Time(i)*10, func() { c.Submit(d, nil) })
+		}
+		q.Run(0)
+		return q.Now()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic completion: %v vs %v", a, b)
+	}
+}
+
+func BenchmarkProcessorSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		q := eventq.New()
+		c := New(q, 0, idleParams())
+		for j := 0; j < 200; j++ {
+			j := j
+			q.At(eventq.Time(j)*eventq.Time(eventq.Millisecond), func() {
+				c.Submit(eventq.Duration(j%17+1)*eventq.Millisecond, nil)
+			})
+		}
+		q.Run(0)
+	}
+}

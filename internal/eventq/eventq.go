@@ -1,0 +1,284 @@
+// Package eventq implements the discrete-event core shared by the DPS
+// simulator and the virtual cluster testbed: a virtual clock and a binary
+// min-heap of timestamped events with deterministic FIFO tie-breaking.
+//
+// Virtual time is an int64 count of nanoseconds. Fluid models (network
+// bandwidth sharing, processor sharing) compute rates in float64 and
+// round the resulting completion instants to nanoseconds; one nanosecond
+// of quantization is far below every effect the models represent.
+package eventq
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is an absolute instant of virtual time, in nanoseconds since the
+// start of the simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration's constants so call sites read
+// naturally without importing the wall-clock time package.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Forever is a sentinel Time larger than any reachable instant.
+const Forever Time = math.MaxInt64
+
+// Seconds converts a duration to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Seconds converts an instant to floating-point seconds since start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add returns the instant d after t, saturating at Forever.
+func (t Time) Add(d Duration) Time {
+	if t == Forever {
+		return Forever
+	}
+	s := t + Time(d)
+	if d > 0 && s < t {
+		return Forever
+	}
+	return s
+}
+
+// DurationOf converts floating-point seconds to a Duration, rounding to
+// the nearest nanosecond and clamping negatives to zero.
+func DurationOf(seconds float64) Duration {
+	if seconds <= 0 {
+		return 0
+	}
+	if seconds >= float64(math.MaxInt64)/float64(Second) {
+		return Duration(math.MaxInt64)
+	}
+	return Duration(math.Round(seconds * float64(Second)))
+}
+
+func (d Duration) String() string {
+	switch {
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.3gµs", float64(d)/float64(Microsecond))
+	case d < Second:
+		return fmt.Sprintf("%.4gms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6gs", d.Seconds())
+	}
+}
+
+func (t Time) String() string {
+	if t == Forever {
+		return "∞"
+	}
+	return Duration(t).String()
+}
+
+// Event is a callback scheduled at an instant. Events scheduled for the
+// same instant fire in scheduling order (FIFO), which makes simulations
+// deterministic regardless of heap internals.
+type Event struct {
+	when   Time
+	seq    uint64
+	index  int // heap index; -1 when not queued
+	fn     func()
+	canned bool
+}
+
+// Time reports the instant the event is scheduled for.
+func (e *Event) Time() Time { return e.when }
+
+// Scheduled reports whether the event is still pending in a queue.
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 && !e.canned }
+
+// Queue is a virtual clock plus a pending-event heap. The zero value is
+// ready to use at time 0.
+type Queue struct {
+	now    Time
+	heap   []*Event
+	nextSq uint64
+	fired  uint64
+}
+
+// New returns an empty queue at virtual time 0.
+func New() *Queue { return &Queue{} }
+
+// Now returns the current virtual time.
+func (q *Queue) Now() Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Fired returns the cumulative number of events executed.
+func (q *Queue) Fired() uint64 { return q.fired }
+
+// At schedules fn at the absolute instant when. Scheduling in the past
+// (before Now) panics: it would mean a model produced a causality
+// violation and continuing would silently corrupt the timeline.
+func (q *Queue) At(when Time, fn func()) *Event {
+	if when < q.now {
+		panic(fmt.Sprintf("eventq: scheduling at %v before now %v", when, q.now))
+	}
+	e := &Event{when: when, seq: q.nextSq, fn: fn}
+	q.nextSq++
+	q.push(e)
+	return e
+}
+
+// After schedules fn d from now.
+func (q *Queue) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return q.At(q.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op; Cancel reports whether the event
+// was actually removed.
+func (q *Queue) Cancel(e *Event) bool {
+	if e == nil || e.canned || e.index < 0 {
+		return false
+	}
+	e.canned = true
+	q.remove(e)
+	return true
+}
+
+// Step fires the earliest pending event, advancing the clock to its
+// instant. It reports false when no events remain.
+func (q *Queue) Step() bool {
+	for len(q.heap) > 0 {
+		e := q.pop()
+		if e.canned {
+			continue
+		}
+		q.now = e.when
+		q.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or limit events have fired
+// (limit <= 0 means no limit). It returns the number fired. A limit guards
+// tests against accidental event storms / livelock.
+func (q *Queue) Run(limit uint64) uint64 {
+	var n uint64
+	for q.Step() {
+		n++
+		if limit > 0 && n >= limit {
+			break
+		}
+	}
+	return n
+}
+
+// RunUntil fires events with instants <= deadline, leaving later events
+// pending, and advances the clock to min(deadline, time of last event).
+func (q *Queue) RunUntil(deadline Time) {
+	for len(q.heap) > 0 {
+		if q.peek().when > deadline {
+			break
+		}
+		q.Step()
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+}
+
+// --- heap internals (specialized to avoid interface boxing) ---
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+func (q *Queue) push(e *Event) {
+	e.index = len(q.heap)
+	q.heap = append(q.heap, e)
+	q.up(e.index)
+}
+
+func (q *Queue) peek() *Event { return q.heap[0] }
+
+func (q *Queue) pop() *Event {
+	e := q.heap[0]
+	last := len(q.heap) - 1
+	q.swap(0, last)
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	e.index = -1
+	return e
+}
+
+func (q *Queue) remove(e *Event) {
+	i := e.index
+	last := len(q.heap) - 1
+	if i != last {
+		q.swap(i, last)
+	}
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if i < last {
+		if !q.up(i) {
+			q.down(i)
+		}
+	}
+	e.index = -1
+}
+
+func (q *Queue) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

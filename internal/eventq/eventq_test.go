@@ -1,0 +1,335 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dpsim/internal/rng"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	q := New()
+	if q.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+	if q.Now() != 0 {
+		t.Fatalf("empty queue time = %v, want 0", q.Now())
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	q := New()
+	var got []int
+	q.At(30, func() { got = append(got, 3) })
+	q.At(10, func() { got = append(got, 1) })
+	q.At(20, func() { got = append(got, 2) })
+	q.Run(0)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired order %v, want %v", got, want)
+		}
+	}
+	if q.Now() != 30 {
+		t.Fatalf("final time %v, want 30", q.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	q := New()
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		q.At(100, func() { got = append(got, i) })
+	}
+	q.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	q := New()
+	var at1, at2 Time
+	q.At(5, func() { at1 = q.Now() })
+	q.At(9, func() { at2 = q.Now() })
+	q.Run(0)
+	if at1 != 5 || at2 != 9 {
+		t.Fatalf("Now inside events = %v, %v; want 5, 9", at1, at2)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	q := New()
+	var fireTime Time
+	q.At(7, func() {
+		q.After(3, func() { fireTime = q.Now() })
+	})
+	q.Run(0)
+	if fireTime != 10 {
+		t.Fatalf("After(3) at time 7 fired at %v, want 10", fireTime)
+	}
+}
+
+func TestAfterNegativeClamped(t *testing.T) {
+	q := New()
+	fired := false
+	q.After(-5, func() { fired = true })
+	q.Run(0)
+	if !fired || q.Now() != 0 {
+		t.Fatalf("After(-5): fired=%v now=%v, want true at 0", fired, q.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	q := New()
+	q.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		q.At(5, func() {})
+	})
+	q.Run(0)
+}
+
+func TestCancel(t *testing.T) {
+	q := New()
+	fired := false
+	e := q.At(10, func() { fired = true })
+	if !q.Cancel(e) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if q.Cancel(e) {
+		t.Fatal("second Cancel returned true")
+	}
+	q.Run(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	q := New()
+	var got []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, q.At(Time(i*10), func() { got = append(got, i) }))
+	}
+	// Cancel every third event.
+	for i := 0; i < 20; i += 3 {
+		q.Cancel(events[i])
+	}
+	q.Run(0)
+	for _, v := range got {
+		if v%3 == 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if len(got) != 13 {
+		t.Fatalf("fired %d events, want 13", len(got))
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	q := New()
+	if q.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestScheduled(t *testing.T) {
+	q := New()
+	e := q.At(5, func() {})
+	if !e.Scheduled() {
+		t.Fatal("pending event not Scheduled")
+	}
+	q.Run(0)
+	if e.Scheduled() {
+		t.Fatal("fired event still Scheduled")
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	q := New()
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		q.After(1, reschedule)
+	}
+	q.After(1, reschedule)
+	n := q.Run(100)
+	if n != 100 || count != 100 {
+		t.Fatalf("Run(100) fired %d (count %d), want 100", n, count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	q := New()
+	var got []Time
+	for _, ti := range []Time{5, 10, 15, 20} {
+		ti := ti
+		q.At(ti, func() { got = append(got, ti) })
+	}
+	q.RunUntil(12)
+	if len(got) != 2 || q.Now() != 12 {
+		t.Fatalf("RunUntil(12): fired %v now %v, want [5 10] at 12", got, q.Now())
+	}
+	q.RunUntil(100)
+	if len(got) != 4 || q.Now() != 100 {
+		t.Fatalf("RunUntil(100): fired %v now %v", got, q.Now())
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	q := New()
+	q.RunUntil(500)
+	if q.Now() != 500 {
+		t.Fatalf("idle RunUntil left clock at %v, want 500", q.Now())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	q := New()
+	for i := 0; i < 5; i++ {
+		q.At(Time(i), func() {})
+	}
+	q.Run(0)
+	if q.Fired() != 5 {
+		t.Fatalf("Fired = %d, want 5", q.Fired())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	q := New()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 64 {
+			q.After(Duration(depth), recurse)
+		}
+	}
+	q.After(1, recurse)
+	q.Run(0)
+	if depth != 64 {
+		t.Fatalf("nested depth = %d, want 64", depth)
+	}
+}
+
+// Property: events always fire in non-decreasing time order, and every
+// non-cancelled event fires exactly once, for random schedules.
+func TestPropertyOrderedCompleteFiring(t *testing.T) {
+	prop := func(seed uint64, sizeRaw uint16) bool {
+		size := int(sizeRaw%300) + 1
+		r := rng.New(seed)
+		q := New()
+		firedAt := make([]Time, 0, size)
+		expected := 0
+		var events []*Event
+		for i := 0; i < size; i++ {
+			when := Time(r.Intn(1000))
+			events = append(events, q.At(when, func() {
+				firedAt = append(firedAt, q.Now())
+			}))
+		}
+		cancelled := make(map[int]bool)
+		for i := 0; i < size/4; i++ {
+			cancelled[r.Intn(size)] = true
+		}
+		for idx := range cancelled {
+			q.Cancel(events[idx])
+		}
+		expected = size - len(cancelled)
+		q.Run(0)
+		if len(firedAt) != expected {
+			return false
+		}
+		return sort.SliceIsSorted(firedAt, func(i, j int) bool { return firedAt[i] < firedAt[j] })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationOf(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want Duration
+	}{
+		{0, 0},
+		{-1, 0},
+		{1, Second},
+		{0.5, 500 * Millisecond},
+		{1e-9, Nanosecond},
+		{1e-6, Microsecond},
+	}
+	for _, c := range cases {
+		if got := DurationOf(c.sec); got != c.want {
+			t.Errorf("DurationOf(%v) = %v, want %v", c.sec, got, c.want)
+		}
+	}
+}
+
+func TestDurationOfRoundTrip(t *testing.T) {
+	prop := func(msRaw uint32) bool {
+		sec := float64(msRaw) / 1000.0
+		d := DurationOf(sec)
+		back := d.Seconds()
+		diff := back - sec
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeAddSaturates(t *testing.T) {
+	if Forever.Add(Second) != Forever {
+		t.Fatal("Forever.Add changed Forever")
+	}
+	almost := Time(int64(Forever) - 5)
+	if almost.Add(100) != Forever {
+		t.Fatal("overflowing Add did not saturate")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if s := (500 * Millisecond).String(); s == "" {
+		t.Fatal("empty duration string")
+	}
+	if s := Forever.String(); s != "∞" {
+		t.Fatalf("Forever.String() = %q", s)
+	}
+	if s := (2 * Second).String(); s != "2s" {
+		t.Fatalf("(2s).String() = %q", s)
+	}
+}
+
+func BenchmarkScheduleFire(b *testing.B) {
+	q := New()
+	for i := 0; i < b.N; i++ {
+		q.After(Duration(i%100), func() {})
+		q.Step()
+	}
+}
+
+func BenchmarkHeap1k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		q := New()
+		r := rng.New(uint64(i))
+		for j := 0; j < 1000; j++ {
+			q.At(Time(r.Intn(10000)), func() {})
+		}
+		q.Run(0)
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dpsim/internal/core"
+	"dpsim/internal/cpumodel"
+	"dpsim/internal/lu"
+	"dpsim/internal/netmodel"
+)
+
+// Ablations exercises the model knobs the paper's §4 singles out: network
+// contention, communication CPU overhead, processor sharing, and the
+// what-if studies a parametric model enables (faster network, lower
+// latency). All runs are predictions with analytic durations on the same
+// application configuration, so the deltas isolate each model term.
+func Ablations(s Setup) (*Table, error) {
+	s.fill()
+	cfg := lu.Config{N: s.N(), R: s.scale(324), Nodes: 8, Pipelined: true}
+
+	type knob struct {
+		label string
+		net   func(*netmodel.Params)
+		cpu   func(*cpumodel.Params)
+	}
+	knobs := []knob{
+		{label: "full model (baseline)"},
+		{label: "no network contention", net: func(p *netmodel.Params) { p.Contention = false }},
+		{label: "max-min fairness (vs equal share)", net: func(p *netmodel.Params) { p.MaxMin = true }},
+		{label: "no comm CPU overhead", cpu: func(p *cpumodel.Params) { p.CommOverhead = false }},
+		{label: "no processor sharing", cpu: func(p *cpumodel.Params) { p.Sharing = false }},
+		{label: "10x bandwidth (what-if)", net: func(p *netmodel.Params) { p.Bandwidth *= 10 }},
+		{label: "10x lower latency (what-if)", net: func(p *netmodel.Params) { p.Latency /= 10 }},
+	}
+
+	t := &Table{
+		Title:  fmt.Sprintf("Model ablations — LU %dx%d r=%d, pipelined, 8 nodes (predictions)", cfg.N, cfg.N, cfg.R),
+		Header: []string{"model", "predicted[s]", "vs baseline"},
+	}
+	var base float64
+	for i, k := range knobs {
+		np := simNetParams()
+		cp := simCPUParams()
+		if k.net != nil {
+			k.net(&np)
+		}
+		if k.cpu != nil {
+			k.cpu(&cp)
+		}
+		app, err := lu.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.New(core.Config{
+			Graph:           app.Graph,
+			Platform:        core.NewSimPlatform(8, np, cp),
+			NoAlloc:         true,
+			PerStepOverhead: perStepOverhead,
+			LocalLatency:    localLatency,
+			ControlBytes:    controlBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		app.Start(eng)
+		res, err := eng.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.label, err)
+		}
+		sec := res.Elapsed.Seconds()
+		if i == 0 {
+			base = sec
+			t.Add(k.label, f1(sec), "-")
+			continue
+		}
+		t.Add(k.label, f1(sec), pct(sec/base-1))
+	}
+	return t, nil
+}
+
+// WindowSweep predicts the pipelined LU's running time over a range of
+// flow-control windows: the tuning study behind the paper's FC variant
+// (§6: limiting the requests in circulation improves interleaving, but a
+// window that is too tight starves the multiplication threads).
+func WindowSweep(s Setup) (*Table, error) {
+	s.fill()
+	base := lu.Config{N: s.N(), R: s.scale(324), Nodes: 8, Pipelined: true}
+	t := &Table{
+		Title:  fmt.Sprintf("Flow-control window sweep — LU %dx%d r=%d, pipelined, 8 nodes", base.N, base.N, base.R),
+		Header: []string{"window", "predicted[s]", "vs unbounded"},
+	}
+	var unbounded float64
+	for _, w := range []int{0, 1, 2, 4, 8, 16, 32, 64} {
+		cfg := base
+		cfg.Window = w
+		app, err := lu.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.New(core.Config{
+			Graph:           app.Graph,
+			Platform:        core.NewSimPlatform(8, simNetParams(), simCPUParams()),
+			NoAlloc:         true,
+			PerStepOverhead: perStepOverhead,
+			LocalLatency:    localLatency,
+			ControlBytes:    controlBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		app.Start(eng)
+		res, err := eng.Run()
+		if err != nil {
+			return nil, fmt.Errorf("window %d: %w", w, err)
+		}
+		sec := res.Elapsed.Seconds()
+		label := fmt.Sprintf("%d", w)
+		if w == 0 {
+			label = "unbounded"
+			unbounded = sec
+			t.Add(label, f1(sec), "-")
+			continue
+		}
+		t.Add(label, f1(sec), pct(sec/unbounded-1))
+	}
+	return t, nil
+}

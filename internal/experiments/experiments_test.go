@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"dpsim/internal/lu"
+	"dpsim/internal/metrics"
+)
+
+// quick returns the fast test setup: one seed, half-scale problems.
+func quick() Setup { return Setup{Quick: true, Seeds: 1} }
+
+func TestMeasureAndPredictAgree(t *testing.T) {
+	cfg := lu.Config{N: 1296, R: 162, Nodes: 4, Pipelined: true}
+	run, err := MeasureAndPredict("t", cfg, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Measured) != 1 {
+		t.Fatalf("measured runs = %d", len(run.Measured))
+	}
+	m, p := run.MeasuredMean(), run.Predicted
+	if m <= 0 || p <= 0 {
+		t.Fatalf("times: measured %v predicted %v", m, p)
+	}
+	diff := (p - m) / m
+	if diff < -0.25 || diff > 0.25 {
+		t.Fatalf("prediction error %.1f%% implausibly large (measured %.1fs predicted %.1fs)",
+			diff*100, m, p)
+	}
+	if len(run.MeasuredIters) != 8 || len(run.PredictedIters) != 8 {
+		t.Fatalf("iterations: %d measured, %d predicted",
+			len(run.MeasuredIters), len(run.PredictedIters))
+	}
+}
+
+func TestMeasureRepetitionsDiffer(t *testing.T) {
+	cfg := lu.Config{N: 648, R: 162, Nodes: 4}
+	run, err := MeasureAndPredict("t", cfg, Setup{Quick: true, Seeds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Measured) != 3 {
+		t.Fatalf("measured = %v", run.Measured)
+	}
+	if run.Measured[0] == run.Measured[1] && run.Measured[1] == run.Measured[2] {
+		t.Fatal("noise seeds produced identical measured times")
+	}
+	// But the spread should be small (a few percent).
+	lo, hi := run.Measured[0], run.Measured[0]
+	for _, m := range run.Measured {
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	if (hi-lo)/lo > 0.15 {
+		t.Fatalf("measured spread too wide: %v", run.Measured)
+	}
+}
+
+func TestSamplesFromRun(t *testing.T) {
+	run := &LURun{Label: "x", Measured: []float64{10, 11}, Predicted: 10.5}
+	samples := run.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	if samples[0].Err() <= 0 || samples[1].Err() >= 0 {
+		t.Fatalf("sample errors: %v, %v; want over- then under-prediction",
+			samples[0].Err(), samples[1].Err())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "long-header"}}
+	tb.Add("1", "2")
+	tb.Notes = append(tb.Notes, "a note")
+	out := tb.Render()
+	for _, want := range []string{"== T ==", "long-header", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	tb, samples, err := Fig9(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("fig9 rows = %d, want 5 variants", len(tb.Rows))
+	}
+	if len(samples) == 0 {
+		t.Fatal("no error samples")
+	}
+	out := tb.Render()
+	for _, v := range []string{"PM", "P+FC", "P+PM+FC"} {
+		if !strings.Contains(out, v) {
+			t.Fatalf("fig9 missing variant %s:\n%s", v, out)
+		}
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	tb, samples, err := Fig11(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 8 {
+		t.Fatalf("fig11 rows = %d, want 8 iterations", len(tb.Rows))
+	}
+	if len(samples) != 3 {
+		t.Fatalf("fig11 samples = %d, want 3 configs × 1 seed", len(samples))
+	}
+	// Efficiency of the 8-thread config at iteration 1 must be below the
+	// 4-thread config (more nodes, lower efficiency; paper: 60.2% vs
+	// 37.6%).
+	hdr := tb.Header
+	if hdr[2] != "4 threads (meas)" {
+		t.Fatalf("unexpected header layout: %v", hdr)
+	}
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		if err != nil {
+			t.Fatalf("bad pct cell %q", cell)
+		}
+		return v
+	}
+	eff4 := parse(tb.Rows[0][2])
+	eff8 := parse(tb.Rows[0][4])
+	if eff8 >= eff4 {
+		t.Fatalf("iteration 1: 8-thread efficiency %.1f >= 4-thread %.1f", eff8, eff4)
+	}
+}
+
+func TestFig12Quick(t *testing.T) {
+	tb, samples, err := Fig12(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("fig12 rows = %d", len(tb.Rows))
+	}
+	if len(samples) != 5 {
+		t.Fatalf("fig12 samples = %d", len(samples))
+	}
+}
+
+func TestFig13Summary(t *testing.T) {
+	samples := []metrics.ErrorSample{
+		{Measured: 100, Predicted: 102},
+		{Measured: 100, Predicted: 98},
+		{Measured: 100, Predicted: 109},
+	}
+	tb, hist := Fig13(samples)
+	if len(tb.Rows) != 1 {
+		t.Fatal("fig13 rows")
+	}
+	if !strings.Contains(hist, "#") {
+		t.Fatalf("histogram empty:\n%s", hist)
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	tb, err := Ablations(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 7 {
+		t.Fatalf("ablations rows = %d, want 7", len(tb.Rows))
+	}
+	out := tb.Render()
+	for _, want := range []string{"baseline", "10x bandwidth", "max-min"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablations table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	tb, err := Table1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("table1 rows = %d", len(tb.Rows))
+	}
+	out := tb.Render()
+	for _, want := range []string{"Direct execution", "PDEXEC (sim)", "NOALLOC"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHostFlopsPositive(t *testing.T) {
+	f := HostFlopsPerSec()
+	if f < 1e6 {
+		t.Fatalf("host flops = %v", f)
+	}
+}
+
+func TestWindowSweepQuick(t *testing.T) {
+	tb, err := WindowSweep(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 8 {
+		t.Fatalf("window sweep rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "unbounded" {
+		t.Fatalf("first row = %v", tb.Rows[0])
+	}
+}

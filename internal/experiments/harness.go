@@ -1,0 +1,253 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7–8): Table 1 (simulation cost and portability), Figs. 8–10
+// (flow-graph variants and decomposition granularity), Fig. 11 (dynamic
+// efficiency), Fig. 12 (thread-removal strategies) and Fig. 13 (prediction
+// error histogram), plus the model ablations §4 motivates.
+//
+// Protocol: each configuration runs on the virtual cluster testbed
+// (internal/testbed) with several noise seeds — the "Measurement" series —
+// and once on the simulator platform (internal/core.SimPlatform) with
+// PDEXEC durations calibrated from the first measured run — the
+// "Prediction" series. This mirrors the paper, where the simulator
+// predicts a real cluster from benchmarked operation times and a small set
+// of platform parameters.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dpsim/internal/core"
+	"dpsim/internal/cpumodel"
+	"dpsim/internal/eventq"
+	"dpsim/internal/lu"
+	"dpsim/internal/metrics"
+	"dpsim/internal/netmodel"
+	"dpsim/internal/testbed"
+)
+
+// Setup selects problem scale and repetition count.
+type Setup struct {
+	// Quick halves the matrix and block sizes (same block counts, same
+	// graph shapes) so the whole suite runs in seconds. Used by tests and
+	// benchmarks; the cmd/paperrepro tool defaults to full scale.
+	Quick bool
+	// Seeds is the number of measured repetitions per configuration
+	// (default 3).
+	Seeds int
+	// BaseSeed decorrelates repetition sets.
+	BaseSeed uint64
+}
+
+func (s *Setup) fill() {
+	if s.Seeds <= 0 {
+		s.Seeds = 3
+	}
+	if s.BaseSeed == 0 {
+		s.BaseSeed = 0x5eed
+	}
+}
+
+// scale maps the paper's matrix/block sizes to the setup's scale.
+func (s Setup) scale(v int) int {
+	if s.Quick {
+		return v / 2
+	}
+	return v
+}
+
+// N returns the matrix size (paper: 2592).
+func (s Setup) N() int { return s.scale(2592) }
+
+// engine overheads shared by both platforms (the simulator directly
+// executes the same DPS runtime, so it knows these costs exactly).
+const (
+	perStepOverhead = 25 * eventq.Microsecond
+	localLatency    = 20 * eventq.Microsecond
+	controlBytes    = 64
+)
+
+// simNetParams returns the simulator's measured platform parameters for
+// the Fast Ethernet testbed: l from small-message ping-pong, b the link
+// bandwidth.
+func simNetParams() netmodel.Params {
+	return netmodel.Params{
+		Latency:    150 * eventq.Microsecond,
+		Bandwidth:  12.5e6,
+		Contention: true,
+	}
+}
+
+// simCPUParams returns the simulator's communication-overhead
+// characterization (measured once per platform, application-independent).
+func simCPUParams() cpumodel.Params {
+	p := cpumodel.Defaults()
+	p.RecvOverhead = 0.08
+	p.SendOverhead = 0.035
+	return p
+}
+
+// LURun is the outcome of measuring and predicting one LU configuration.
+type LURun struct {
+	Label     string
+	Cfg       lu.Config
+	Measured  []float64 // testbed elapsed seconds, one per seed
+	Predicted float64   // simulator elapsed seconds
+	// Per-iteration statistics of the first measured run and of the
+	// prediction (dynamic efficiency, Fig. 11).
+	MeasuredIters  []metrics.IterationStat
+	PredictedIters []metrics.IterationStat
+}
+
+// MeasuredMean returns the mean measured time.
+func (r *LURun) MeasuredMean() float64 { return metrics.Mean(r.Measured) }
+
+// Samples converts the run into prediction-error samples (one per seed).
+func (r *LURun) Samples() []metrics.ErrorSample {
+	out := make([]metrics.ErrorSample, 0, len(r.Measured))
+	for i, m := range r.Measured {
+		out = append(out, metrics.ErrorSample{
+			Label:     fmt.Sprintf("%s/seed%d", r.Label, i),
+			Measured:  m,
+			Predicted: r.Predicted,
+		})
+	}
+	return out
+}
+
+// nodesFor returns the platform size needed by a config.
+func nodesFor(cfg lu.Config) int {
+	n := cfg.Nodes
+	if cfg.MultNodes > n {
+		n = cfg.MultNodes
+	}
+	return n
+}
+
+// MeasureAndPredict runs one configuration on the testbed (Setup.Seeds
+// times) and once on the simulator with durations calibrated from the
+// first measured run.
+func MeasureAndPredict(label string, cfg lu.Config, s Setup) (*LURun, error) {
+	s.fill()
+	run := &LURun{Label: label, Cfg: cfg}
+	var table map[string]eventq.Duration
+
+	for i := 0; i < s.Seeds; i++ {
+		app, err := lu.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		run.Cfg = app.Cfg // filled defaults (cost model, thread counts)
+		cl := testbed.New(testbed.FastEthernetCluster(nodesFor(cfg), s.BaseSeed+uint64(i)*7919))
+		eng, err := core.New(core.Config{
+			Graph:           app.Graph,
+			Platform:        cl,
+			Durations:       cl.DurationSource(),
+			NoAlloc:         true,
+			PerStepOverhead: perStepOverhead,
+			LocalLatency:    localLatency,
+			ControlBytes:    controlBytes,
+			RecordDurations: i == 0,
+		})
+		if err != nil {
+			return nil, err
+		}
+		app.Start(eng)
+		res, err := eng.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s (measured, seed %d): %w", label, i, err)
+		}
+		run.Measured = append(run.Measured, res.Elapsed.Seconds())
+		if i == 0 {
+			table = eng.DurationTable()
+			filled := app.Cfg
+			run.MeasuredIters = metrics.Iterations(eng.Phases(), eng.Allocations(), res.Elapsed,
+				func(k int) eventq.Duration { return lu.SerialWork(filled.Costs, filled.N, filled.R, k) })
+		}
+	}
+
+	app, err := lu.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.New(core.Config{
+		Graph:           app.Graph,
+		Platform:        core.NewSimPlatform(nodesFor(cfg), simNetParams(), simCPUParams()),
+		Durations:       core.TableSource{Table: table},
+		NoAlloc:         true,
+		PerStepOverhead: perStepOverhead,
+		LocalLatency:    localLatency,
+		ControlBytes:    controlBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	app.Start(eng)
+	res, err := eng.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s (predicted): %w", label, err)
+	}
+	run.Predicted = res.Elapsed.Seconds()
+	filled := app.Cfg
+	run.PredictedIters = metrics.Iterations(eng.Phases(), eng.Allocations(), res.Elapsed,
+		func(k int) eventq.Duration { return lu.SerialWork(filled.Costs, filled.N, filled.R, k) })
+	return run, nil
+}
+
+// --- text tables ---
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render draws the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

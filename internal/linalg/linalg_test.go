@@ -1,0 +1,407 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dpsim/internal/rng"
+)
+
+func TestMatBasics(t *testing.T) {
+	m := NewMat(3, 4)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatal("Set/At failed")
+	}
+	v := m.View(1, 1, 2, 3)
+	if v.At(0, 1) != 5 {
+		t.Fatal("view does not share storage")
+	}
+	v.Set(0, 1, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("view write did not propagate")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewMatFrom(2, 2, []float64{1, 2, 3, 4})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestCloneOfView(t *testing.T) {
+	m := NewMatFrom(3, 3, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	v := m.View(1, 1, 2, 2).Clone()
+	want := NewMatFrom(2, 2, []float64{5, 6, 8, 9})
+	if !v.Equalish(want, 0) {
+		t.Fatalf("view clone = %+v", v)
+	}
+	if v.Stride != 2 {
+		t.Fatalf("clone stride = %d, want compact 2", v.Stride)
+	}
+}
+
+func TestViewBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range view did not panic")
+		}
+	}()
+	NewMat(2, 2).View(1, 1, 2, 2)
+}
+
+func TestSwapRows(t *testing.T) {
+	m := NewMatFrom(2, 2, []float64{1, 2, 3, 4})
+	m.SwapRows(0, 1)
+	want := NewMatFrom(2, 2, []float64{3, 4, 1, 2})
+	if !m.Equalish(want, 0) {
+		t.Fatalf("SwapRows got %+v", m)
+	}
+	m.SwapRows(1, 1) // no-op
+	if !m.Equalish(want, 0) {
+		t.Fatal("self swap changed matrix")
+	}
+}
+
+func TestGemmSmall(t *testing.T) {
+	a := NewMatFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewMatFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := Mul(a, b)
+	want := NewMatFrom(2, 2, []float64{58, 64, 139, 154})
+	if !c.Equalish(want, 1e-12) {
+		t.Fatalf("Mul got %+v", c)
+	}
+}
+
+func TestGemmAlphaBeta(t *testing.T) {
+	a := NewMatFrom(1, 1, []float64{2})
+	b := NewMatFrom(1, 1, []float64{3})
+	c := NewMatFrom(1, 1, []float64{10})
+	Gemm(2, a, b, 0.5, c) // 2*6 + 5 = 17
+	if c.At(0, 0) != 17 {
+		t.Fatalf("Gemm alpha/beta got %v", c.At(0, 0))
+	}
+}
+
+func TestGemmAgainstNaive(t *testing.T) {
+	src := rng.New(101)
+	for trial := 0; trial < 10; trial++ {
+		m, k, n := src.Intn(12)+1, src.Intn(12)+1, src.Intn(12)+1
+		a, b := Random(m, k, src), Random(k, n, src)
+		got := Mul(a, b)
+		want := NewMat(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for p := 0; p < k; p++ {
+					s += a.At(i, p) * b.At(p, j)
+				}
+				want.Set(i, j, s)
+			}
+		}
+		if !got.Equalish(want, 1e-10) {
+			t.Fatalf("trial %d: gemm mismatch, max diff %g", trial, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestMulSub(t *testing.T) {
+	a := NewMatFrom(1, 1, []float64{2})
+	b := NewMatFrom(1, 1, []float64{3})
+	c := NewMatFrom(1, 1, []float64{10})
+	MulSub(a, b, c)
+	if c.At(0, 0) != 4 {
+		t.Fatalf("MulSub got %v, want 4", c.At(0, 0))
+	}
+}
+
+func TestGemmShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	Gemm(1, NewMat(2, 3), NewMat(2, 3), 0, NewMat(2, 3))
+}
+
+func TestTrsmSolvesSystem(t *testing.T) {
+	src := rng.New(7)
+	n, cols := 8, 5
+	l := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		l.Set(i, i, 1)
+		for j := 0; j < i; j++ {
+			l.Set(i, j, src.Uniform(-1, 1))
+		}
+	}
+	x := Random(n, cols, src)
+	b := Mul(l, x)
+	TrsmLowerUnit(l, b) // b := L⁻¹·(L·x) = x
+	if !b.Equalish(x, 1e-9) {
+		t.Fatalf("trsm failed, max diff %g", b.MaxAbsDiff(x))
+	}
+}
+
+func TestLUIdentity(t *testing.T) {
+	n := 5
+	a := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	piv, err := LU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, p := range piv {
+		if p != j {
+			t.Fatalf("identity LU pivoted: piv[%d]=%d", j, p)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMat(3, 3) // all zeros
+	_, err := LU(a)
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUKnown2x2(t *testing.T) {
+	// A = [[0, 1], [2, 3]]: requires a pivot swap.
+	a := NewMatFrom(2, 2, []float64{0, 1, 2, 3})
+	orig := a.Clone()
+	piv, err := LU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if piv[0] != 1 {
+		t.Fatalf("expected pivot swap at col 0, got piv=%v", piv)
+	}
+	back := ReconstructLU(a, piv)
+	if !back.Equalish(orig, 1e-12) {
+		t.Fatalf("reconstruction mismatch: %+v", back)
+	}
+}
+
+// Property: P·A = L·U for random well-conditioned matrices (unblocked).
+func TestPropertyLUReconstruction(t *testing.T) {
+	prop := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%24) + 1
+		src := rng.New(seed)
+		a := RandomSPDish(n, src)
+		orig := a.Clone()
+		piv, err := LU(a)
+		if err != nil {
+			return false
+		}
+		back := ReconstructLU(a, piv)
+		return back.Equalish(orig, 1e-8*float64(n))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: blocked LU produces exactly the same packed factors and pivots
+// as unblocked LU for any divisor block size.
+func TestPropertyBlockedMatchesUnblocked(t *testing.T) {
+	prop := func(seed uint64, nBlocksRaw, rRaw uint8) bool {
+		r := int(rRaw%6) + 1
+		nBlocks := int(nBlocksRaw%5) + 1
+		n := r * nBlocks
+		src := rng.New(seed)
+		a := RandomSPDish(n, src)
+		ref := a.Clone()
+		blk := a.Clone()
+		pivRef, err1 := LU(ref)
+		pivBlk, err2 := BlockedLU(blk, r)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range pivRef {
+			if pivRef[i] != pivBlk[i] {
+				return false
+			}
+		}
+		return blk.Equalish(ref, 1e-9*float64(n))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockedLUReconstruction(t *testing.T) {
+	src := rng.New(55)
+	for _, cfg := range []struct{ n, r int }{{8, 2}, {12, 3}, {16, 4}, {18, 6}, {24, 24}} {
+		a := RandomSPDish(cfg.n, src)
+		orig := a.Clone()
+		piv, err := BlockedLU(a, cfg.r)
+		if err != nil {
+			t.Fatalf("n=%d r=%d: %v", cfg.n, cfg.r, err)
+		}
+		back := ReconstructLU(a, piv)
+		if !back.Equalish(orig, 1e-8*float64(cfg.n)) {
+			t.Fatalf("n=%d r=%d reconstruction off by %g", cfg.n, cfg.r, back.MaxAbsDiff(orig))
+		}
+	}
+}
+
+func TestBlockedLUBadBlockSize(t *testing.T) {
+	a := RandomSPDish(10, rng.New(1))
+	if _, err := BlockedLU(a, 3); err == nil {
+		t.Fatal("non-divisor block size accepted")
+	}
+	if _, err := BlockedLU(a, 0); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+}
+
+func TestApplyPivots(t *testing.T) {
+	m := NewMatFrom(3, 1, []float64{1, 2, 3})
+	// Step 0 swaps rows 0,2; step 1 swaps nothing; step 2 nothing.
+	m.ApplyPivots([]int{2, 1, 2})
+	want := NewMatFrom(3, 1, []float64{3, 2, 1})
+	if !m.Equalish(want, 0) {
+		t.Fatalf("ApplyPivots got %+v", m)
+	}
+}
+
+func TestFlopCounts(t *testing.T) {
+	if got := GemmFlops(2, 3, 4); got != 48 {
+		t.Fatalf("GemmFlops = %v, want 48", got)
+	}
+	if got := TrsmFlops(3, 2); got != 12 {
+		t.Fatalf("TrsmFlops = %v, want 12", got)
+	}
+	// Square panel of size n should cost about 2n³/3 for large n.
+	n := 300
+	got := PanelLUFlops(n, n)
+	want := 2.0 / 3.0 * float64(n) * float64(n) * float64(n)
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("PanelLUFlops(%d,%d) = %g, want ≈ %g", n, n, got, want)
+	}
+	if RowFlipBytes(2, 10) != 640 {
+		t.Fatalf("RowFlipBytes = %v", RowFlipBytes(2, 10))
+	}
+}
+
+func TestTotalLUFlopsMatchSum(t *testing.T) {
+	// The sum of per-block kernel flops must approximate 2n³/3: this is
+	// what lets the testbed calibrate node speed from the serial time.
+	n, r := 216, 27
+	var total float64
+	for k := 0; k < n; k += r {
+		m := n - k
+		total += PanelLUFlops(m, r)
+		if k+r < n {
+			total += TrsmFlops(r, n-k-r)
+			total += GemmFlops(m-r, r, n-k-r)
+		}
+	}
+	want := 2.0 / 3.0 * float64(n) * float64(n) * float64(n)
+	if math.Abs(total-want)/want > 0.05 {
+		t.Fatalf("sum of block flops %g deviates from 2n³/3 = %g", total, want)
+	}
+}
+
+func BenchmarkGemm64(b *testing.B) {
+	src := rng.New(1)
+	x := Random(64, 64, src)
+	y := Random(64, 64, src)
+	c := NewMat(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(1, x, y, 0, c)
+	}
+}
+
+func BenchmarkBlockedLU216(b *testing.B) {
+	src := rng.New(2)
+	orig := RandomSPDish(216, src)
+	for i := 0; i < b.N; i++ {
+		a := orig.Clone()
+		if _, err := BlockedLU(a, 27); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSolveLUKnownSystem(t *testing.T) {
+	// A = [[2,1],[1,3]], b = [5,10] → x = [1,3].
+	a := NewMatFrom(2, 2, []float64{2, 1, 1, 3})
+	piv, err := LU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := SolveLU(a, piv, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLUProperty(t *testing.T) {
+	// Property: for random well-conditioned A and x, factoring A and
+	// solving A·x' = A·x recovers x.
+	prop := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		src := rng.New(seed)
+		a := RandomSPDish(n, src)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = src.Uniform(-2, 2)
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += a.At(i, j) * x[j]
+			}
+		}
+		piv, err := BlockedLU(a, divisorOf(n))
+		if err != nil {
+			return false
+		}
+		got, err := SolveLU(a, piv, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-7*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// divisorOf returns a divisor of n to use as block size.
+func divisorOf(n int) int {
+	for _, d := range []int{4, 3, 2} {
+		if n%d == 0 {
+			return d
+		}
+	}
+	return 1
+}
+
+func TestSolveLUErrors(t *testing.T) {
+	a := NewMat(2, 3)
+	if _, err := SolveLU(a, nil, []float64{1, 2}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	sq := NewMat(2, 2) // zero diagonal
+	if _, err := SolveLU(sq, []int{0, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("singular U accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Package linalg provides the dense linear-algebra kernels used by the
+// paper's test application (§5): blocked LU factorization with partial
+// pivoting, triangular solves (the BLAS trsm operation), matrix
+// multiplication, and row flipping. It also exposes exact floating-point
+// operation counts for every kernel; the virtual cluster testbed and the
+// partial-direct-execution cost model both derive durations from these
+// counts.
+//
+// Matrices are dense, row-major float64 with an explicit stride, so
+// sub-blocks are zero-copy views — exactly how the application carves
+// column blocks and r×r tiles out of the full matrix.
+package linalg
+
+import (
+	"fmt"
+
+	"dpsim/internal/rng"
+)
+
+// Mat is a dense row-major matrix view. Element (i, j) lives at
+// A[i*Stride+j]. Views created by View share storage with their parent.
+type Mat struct {
+	R, C   int
+	Stride int
+	A      []float64
+}
+
+// NewMat allocates a zeroed r×c matrix.
+func NewMat(r, c int) *Mat {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", r, c))
+	}
+	return &Mat{R: r, C: c, Stride: c, A: make([]float64, r*c)}
+}
+
+// NewMatFrom builds an r×c matrix from row-major data (copied).
+func NewMatFrom(r, c int, data []float64) *Mat {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("linalg: data length %d != %d*%d", len(data), r, c))
+	}
+	m := NewMat(r, c)
+	copy(m.A, data)
+	return m
+}
+
+// Random returns an r×c matrix with entries uniform in [-1, 1), using the
+// deterministic source. Diagonal dominance can be added by the caller when
+// a well-conditioned matrix is required.
+func Random(r, c int, src *rng.Source) *Mat {
+	m := NewMat(r, c)
+	for i := range m.A {
+		m.A[i] = src.Uniform(-1, 1)
+	}
+	return m
+}
+
+// RandomSPDish returns an n×n matrix that is comfortably non-singular for
+// LU with partial pivoting: random entries plus n on the diagonal.
+func RandomSPDish(n int, src *rng.Source) *Mat {
+	m := Random(n, n, src)
+	for i := 0; i < n; i++ {
+		m.A[i*m.Stride+i] += float64(n)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.A[i*m.Stride+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.A[i*m.Stride+j] = v }
+
+// View returns the rxc sub-matrix starting at (i0, j0), sharing storage.
+func (m *Mat) View(i0, j0, r, c int) *Mat {
+	if i0 < 0 || j0 < 0 || i0+r > m.R || j0+c > m.C {
+		panic(fmt.Sprintf("linalg: view (%d,%d,%d,%d) out of %dx%d", i0, j0, r, c, m.R, m.C))
+	}
+	return &Mat{R: r, C: c, Stride: m.Stride, A: m.A[i0*m.Stride+j0:]}
+}
+
+// Clone returns a compact deep copy.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.R, m.C)
+	for i := 0; i < m.R; i++ {
+		copy(out.A[i*out.Stride:i*out.Stride+m.C], m.A[i*m.Stride:i*m.Stride+m.C])
+	}
+	return out
+}
+
+// CopyFrom copies src (same shape) into m.
+func (m *Mat) CopyFrom(src *Mat) {
+	if m.R != src.R || m.C != src.C {
+		panic(fmt.Sprintf("linalg: copy shape mismatch %dx%d <- %dx%d", m.R, m.C, src.R, src.C))
+	}
+	for i := 0; i < m.R; i++ {
+		copy(m.A[i*m.Stride:i*m.Stride+m.C], src.A[i*src.Stride:i*src.Stride+src.C])
+	}
+}
+
+// Equalish reports whether m and b agree element-wise within tol.
+func (m *Mat) Equalish(b *Mat, tol float64) bool {
+	if m.R != b.R || m.C != b.C {
+		return false
+	}
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			d := m.At(i, j) - b.At(i, j)
+			if d < -tol || d > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference.
+func (m *Mat) MaxAbsDiff(b *Mat) float64 {
+	var worst float64
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			d := m.At(i, j) - b.At(i, j)
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// SwapRows exchanges rows i and k in place.
+func (m *Mat) SwapRows(i, k int) {
+	if i == k {
+		return
+	}
+	ri := m.A[i*m.Stride : i*m.Stride+m.C]
+	rk := m.A[k*m.Stride : k*m.Stride+m.C]
+	for j := 0; j < m.C; j++ {
+		ri[j], rk[j] = rk[j], ri[j]
+	}
+}
+
+// ApplyPivots applies the row exchanges recorded by LU factorization:
+// piv[j] is the row swapped with row j at elimination step j (LAPACK ipiv
+// convention, 0-based). This is the paper's "row flipping" applied to a
+// column block.
+func (m *Mat) ApplyPivots(piv []int) {
+	for j, p := range piv {
+		if p != j {
+			m.SwapRows(j, p)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package lu
+
+import (
+	"fmt"
+
+	"dpsim/internal/linalg"
+	"dpsim/internal/serial"
+	"dpsim/internal/transport"
+)
+
+// This file provides the receive-side deserialization of the LU data
+// objects, used by the real (TCP) runtime. The simulated platforms never
+// decode: their network only needs sizes.
+
+func decodeHeader(r *serial.Reader, wantTag uint8) (iter, a, b int, err error) {
+	tag := r.U8()
+	iter = int(r.U32())
+	a = int(r.U32())
+	b = int(r.U32())
+	if r.Err() != nil {
+		return 0, 0, 0, r.Err()
+	}
+	if tag != wantTag {
+		return 0, 0, 0, fmt.Errorf("lu: wire tag %d, want %d", tag, wantTag)
+	}
+	return iter, a, b, nil
+}
+
+func decodeMat(r *serial.Reader) (*linalg.Mat, error) {
+	rows := int(r.U32())
+	cols := int(r.U32())
+	data := r.F64s()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("lu: matrix payload %d != %dx%d", len(data), rows, cols)
+	}
+	return &linalg.Mat{R: rows, C: cols, Stride: cols, A: data}, nil
+}
+
+func decodePiv(r *serial.Reader) ([]int, error) {
+	n := int(r.U32())
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = int(r.I64())
+	}
+	return piv, r.Err()
+}
+
+// UnmarshalDPS implements transport.Decodable.
+func (o *Seed) UnmarshalDPS(r *serial.Reader) error {
+	if v := r.U32(); v != 0xB10C {
+		return fmt.Errorf("lu: bad seed magic %x", v)
+	}
+	return r.Err()
+}
+
+// UnmarshalDPS implements transport.Decodable.
+func (o *TrsmReq) UnmarshalDPS(r *serial.Reader) error {
+	var err error
+	if o.Iter, o.Block, _, err = decodeHeader(r, 1); err != nil {
+		return err
+	}
+	if o.L11, err = decodeMat(r); err != nil {
+		return err
+	}
+	o.R = o.L11.R
+	o.Piv, err = decodePiv(r)
+	return err
+}
+
+// UnmarshalDPS implements transport.Decodable.
+func (o *TrsmDone) UnmarshalDPS(r *serial.Reader) error {
+	var err error
+	if o.Iter, o.Block, _, err = decodeHeader(r, 2); err != nil {
+		return err
+	}
+	if o.T12, err = decodeMat(r); err != nil {
+		return err
+	}
+	o.R = o.T12.R
+	return nil
+}
+
+// UnmarshalDPS implements transport.Decodable.
+func (o *MultReq) UnmarshalDPS(r *serial.Reader) error {
+	var err error
+	if o.Iter, o.Tile, o.Block, err = decodeHeader(r, 3); err != nil {
+		return err
+	}
+	if o.L21, err = decodeMat(r); err != nil {
+		return err
+	}
+	if o.T12, err = decodeMat(r); err != nil {
+		return err
+	}
+	o.R = o.L21.R
+	return nil
+}
+
+// UnmarshalDPS implements transport.Decodable.
+func (o *MultRes) UnmarshalDPS(r *serial.Reader) error {
+	var err error
+	if o.Iter, o.Tile, o.Block, err = decodeHeader(r, 4); err != nil {
+		return err
+	}
+	if o.Prod, err = decodeMat(r); err != nil {
+		return err
+	}
+	o.R = o.Prod.R
+	return nil
+}
+
+// UnmarshalDPS implements transport.Decodable.
+func (o *TileDone) UnmarshalDPS(r *serial.Reader) error {
+	var err error
+	o.Iter, o.Tile, o.Block, err = decodeHeader(r, 5)
+	return err
+}
+
+// UnmarshalDPS implements transport.Decodable.
+func (o *FlipReq) UnmarshalDPS(r *serial.Reader) error {
+	var err error
+	if o.Iter, o.Block, _, err = decodeHeader(r, 6); err != nil {
+		return err
+	}
+	o.Piv, err = decodePiv(r)
+	o.R = len(o.Piv)
+	return err
+}
+
+// UnmarshalDPS implements transport.Decodable.
+func (o *FlipDone) UnmarshalDPS(r *serial.Reader) error {
+	var err error
+	o.Iter, o.Block, _, err = decodeHeader(r, 7)
+	return err
+}
+
+// UnmarshalDPS implements transport.Decodable.
+func (o *PMReq) UnmarshalDPS(r *serial.Reader) error {
+	var err error
+	if o.Iter, o.Tile, o.Block, err = decodeHeader(r, 8); err != nil {
+		return err
+	}
+	o.Row = int(r.U32())
+	o.Col = int(r.U32())
+	if o.ARow, err = decodeMat(r); err != nil {
+		return err
+	}
+	if o.BCol, err = decodeMat(r); err != nil {
+		return err
+	}
+	o.S = o.ARow.R
+	o.R = o.ARow.C
+	return nil
+}
+
+// UnmarshalDPS implements transport.Decodable.
+func (o *PMRes) UnmarshalDPS(r *serial.Reader) error {
+	var err error
+	if o.Iter, o.Tile, o.Block, err = decodeHeader(r, 9); err != nil {
+		return err
+	}
+	o.Row = int(r.U32())
+	o.Col = int(r.U32())
+	if o.Prod, err = decodeMat(r); err != nil {
+		return err
+	}
+	o.S = o.Prod.R
+	return nil
+}
+
+// RegisterCodec registers every LU data object with a transport codec so
+// the factorization can run on the real TCP runtime.
+func RegisterCodec(c *transport.Codec) {
+	c.Register(1, func() transport.Decodable { return &Seed{} })
+	c.Register(2, func() transport.Decodable { return &TrsmReq{} })
+	c.Register(3, func() transport.Decodable { return &TrsmDone{} })
+	c.Register(4, func() transport.Decodable { return &MultReq{} })
+	c.Register(5, func() transport.Decodable { return &MultRes{} })
+	c.Register(6, func() transport.Decodable { return &TileDone{} })
+	c.Register(7, func() transport.Decodable { return &FlipDone{} })
+	c.Register(8, func() transport.Decodable { return &FlipReq{} })
+	c.Register(9, func() transport.Decodable { return &PMReq{} })
+	c.Register(10, func() transport.Decodable { return &PMRes{} })
+}

@@ -1,0 +1,144 @@
+package lu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dpsim/internal/linalg"
+	"dpsim/internal/rng"
+	"dpsim/internal/serial"
+	"dpsim/internal/transport"
+)
+
+// roundTrip encodes obj through the codec and decodes it back.
+func roundTrip(t *testing.T, c *transport.Codec, obj transport.Decodable) transport.Decodable {
+	t.Helper()
+	body, err := c.Encode(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func luCodec() *transport.Codec {
+	c := transport.NewCodec()
+	RegisterCodec(c)
+	return c
+}
+
+func randMat(r, cols int, src *rng.Source) *linalg.Mat {
+	return linalg.Random(r, cols, src)
+}
+
+func TestTrsmReqRoundTrip(t *testing.T) {
+	src := rng.New(1)
+	c := luCodec()
+	in := &TrsmReq{Iter: 3, Block: 7, R: 5, L11: randMat(5, 5, src), Piv: []int{1, 0, 2, 4, 3}}
+	out := roundTrip(t, c, in).(*TrsmReq)
+	if out.Iter != 3 || out.Block != 7 || out.R != 5 {
+		t.Fatalf("header: %+v", out)
+	}
+	if !out.L11.Equalish(in.L11, 0) {
+		t.Fatal("L11 mismatch")
+	}
+	for i := range in.Piv {
+		if out.Piv[i] != in.Piv[i] {
+			t.Fatalf("piv mismatch at %d", i)
+		}
+	}
+}
+
+func TestAllObjectsRoundTripProperty(t *testing.T) {
+	c := luCodec()
+	prop := func(seed uint64, iterRaw, blockRaw uint8, rRaw uint8) bool {
+		src := rng.New(seed)
+		iter, block := int(iterRaw%16), int(blockRaw%16)
+		r := int(rRaw%6)*2 + 2 // even, 2..12
+		s := r / 2
+		objs := []transport.Decodable{
+			&Seed{},
+			&TrsmReq{Iter: iter, Block: block, R: r, L11: randMat(r, r, src), Piv: src.Perm(r)},
+			&TrsmDone{Iter: iter, Block: block, R: r, T12: randMat(r, r, src)},
+			&MultReq{Iter: iter, Tile: 1, Block: block, R: r, L21: randMat(r, r, src), T12: randMat(r, r, src)},
+			&MultRes{Iter: iter, Tile: 2, Block: block, R: r, Prod: randMat(r, r, src)},
+			&TileDone{Iter: iter, Tile: 3, Block: block},
+			&FlipReq{Iter: iter, Block: block, R: r, Piv: src.Perm(r)},
+			&FlipDone{Iter: iter, Block: block},
+			&PMReq{Iter: iter, Tile: 1, Block: block, Row: 0, Col: 1, S: s, R: r,
+				ARow: randMat(s, r, src), BCol: randMat(r, s, src)},
+			&PMRes{Iter: iter, Tile: 1, Block: block, Row: 1, Col: 0, S: s, Prod: randMat(s, s, src)},
+		}
+		for _, in := range objs {
+			body, err := c.Encode(in)
+			if err != nil {
+				return false
+			}
+			out, err := c.Decode(body)
+			if err != nil {
+				return false
+			}
+			// Wire size must be identical when re-encoding the decoded
+			// object (a canonical-form check).
+			again, err := c.Encode(out)
+			if err != nil || len(again) != len(body) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeCorruptFails(t *testing.T) {
+	c := luCodec()
+	body, err := c.Encode(&MultReq{R: 4, L21: linalg.NewMat(4, 4), T12: linalg.NewMat(4, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-payload.
+	if _, err := c.Decode(body[:len(body)/2]); err == nil {
+		t.Fatal("truncated MultReq accepted")
+	}
+	// Wrong tag for the payload shape.
+	r := serial.NewReader(body)
+	_ = r
+	bad := append([]byte(nil), body...)
+	bad[0] = 6 // FlipDone tag with MultReq payload: header tag mismatch
+	if _, err := c.Decode(bad); err == nil {
+		t.Fatal("tag/payload mismatch accepted")
+	}
+}
+
+func TestBadSeedMagic(t *testing.T) {
+	c := luCodec()
+	b := serial.NewBuffer(8)
+	b.U32(1) // Seed codec tag
+	b.U32(0xBAD)
+	if _, err := c.Decode(b.BytesOut()); err == nil {
+		t.Fatal("bad seed magic accepted")
+	}
+}
+
+func TestMatrixPayloadShapeMismatch(t *testing.T) {
+	// A matrix payload whose data length disagrees with its dimensions
+	// must be rejected.
+	b := serial.NewBuffer(64)
+	b.U32(3) // TrsmDone codec tag
+	b.U8(2)  // wire tag
+	b.U32(0)
+	b.U32(0)
+	b.U32(0)
+	b.U32(5)                   // rows=5
+	b.U32(5)                   // cols=5
+	b.F64s([]float64{1, 2}, 0) // but only 2 values
+	c := luCodec()
+	if _, err := c.Decode(b.BytesOut()); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}

@@ -1,0 +1,223 @@
+// Package lu implements the paper's test application (§5–6): a parallel
+// block LU factorization with partial pivoting expressed as a DPS flow
+// graph, in every variant the paper evaluates:
+//
+//   - the basic flow graph (merge–split barriers between iterations),
+//   - the pipelined flow graph P (stream operations (c) and (f)),
+//   - flow control FC (a credit window on the multiplication requests),
+//   - parallel sub-block multiplication PM (the Fig. 7 sub-graph), and
+//   - dynamic removal of multiplication threads at iteration boundaries
+//     (the node deallocation experiments of §8).
+//
+// The same application code runs on the virtual cluster testbed
+// ("Measurement"), on the simulator platform ("Prediction"), in direct
+// execution (real kernels, wall-clock timing), in PDEXEC (modeled
+// durations) and in PDEXEC NOALLOC (no payload allocation), reproducing
+// the whole §7–8 methodology.
+package lu
+
+import (
+	"dpsim/internal/linalg"
+	"dpsim/internal/serial"
+)
+
+// Seed bootstraps the factorization: its arrival at the init split starts
+// iteration 0.
+type Seed struct{}
+
+// MarshalDPS implements dps.DataObject.
+func (Seed) MarshalDPS(w serial.Writer) { w.U32(0xB10C) }
+
+// header writes the common envelope fields of LU data objects: object tag,
+// iteration and block/tile coordinates.
+func header(w serial.Writer, tag uint8, iter, a, b int) {
+	w.U8(tag)
+	w.U32(uint32(iter))
+	w.U32(uint32(a))
+	w.U32(uint32(b))
+}
+
+// matPayload encodes an r×c matrix payload. A nil matrix (NOALLOC mode)
+// still declares its logical size so the counting serializer reports the
+// true wire footprint.
+func matPayload(w serial.Writer, m *linalg.Mat, rows, cols int) {
+	w.U32(uint32(rows))
+	w.U32(uint32(cols))
+	if m == nil {
+		w.F64s(nil, rows*cols)
+		return
+	}
+	if m.Stride == m.C {
+		w.F64s(m.A[:rows*cols], rows*cols)
+		return
+	}
+	// Non-compact view: serialize row by row (counted identically).
+	w.U64(uint64(rows * cols))
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			w.F64(m.At(i, j))
+		}
+	}
+}
+
+// pivPayload encodes a pivot vector of logical length n (nil in NOALLOC).
+func pivPayload(w serial.Writer, piv []int, n int) {
+	w.U32(uint32(n))
+	if piv == nil {
+		w.Skip(8 * n)
+		return
+	}
+	for _, p := range piv {
+		w.I64(int64(p))
+	}
+}
+
+// TrsmReq is operation (b)'s input: iteration k's L11 block and pivot
+// vector, sent to the owner of column block j to solve the triangular
+// system and perform row flipping (paper step 2).
+type TrsmReq struct {
+	Iter  int
+	Block int
+	R     int
+	// L11 is the packed r×r LU block (unit-lower L + upper U11); nil in
+	// NOALLOC mode.
+	L11 *linalg.Mat
+	// Piv holds the panel pivots (panel-local indices); nil in NOALLOC.
+	Piv []int
+}
+
+// MarshalDPS implements dps.DataObject.
+func (o *TrsmReq) MarshalDPS(w serial.Writer) {
+	header(w, 1, o.Iter, o.Block, 0)
+	matPayload(w, o.L11, o.R, o.R)
+	pivPayload(w, o.Piv, o.R)
+}
+
+// TrsmDone carries the computed T12 block of column block j back to the
+// stream operation (c) that assembles multiplication requests.
+type TrsmDone struct {
+	Iter  int
+	Block int
+	R     int
+	T12   *linalg.Mat // r×r; nil in NOALLOC
+}
+
+// MarshalDPS implements dps.DataObject.
+func (o *TrsmDone) MarshalDPS(w serial.Writer) {
+	header(w, 2, o.Iter, o.Block, 0)
+	matPayload(w, o.T12, o.R, o.R)
+}
+
+// MultReq is operation (d)'s input: "two matrix blocks of size r x r"
+// (paper §5) — the tile of L21 and the T12 of the destination block.
+type MultReq struct {
+	Iter  int
+	Tile  int // row-tile index within L21 (0-based below the panel)
+	Block int // destination column block
+	R     int
+	L21   *linalg.Mat // r×r; nil in NOALLOC
+	T12   *linalg.Mat // r×r; nil in NOALLOC
+}
+
+// MarshalDPS implements dps.DataObject.
+func (o *MultReq) MarshalDPS(w serial.Writer) {
+	header(w, 3, o.Iter, o.Tile, o.Block)
+	matPayload(w, o.L21, o.R, o.R)
+	matPayload(w, o.T12, o.R, o.R)
+}
+
+// MultRes is one multiplied r×r tile, routed to the owner of the
+// destination block for subtraction (operation (e)).
+type MultRes struct {
+	Iter  int
+	Tile  int
+	Block int
+	R     int
+	Prod  *linalg.Mat // r×r; nil in NOALLOC
+}
+
+// MarshalDPS implements dps.DataObject.
+func (o *MultRes) MarshalDPS(w serial.Writer) {
+	header(w, 4, o.Iter, o.Tile, o.Block)
+	matPayload(w, o.Prod, o.R, o.R)
+}
+
+// TileDone notifies the next iteration's stream (f) that one tile of one
+// column block finished its update.
+type TileDone struct {
+	Iter  int
+	Tile  int
+	Block int
+}
+
+// MarshalDPS implements dps.DataObject.
+func (o *TileDone) MarshalDPS(w serial.Writer) { header(w, 5, o.Iter, o.Tile, o.Block) }
+
+// FlipReq asks the owner of an earlier column block (j < k) to apply
+// iteration k's row exchanges to its stored factors (operation (g)).
+type FlipReq struct {
+	Iter  int
+	Block int
+	R     int
+	Piv   []int // nil in NOALLOC
+}
+
+// MarshalDPS implements dps.DataObject.
+func (o *FlipReq) MarshalDPS(w serial.Writer) {
+	header(w, 6, o.Iter, o.Block, 0)
+	pivPayload(w, o.Piv, o.R)
+}
+
+// FlipDone is the row-exchange completion notification collected by the
+// termination merge (operation (h)).
+type FlipDone struct {
+	Iter  int
+	Block int
+}
+
+// MarshalDPS implements dps.DataObject.
+func (o *FlipDone) MarshalDPS(w serial.Writer) { header(w, 7, o.Iter, o.Block, 0) }
+
+// PMReq is one sub-block multiplication of the parallel multiplication
+// flow graph (paper Fig. 7): an s×r row strip of L21 times an r×s column
+// strip of T12.
+type PMReq struct {
+	Iter  int
+	Tile  int
+	Block int
+	Row   int // strip row index
+	Col   int // strip column index
+	S     int // strip width s
+	R     int
+	ARow  *linalg.Mat // s×r; nil in NOALLOC
+	BCol  *linalg.Mat // r×s; nil in NOALLOC
+}
+
+// MarshalDPS implements dps.DataObject.
+func (o *PMReq) MarshalDPS(w serial.Writer) {
+	header(w, 8, o.Iter, o.Tile, o.Block)
+	w.U32(uint32(o.Row))
+	w.U32(uint32(o.Col))
+	matPayload(w, o.ARow, o.S, o.R)
+	matPayload(w, o.BCol, o.R, o.S)
+}
+
+// PMRes is one s×s product strip returned to the assembling merge
+// (operation (f) of Fig. 7).
+type PMRes struct {
+	Iter  int
+	Tile  int
+	Block int
+	Row   int
+	Col   int
+	S     int
+	Prod  *linalg.Mat // s×s; nil in NOALLOC
+}
+
+// MarshalDPS implements dps.DataObject.
+func (o *PMRes) MarshalDPS(w serial.Writer) {
+	header(w, 9, o.Iter, o.Tile, o.Block)
+	w.U32(uint32(o.Row))
+	w.U32(uint32(o.Col))
+	matPayload(w, o.Prod, o.S, o.S)
+}

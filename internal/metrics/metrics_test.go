@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dpsim/internal/core"
+	"dpsim/internal/eventq"
+)
+
+func sec(s float64) eventq.Time { return eventq.Time(eventq.DurationOf(s)) }
+
+func TestIterationsSlicing(t *testing.T) {
+	phases := []core.PhaseMark{
+		{Time: sec(0), Name: "iter:0"},
+		{Time: sec(10), Name: "iter:1"},
+		{Time: sec(15), Name: "iter:2"},
+	}
+	allocs := []core.AllocMark{{Time: 0, Nodes: 4}}
+	serial := func(k int) eventq.Duration { return eventq.DurationOf(float64(20 - k*5)) }
+	iters := Iterations(phases, allocs, sec(18), serial)
+	if len(iters) != 3 {
+		t.Fatalf("iterations = %d", len(iters))
+	}
+	if iters[0].Elapsed != eventq.DurationOf(10) || iters[2].Elapsed != eventq.DurationOf(3) {
+		t.Fatalf("elapsed wrong: %+v", iters)
+	}
+	// iter 0: 20s serial on 4 nodes over 10s → eff 0.5
+	if math.Abs(iters[0].Efficiency-0.5) > 1e-9 {
+		t.Fatalf("eff = %v, want 0.5", iters[0].Efficiency)
+	}
+}
+
+func TestIterationsAllocationChange(t *testing.T) {
+	phases := []core.PhaseMark{
+		{Time: sec(0), Name: "iter:0"},
+		{Time: sec(10), Name: "iter:1"},
+	}
+	allocs := []core.AllocMark{
+		{Time: 0, Nodes: 8},
+		{Time: sec(10), Nodes: 4},
+	}
+	serial := func(int) eventq.Duration { return eventq.DurationOf(8) }
+	iters := Iterations(phases, allocs, sec(14), serial)
+	if iters[0].Nodes != 8 {
+		t.Fatalf("iter0 nodes = %d, want 8", iters[0].Nodes)
+	}
+	if iters[1].Nodes != 4 {
+		t.Fatalf("iter1 nodes = %d, want 4", iters[1].Nodes)
+	}
+	// iter1: 8s serial / (4 nodes × 4s) = 0.5
+	if math.Abs(iters[1].Efficiency-0.5) > 1e-9 {
+		t.Fatalf("iter1 eff = %v", iters[1].Efficiency)
+	}
+}
+
+func TestIterationsIgnoresOtherPhases(t *testing.T) {
+	phases := []core.PhaseMark{
+		{Time: 0, Name: "setup"},
+		{Time: sec(1), Name: "iter:0"},
+	}
+	iters := Iterations(phases, []core.AllocMark{{Nodes: 1}}, sec(2), func(int) eventq.Duration { return eventq.DurationOf(1) })
+	if len(iters) != 1 || iters[0].Index != 0 {
+		t.Fatalf("iters = %+v", iters)
+	}
+}
+
+func TestMeanEfficiency(t *testing.T) {
+	iters := []IterationStat{
+		{SerialWork: eventq.DurationOf(10), Nodes: 2, Elapsed: eventq.DurationOf(10)},
+		{SerialWork: eventq.DurationOf(5), Nodes: 2, Elapsed: eventq.DurationOf(5)},
+	}
+	// (10+5) / (2*10 + 2*5) = 0.5
+	if m := MeanEfficiency(iters); math.Abs(m-0.5) > 1e-9 {
+		t.Fatalf("mean eff = %v", m)
+	}
+	if MeanEfficiency(nil) != 0 {
+		t.Fatal("empty mean eff not 0")
+	}
+}
+
+func TestErrorSample(t *testing.T) {
+	s := ErrorSample{Measured: 100, Predicted: 104}
+	if math.Abs(s.Err()-0.04) > 1e-12 {
+		t.Fatalf("err = %v", s.Err())
+	}
+	if (ErrorSample{Measured: 0, Predicted: 5}).Err() != 0 {
+		t.Fatal("zero-measured err not 0")
+	}
+}
+
+func TestStatsBands(t *testing.T) {
+	samples := []ErrorSample{
+		{Measured: 100, Predicted: 101}, // 1%
+		{Measured: 100, Predicted: 97},  // -3%
+		{Measured: 100, Predicted: 105}, // 5%
+		{Measured: 100, Predicted: 111}, // 11%
+		{Measured: 100, Predicted: 120}, // 20%
+	}
+	st := Stats(samples)
+	if st.N != 5 {
+		t.Fatalf("N = %d", st.N)
+	}
+	if math.Abs(st.Within4Pct-0.4) > 1e-9 {
+		t.Fatalf("within4 = %v", st.Within4Pct)
+	}
+	if math.Abs(st.Within6Pct-0.6) > 1e-9 {
+		t.Fatalf("within6 = %v", st.Within6Pct)
+	}
+	if math.Abs(st.Within12Pct-0.8) > 1e-9 {
+		t.Fatalf("within12 = %v", st.Within12Pct)
+	}
+	if math.Abs(st.Max-0.20) > 1e-9 {
+		t.Fatalf("max = %v", st.Max)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	st := Stats(nil)
+	if st.N != 0 || st.MeanAbs != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	samples := []ErrorSample{
+		{Measured: 100, Predicted: 100}, // 0% → bucket [0,2)
+		{Measured: 100, Predicted: 101}, // 1% → bucket [0,2)
+		{Measured: 100, Predicted: 97},  // -3% → bucket [-4,-2)
+		{Measured: 100, Predicted: 150}, // 50% → overflow
+		{Measured: 100, Predicted: 50},  // -50% → underflow
+	}
+	h := BuildHistogram(samples)
+	if len(h.Counts) != 16 {
+		t.Fatalf("buckets = %d", len(h.Counts))
+	}
+	zeroBucket := 8 // [-16..0) is 8 buckets, so [0,2) is index 8
+	if h.Counts[zeroBucket] != 2 {
+		t.Fatalf("zero bucket = %d, want 2", h.Counts[zeroBucket])
+	}
+	if h.Counts[6] != 1 { // [-4,-2)
+		t.Fatalf("[-4,-2) bucket = %d", h.Counts[6])
+	}
+	if h.Overflow != 1 || h.Underflow != 1 {
+		t.Fatalf("overflow/underflow = %d/%d", h.Overflow, h.Underflow)
+	}
+	total := h.Underflow + h.Overflow
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(samples) {
+		t.Fatalf("histogram loses samples: %d != %d", total, len(samples))
+	}
+}
+
+func TestHistogramConservationProperty(t *testing.T) {
+	prop := func(errsRaw []int8) bool {
+		var samples []ErrorSample
+		for _, e := range errsRaw {
+			samples = append(samples, ErrorSample{Measured: 100, Predicted: 100 + float64(e)})
+		}
+		h := BuildHistogram(samples)
+		total := h.Underflow + h.Overflow
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == len(samples)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := BuildHistogram([]ErrorSample{{Measured: 100, Predicted: 101}})
+	out := h.Render()
+	if !strings.Contains(out, "#") {
+		t.Fatalf("render has no bars:\n%s", out)
+	}
+}
+
+func TestSummaryHelpers(t *testing.T) {
+	v := []float64{1, 2, 3, 4}
+	if Mean(v) != 2.5 {
+		t.Fatalf("mean = %v", Mean(v))
+	}
+	if Median(v) != 2.5 {
+		t.Fatalf("median = %v", Median(v))
+	}
+	if Median([]float64{5, 1, 9}) != 5 {
+		t.Fatal("odd median wrong")
+	}
+	if s := Stddev(v); math.Abs(s-1.2909944) > 1e-6 {
+		t.Fatalf("stddev = %v", s)
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || Stddev(nil) != 0 {
+		t.Fatal("empty helpers not 0")
+	}
+}

@@ -1,0 +1,389 @@
+// Package netmodel implements the simulator's network model (paper §4).
+//
+// The communication network has a star topology: every node owns a
+// full-duplex link to a central full-crossbar switch that is never a
+// bottleneck. The optimistic transfer time of a data object of size s is
+//
+//	t = l + s/b
+//
+// where l is the network latency and b the link bandwidth. Under
+// contention, all concurrent outgoing (respectively incoming) transfers of
+// a node receive an equal share of the port bandwidth, so an individual
+// transfer progresses at
+//
+//	rate = min( b / activeOut(src), b / activeIn(dst) )
+//
+// re-evaluated every time a transfer starts or completes (a fluid model).
+// Local deliveries (src == dst) do not traverse the network: they complete
+// after the latency only and consume no port bandwidth.
+//
+// The model also publishes per-node active-transfer counts through a
+// Listener so the CPU model can account for the processing power consumed
+// by communications (paper: "the simulator handles all communications, it
+// knows at every time point how many concurrent transfers are carried out
+// by each processing node").
+package netmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"dpsim/internal/eventq"
+)
+
+// Params configures the network model.
+type Params struct {
+	// Latency is the per-message startup latency l.
+	Latency eventq.Duration
+	// Bandwidth is the per-port bandwidth b in bytes/second (full duplex:
+	// the in and out ports of a node each have this capacity).
+	Bandwidth float64
+	// Contention enables the equal-share model. When false every transfer
+	// gets the full port bandwidth (the "no contention" assumption the
+	// paper criticizes in MPI-SIM/COMPASS; kept as an ablation knob).
+	Contention bool
+	// MaxMin replaces the paper's simple equal-share rule with
+	// work-conserving max-min fairness (progressive filling): bandwidth
+	// unused by transfers bottlenecked elsewhere is redistributed. Kept
+	// as a sensitivity knob to quantify how much the sharing discipline
+	// itself affects predictions.
+	MaxMin bool
+}
+
+// FastEthernet returns the parameters of the paper's testbed interconnect:
+// 100 Mbit/s full duplex, ~100 µs small-message latency.
+func FastEthernet() Params {
+	return Params{
+		Latency:    100 * eventq.Microsecond,
+		Bandwidth:  12.5e6, // 100 Mbit/s in bytes/s
+		Contention: true,
+	}
+}
+
+// Listener observes changes of per-node active transfer counts.
+type Listener interface {
+	// PortsChanged is invoked whenever the number of active incoming or
+	// outgoing transfers of node changes.
+	PortsChanged(node, activeIn, activeOut int)
+}
+
+// Transfer is one in-flight data-object transfer.
+type Transfer struct {
+	ID       uint64
+	Src, Dst int
+	Size     int64 // bytes
+	Payload  any   // opaque reference carried to the completion callback
+
+	start     eventq.Time
+	remaining float64 // bytes
+	rate      float64 // bytes/s; 0 while in the latency phase
+	last      eventq.Time
+	finish    *eventq.Event
+	done      func(*Transfer)
+	flowing   bool
+}
+
+// Start reports when the transfer was submitted.
+func (t *Transfer) Start() eventq.Time { return t.start }
+
+// Network is the fluid network model. It is not safe for concurrent use;
+// the single-threaded event engine is the only caller.
+type Network struct {
+	q        *eventq.Queue
+	p        Params
+	listener Listener
+
+	nextID    uint64
+	activeIn  map[int]int
+	activeOut map[int]int
+	flows     map[uint64]*Transfer
+
+	// Stats
+	totalTransfers uint64
+	totalBytes     int64
+	nodeBytesIn    map[int]int64
+	nodeBytesOut   map[int]int64
+}
+
+// New returns a network model driven by the given event queue.
+func New(q *eventq.Queue, p Params) *Network {
+	if p.Bandwidth <= 0 {
+		panic("netmodel: bandwidth must be positive")
+	}
+	return &Network{
+		q:            q,
+		p:            p,
+		activeIn:     make(map[int]int),
+		activeOut:    make(map[int]int),
+		flows:        make(map[uint64]*Transfer),
+		nodeBytesIn:  make(map[int]int64),
+		nodeBytesOut: make(map[int]int64),
+	}
+}
+
+// SetListener registers the observer of port activity (typically the CPU
+// model). Passing nil removes it.
+func (n *Network) SetListener(l Listener) { n.listener = l }
+
+// Params returns the model parameters.
+func (n *Network) Params() Params { return n.p }
+
+// ActiveIn returns the number of incoming transfers currently flowing into
+// node.
+func (n *Network) ActiveIn(node int) int { return n.activeIn[node] }
+
+// ActiveOut returns the number of outgoing transfers currently flowing out
+// of node.
+func (n *Network) ActiveOut(node int) int { return n.activeOut[node] }
+
+// InFlight returns the number of transfers in latency or flowing phase.
+func (n *Network) InFlight() int { return len(n.flows) }
+
+// TotalBytes returns the cumulative payload bytes of completed transfers.
+func (n *Network) TotalBytes() int64 { return n.totalBytes }
+
+// TotalTransfers returns the cumulative number of completed transfers.
+func (n *Network) TotalTransfers() uint64 { return n.totalTransfers }
+
+// BytesIn returns cumulative bytes received by node.
+func (n *Network) BytesIn(node int) int64 { return n.nodeBytesIn[node] }
+
+// BytesOut returns cumulative bytes sent by node.
+func (n *Network) BytesOut(node int) int64 { return n.nodeBytesOut[node] }
+
+// OptimisticTime returns l + s/b: the no-contention transfer duration.
+func (n *Network) OptimisticTime(size int64) eventq.Duration {
+	return n.p.Latency + eventq.DurationOf(float64(size)/n.p.Bandwidth)
+}
+
+// Send submits a transfer of size bytes from src to dst and returns it.
+// done runs (on the event queue) when the last byte arrives. A zero or
+// negative size is treated as a pure-latency control message.
+func (n *Network) Send(src, dst int, size int64, payload any, done func(*Transfer)) *Transfer {
+	if size < 0 {
+		size = 0
+	}
+	t := &Transfer{
+		ID:        n.nextID,
+		Src:       src,
+		Dst:       dst,
+		Size:      size,
+		Payload:   payload,
+		start:     n.q.Now(),
+		remaining: float64(size),
+		done:      done,
+	}
+	n.nextID++
+	n.flows[t.ID] = t
+	// Latency phase: no port bandwidth is consumed until l has elapsed
+	// (models connection/protocol startup).
+	n.q.After(n.p.Latency, func() { n.beginFlow(t) })
+	return t
+}
+
+func (n *Network) beginFlow(t *Transfer) {
+	if t.Src == t.Dst || t.remaining <= 0 {
+		// Local or empty: completes immediately after latency.
+		n.complete(t)
+		return
+	}
+	t.flowing = true
+	t.last = n.q.Now()
+	n.activeOut[t.Src]++
+	n.activeIn[t.Dst]++
+	n.notify(t.Src)
+	if t.Dst != t.Src {
+		n.notify(t.Dst)
+	}
+	n.reflow()
+}
+
+// complete finalizes a transfer and invokes its callback.
+func (n *Network) complete(t *Transfer) {
+	delete(n.flows, t.ID)
+	n.totalTransfers++
+	n.totalBytes += t.Size
+	n.nodeBytesOut[t.Src] += t.Size
+	n.nodeBytesIn[t.Dst] += t.Size
+	wasFlowing := t.flowing
+	if wasFlowing {
+		t.flowing = false
+		n.activeOut[t.Src]--
+		n.activeIn[t.Dst]--
+		n.notify(t.Src)
+		n.notify(t.Dst)
+	}
+	done := t.done
+	t.done = nil
+	if wasFlowing {
+		n.reflow()
+	}
+	if done != nil {
+		done(t)
+	}
+}
+
+func (n *Network) notify(node int) {
+	if n.listener != nil {
+		n.listener.PortsChanged(node, n.activeIn[node], n.activeOut[node])
+	}
+}
+
+// rateOf computes the current fluid rate of a flowing transfer.
+func (n *Network) rateOf(t *Transfer) float64 {
+	if !n.p.Contention {
+		return n.p.Bandwidth
+	}
+	out := n.activeOut[t.Src]
+	in := n.activeIn[t.Dst]
+	if out < 1 {
+		out = 1
+	}
+	if in < 1 {
+		in = 1
+	}
+	shareOut := n.p.Bandwidth / float64(out)
+	shareIn := n.p.Bandwidth / float64(in)
+	if shareOut < shareIn {
+		return shareOut
+	}
+	return shareIn
+}
+
+// reflow settles progress of all flowing transfers at the current instant,
+// recomputes their rates and reschedules their completion events.
+// Transfers are visited in ID order so that rescheduling is deterministic:
+// map iteration order must never influence the event sequence.
+func (n *Network) reflow() {
+	now := n.q.Now()
+	ids := make([]uint64, 0, len(n.flows))
+	for id := range n.flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var maxmin map[uint64]float64
+	if n.p.MaxMin && n.p.Contention {
+		maxmin = n.maxMinRates(ids)
+	}
+	for _, id := range ids {
+		t := n.flows[id]
+		if !t.flowing {
+			continue
+		}
+		// Settle bytes moved since the last rate change.
+		dt := (now - t.last).Seconds()
+		if dt > 0 && t.rate > 0 {
+			t.remaining -= t.rate * dt
+			if t.remaining < 0 {
+				t.remaining = 0
+			}
+		}
+		t.last = now
+		if maxmin != nil {
+			t.rate = maxmin[id]
+		} else {
+			t.rate = n.rateOf(t)
+		}
+		if t.finish != nil {
+			n.q.Cancel(t.finish)
+			t.finish = nil
+		}
+		eta := eventq.DurationOf(t.remaining / t.rate)
+		tt := t
+		t.finish = n.q.After(eta, func() {
+			tt.remaining = 0
+			n.complete(tt)
+		})
+	}
+}
+
+// maxMinRates computes work-conserving max-min fair rates by progressive
+// filling: repeatedly saturate the most constrained port and freeze its
+// flows at the fair share, redistributing the slack.
+func (n *Network) maxMinRates(ids []uint64) map[uint64]float64 {
+	type port struct {
+		capacity float64
+		flows    []uint64
+	}
+	ports := make(map[[2]int]*port) // [dir(0=out,1=in), node]
+	rates := make(map[uint64]float64)
+	var active []uint64
+	for _, id := range ids {
+		t := n.flows[id]
+		if !t.flowing {
+			continue
+		}
+		active = append(active, id)
+		for _, key := range [][2]int{{0, t.Src}, {1, t.Dst}} {
+			p := ports[key]
+			if p == nil {
+				p = &port{capacity: n.p.Bandwidth}
+				ports[key] = p
+			}
+			p.flows = append(p.flows, id)
+		}
+	}
+	frozen := make(map[uint64]bool)
+	for len(frozen) < len(active) {
+		// Find the port with the smallest fair share among its unfrozen
+		// flows (deterministic: scan ports in sorted key order).
+		var bestKey [2]int
+		bestShare := -1.0
+		keys := make([][2]int, 0, len(ports))
+		for k := range ports {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			p := ports[k]
+			unfrozen := 0
+			for _, id := range p.flows {
+				if !frozen[id] {
+					unfrozen++
+				}
+			}
+			if unfrozen == 0 {
+				continue
+			}
+			share := p.capacity / float64(unfrozen)
+			if bestShare < 0 || share < bestShare {
+				bestShare = share
+				bestKey = k
+			}
+		}
+		if bestShare < 0 {
+			break
+		}
+		// Freeze that port's unfrozen flows at the share and charge the
+		// other port they use.
+		for _, id := range ports[bestKey].flows {
+			if frozen[id] {
+				continue
+			}
+			frozen[id] = true
+			rates[id] = bestShare
+			t := n.flows[id]
+			for _, k := range [][2]int{{0, t.Src}, {1, t.Dst}} {
+				if k == bestKey {
+					continue
+				}
+				ports[k].capacity -= bestShare
+				if ports[k].capacity < 0 {
+					ports[k].capacity = 0
+				}
+			}
+		}
+		ports[bestKey].capacity = 0
+	}
+	return rates
+}
+
+// String summarizes current activity, for debugging.
+func (n *Network) String() string {
+	return fmt.Sprintf("netmodel{inflight=%d, done=%d, bytes=%d}", len(n.flows), n.totalTransfers, n.totalBytes)
+}

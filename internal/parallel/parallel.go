@@ -1,0 +1,519 @@
+// Package parallel is the real (non-simulated) DPS runtime: DPS execution
+// threads are goroutines, data objects move through an in-process channel
+// transport or real TCP sockets, and computations actually execute. It
+// implements the same flow-graph semantics as the simulation engine —
+// split/merge/stream instances, routing functions, closure and
+// acknowledgement control messages, credit-window flow control — so a DPS
+// application runs unmodified either way, which is the premise of the
+// paper's direct-execution methodology (§3: "the real and simulated
+// applications may be run identically").
+//
+// Deployment note: all logical nodes live in one OS process (the TCP
+// transport still uses real loopback sockets). Quiescence detection uses a
+// shared in-flight counter; a multi-process deployment would replace it
+// with a distributed termination protocol.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpsim/internal/dps"
+	"dpsim/internal/serial"
+	"dpsim/internal/transport"
+)
+
+// message kinds on the wire.
+const (
+	kindData uint8 = iota + 1
+	kindClosure
+	kindAck
+)
+
+// Config assembles a runtime.
+type Config struct {
+	// Graph is the application flow graph.
+	Graph *dps.Graph
+	// Nodes is the number of logical compute nodes.
+	Nodes int
+	// Codec decodes data objects arriving over the transport. Required
+	// when UseTCP (and for any cross-node traffic).
+	Codec *transport.Codec
+	// UseTCP selects real loopback sockets instead of channels.
+	UseTCP bool
+	// QueueDepth bounds each execution thread's input queue (default
+	// 4096).
+	QueueDepth int
+	// SleepModelled makes Compute sleep for the modeled duration when no
+	// kernel function is supplied (useful for demo workloads).
+	SleepModelled bool
+}
+
+// wireFrame is one instance-stack level on the wire. It carries enough to
+// route acknowledgements back to the source node and forwarded objects to
+// the instance's aggregation thread.
+type wireFrame struct {
+	pairID     uint32
+	instID     uint64
+	srcNode    uint32
+	srcThread  uint32
+	sinkThread uint32
+}
+
+// item is one unit of execution-thread work.
+type item struct {
+	kind   uint8 // kindData or kindClosure
+	op     *dps.Op
+	obj    dps.DataObject
+	frames []wireFrame
+	seq    int
+	pair   *dps.Pair // closure
+	instID uint64
+	total  int
+}
+
+type instKey struct {
+	pair uint32
+	inst uint64
+}
+
+// srcInstance is the source-side state of one pair instance: posted count,
+// flow-control credits and the deferred posts awaiting credits.
+type srcInstance struct {
+	mu       sync.Mutex
+	posted   int
+	inflight int
+	pending  []pendingPost
+}
+
+func newSrcInstance() *srcInstance { return &srcInstance{} }
+
+// sinkInstance is the sink-side state of one pair instance.
+type sinkInstance struct {
+	state    dps.MergeState
+	absorbed int
+	total    int // -1 until the closure arrives
+	finished bool
+	act      *activation // stream output instances
+	parent   []wireFrame
+}
+
+// activation tracks the output instances opened by a source activation.
+type activation struct {
+	parent []wireFrame
+	insts  map[*dps.Pair]*openInst
+	order  []*openInst
+}
+
+type openInst struct {
+	pair       *dps.Pair
+	id         uint64
+	sinkThread int
+	src        *srcInstance
+}
+
+func newActivation(parent []wireFrame) *activation {
+	return &activation{parent: parent, insts: make(map[*dps.Pair]*openInst)}
+}
+
+// Runtime executes one DPS application across logical nodes.
+type Runtime struct {
+	cfg    Config
+	graph  *dps.Graph
+	tr     transport.Transport
+	codec  *transport.Codec
+	nodes  []*nodeState
+	pairs  map[uint32]*dps.Pair
+	nextID atomic.Uint64
+
+	inflight atomic.Int64
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+
+	errMu sync.Mutex
+	err   error
+
+	phaseMu sync.Mutex
+	phases  []Phase
+	started time.Time
+
+	closed  chan struct{}
+	closeMu sync.Once
+}
+
+// Phase is a wall-clock phase mark recorded by operations.
+type Phase struct {
+	Elapsed time.Duration
+	Name    string
+}
+
+type nodeState struct {
+	rt      *Runtime
+	id      int
+	threads map[string]*workerThread
+	srcMu   sync.Mutex
+	srcInst map[instKey]*srcInstance
+}
+
+type workerThread struct {
+	node  *nodeState
+	coll  *dps.Collection
+	idx   int
+	queue chan item
+	store dps.Store
+	sinks map[instKey]*sinkInstance
+	wg    *sync.WaitGroup
+}
+
+func threadName(coll *dps.Collection, idx int) string {
+	return fmt.Sprintf("%s/%d", coll.Name(), idx)
+}
+
+// New builds and starts a runtime (worker goroutines and transport).
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("parallel: Config.Graph is required")
+	}
+	if err := cfg.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("parallel: invalid graph: %w", err)
+	}
+	if cfg.Nodes <= 0 {
+		return nil, errors.New("parallel: need at least one node")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4096
+	}
+	rt := &Runtime{
+		cfg:     cfg,
+		graph:   cfg.Graph,
+		codec:   cfg.Codec,
+		pairs:   make(map[uint32]*dps.Pair),
+		closed:  make(chan struct{}),
+		started: time.Now(),
+	}
+	rt.idleCond = sync.NewCond(&rt.idleMu)
+	for _, p := range cfg.Graph.Pairs() {
+		rt.pairs[uint32(p.ID())] = p
+	}
+	rt.nodes = make([]*nodeState, cfg.Nodes)
+	var wg sync.WaitGroup
+	for i := range rt.nodes {
+		rt.nodes[i] = &nodeState{
+			rt: rt, id: i,
+			threads: make(map[string]*workerThread),
+			srcInst: make(map[instKey]*srcInstance),
+		}
+	}
+	// Materialize one execution thread per (collection, index).
+	seen := make(map[*dps.Collection]bool)
+	for _, op := range cfg.Graph.Ops() {
+		coll := op.Collection()
+		if seen[coll] {
+			continue
+		}
+		seen[coll] = true
+		for idx := 0; idx < coll.Width(); idx++ {
+			node := rt.nodes[coll.Node(idx)%cfg.Nodes]
+			th := &workerThread{
+				node: node, coll: coll, idx: idx,
+				queue: make(chan item, cfg.QueueDepth),
+				store: make(dps.Store),
+				sinks: make(map[instKey]*sinkInstance),
+				wg:    &wg,
+			}
+			node.threads[threadName(coll, idx)] = th
+			wg.Add(1)
+			go th.run()
+		}
+	}
+	handlers := make([]transport.Handler, cfg.Nodes)
+	for i := range handlers {
+		node := rt.nodes[i]
+		handlers[i] = node.handleMessage
+	}
+	var err error
+	if cfg.UseTCP {
+		rt.tr, err = transport.NewTCP(handlers)
+	} else {
+		rt.tr = transport.NewLocal(handlers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// fail records the first runtime error.
+func (rt *Runtime) fail(err error) {
+	rt.errMu.Lock()
+	if rt.err == nil {
+		rt.err = err
+	}
+	rt.errMu.Unlock()
+	rt.done() // wake Wait so the error surfaces
+}
+
+func (rt *Runtime) addWork() { rt.inflight.Add(1) }
+
+func (rt *Runtime) done() {
+	if rt.inflight.Add(-1) <= 0 {
+		rt.idleMu.Lock()
+		rt.idleCond.Broadcast()
+		rt.idleMu.Unlock()
+	}
+}
+
+// Inject delivers obj to thread t of op's collection (the application
+// bootstrap).
+func (rt *Runtime) Inject(op *dps.Op, t int, obj dps.DataObject) {
+	rt.addWork()
+	rt.route(item{kind: kindData, op: op, obj: obj, frames: nil}, t)
+}
+
+// Wait blocks until the application quiesces and returns the first error.
+func (rt *Runtime) Wait() error {
+	rt.idleMu.Lock()
+	for rt.inflight.Load() > 0 {
+		rt.idleCond.Wait()
+	}
+	rt.idleMu.Unlock()
+	rt.errMu.Lock()
+	defer rt.errMu.Unlock()
+	return rt.err
+}
+
+// Close stops worker goroutines and the transport.
+func (rt *Runtime) Close() {
+	rt.closeMu.Do(func() {
+		close(rt.closed)
+		for _, n := range rt.nodes {
+			for _, th := range n.threads {
+				close(th.queue)
+			}
+		}
+		rt.tr.Close()
+	})
+}
+
+// Store returns a thread's local store (seed inputs, read results).
+func (rt *Runtime) Store(coll *dps.Collection, idx int) dps.Store {
+	node := rt.nodes[coll.Node(idx)%rt.cfg.Nodes]
+	return node.threads[threadName(coll, idx)].store
+}
+
+// Phases returns the recorded wall-clock phase marks.
+func (rt *Runtime) Phases() []Phase {
+	rt.phaseMu.Lock()
+	defer rt.phaseMu.Unlock()
+	return append([]Phase(nil), rt.phases...)
+}
+
+// route hands an item to the destination execution thread, crossing the
+// transport when the destination lives on another node.
+func (rt *Runtime) route(it item, dstThread int) {
+	coll := it.op.Collection()
+	if dstThread < 0 || dstThread >= coll.Width() {
+		rt.fail(fmt.Errorf("parallel: object for %s routed to thread %d outside width %d", it.op, dstThread, coll.Width()))
+		return
+	}
+	dstNode := coll.Node(dstThread) % rt.cfg.Nodes
+	node := rt.nodes[dstNode]
+	th := node.threads[threadName(coll, dstThread)]
+	select {
+	case th.queue <- it:
+	case <-rt.closed:
+		rt.done()
+	}
+}
+
+// sendData ships a data envelope to the destination thread, serializing
+// when it crosses nodes.
+func (rt *Runtime) sendData(srcNode int, op *dps.Op, obj dps.DataObject, frames []wireFrame, seq, dstThread int) {
+	rt.addWork()
+	coll := op.Collection()
+	if dstThread < 0 || dstThread >= coll.Width() {
+		rt.fail(fmt.Errorf("parallel: %s routed to thread %d outside width %d", op, dstThread, coll.Width()))
+		return
+	}
+	dstNode := coll.Node(dstThread) % rt.cfg.Nodes
+	if dstNode == srcNode {
+		rt.route(item{kind: kindData, op: op, obj: obj, frames: frames, seq: seq}, dstThread)
+		return
+	}
+	body, err := rt.encodeData(op, obj, frames, seq, dstThread)
+	if err != nil {
+		rt.fail(err)
+		return
+	}
+	if err := rt.tr.Send(dstNode, transport.Message{From: srcNode, Kind: kindData, Body: body}); err != nil {
+		rt.fail(err)
+	}
+}
+
+// sendClosure informs the sink of an instance's final posted count.
+func (rt *Runtime) sendClosure(srcNode int, oi *openInst, total int) {
+	rt.addWork()
+	sinkColl := oi.pair.Sink().Collection()
+	dstNode := sinkColl.Node(oi.sinkThread) % rt.cfg.Nodes
+	if dstNode == srcNode {
+		rt.route(item{kind: kindClosure, op: oi.pair.Sink(), pair: oi.pair, instID: oi.id, total: total}, oi.sinkThread)
+		return
+	}
+	b := serial.NewBuffer(32)
+	b.U32(uint32(oi.pair.ID()))
+	b.U64(oi.id)
+	b.U32(uint32(total))
+	b.U32(uint32(oi.sinkThread))
+	if err := rt.tr.Send(dstNode, transport.Message{From: srcNode, Kind: kindClosure, Body: b.BytesOut()}); err != nil {
+		rt.fail(err)
+	}
+}
+
+// sendAck returns a flow-control credit to the posting node. Acks count as
+// in-flight work so quiescence cannot be declared while a deferred post is
+// still waiting for its credit.
+func (rt *Runtime) sendAck(srcNode int, fr wireFrame) {
+	rt.addWork()
+	dstNode := int(fr.srcNode)
+	if dstNode == srcNode {
+		rt.nodes[dstNode].handleAck(fr.pairID, fr.instID)
+		rt.done()
+		return
+	}
+	b := serial.NewBuffer(16)
+	b.U32(fr.pairID)
+	b.U64(fr.instID)
+	if err := rt.tr.Send(dstNode, transport.Message{From: srcNode, Kind: kindAck, Body: b.BytesOut()}); err != nil {
+		rt.fail(err)
+		rt.done()
+	}
+}
+
+// encodeData frames a data envelope for the wire.
+func (rt *Runtime) encodeData(op *dps.Op, obj dps.DataObject, frames []wireFrame, seq, dstThread int) ([]byte, error) {
+	if rt.codec == nil {
+		return nil, errors.New("parallel: cross-node traffic requires a Codec")
+	}
+	b := serial.NewBuffer(256)
+	b.U32(uint32(op.ID()))
+	b.U32(uint32(dstThread))
+	b.U32(uint32(seq))
+	b.U8(uint8(len(frames)))
+	for _, f := range frames {
+		b.U32(f.pairID)
+		b.U64(f.instID)
+		b.U32(f.srcNode)
+		b.U32(f.srcThread)
+		b.U32(f.sinkThread)
+	}
+	payload, err := rt.codec.Encode(obj)
+	if err != nil {
+		return nil, err
+	}
+	b.Bytes(payload)
+	return b.BytesOut(), nil
+}
+
+// handleMessage decodes transport messages arriving at a node.
+func (n *nodeState) handleMessage(msg transport.Message) {
+	rt := n.rt
+	switch msg.Kind {
+	case kindData:
+		r := serial.NewReader(msg.Body)
+		opID := int(r.U32())
+		dstThread := int(r.U32())
+		seq := int(r.U32())
+		nf := int(r.U8())
+		frames := make([]wireFrame, nf)
+		for i := range frames {
+			frames[i] = wireFrame{
+				pairID:     r.U32(),
+				instID:     r.U64(),
+				srcNode:    r.U32(),
+				srcThread:  r.U32(),
+				sinkThread: r.U32(),
+			}
+		}
+		payload := r.Bytes()
+		if r.Err() != nil {
+			rt.fail(fmt.Errorf("parallel: corrupt data frame: %w", r.Err()))
+			return
+		}
+		if opID < 0 || opID >= len(rt.graph.Ops()) {
+			rt.fail(fmt.Errorf("parallel: unknown op id %d", opID))
+			return
+		}
+		obj, err := rt.codec.Decode(payload)
+		if err != nil {
+			rt.fail(err)
+			return
+		}
+		op := rt.graph.Ops()[opID]
+		rt.route(item{kind: kindData, op: op, obj: obj, frames: frames, seq: seq}, dstThread)
+	case kindClosure:
+		r := serial.NewReader(msg.Body)
+		pairID := r.U32()
+		instID := r.U64()
+		total := int(r.U32())
+		dstThread := int(r.U32())
+		pair := rt.pairs[pairID]
+		if pair == nil || r.Err() != nil {
+			rt.fail(fmt.Errorf("parallel: corrupt closure frame"))
+			return
+		}
+		rt.route(item{kind: kindClosure, op: pair.Sink(), pair: pair, instID: instID, total: total}, dstThread)
+	case kindAck:
+		r := serial.NewReader(msg.Body)
+		pairID := r.U32()
+		instID := r.U64()
+		if r.Err() != nil {
+			rt.fail(fmt.Errorf("parallel: corrupt ack frame"))
+			rt.done()
+			return
+		}
+		n.handleAck(pairID, instID)
+		rt.done()
+	}
+}
+
+// handleAck returns a credit; if a deferred post was waiting, it ships now.
+func (n *nodeState) handleAck(pairID uint32, instID uint64) {
+	n.srcMu.Lock()
+	si := n.srcInst[instKey{pairID, instID}]
+	n.srcMu.Unlock()
+	if si == nil {
+		return
+	}
+	w := 0
+	if pair := n.rt.pairs[pairID]; pair != nil {
+		w = pair.Window()
+	}
+	var pp *pendingPost
+	si.mu.Lock()
+	si.inflight--
+	if len(si.pending) > 0 && (w == 0 || si.inflight < w) {
+		p := si.pending[0]
+		si.pending = si.pending[1:]
+		si.inflight++
+		pp = &p
+	}
+	si.mu.Unlock()
+	if pp != nil {
+		n.rt.sendData(pp.srcNode, pp.op, pp.obj, pp.frames, pp.seq, pp.dstThread)
+	}
+}
+
+func (n *nodeState) srcInstance(pairID uint32, instID uint64) *srcInstance {
+	n.srcMu.Lock()
+	defer n.srcMu.Unlock()
+	k := instKey{pairID, instID}
+	si := n.srcInst[k]
+	if si == nil {
+		si = newSrcInstance()
+		n.srcInst[k] = si
+	}
+	return si
+}

@@ -1,0 +1,282 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"dpsim/internal/dps"
+	"dpsim/internal/eventq"
+)
+
+// pendingPost is a flow-control-deferred post: the envelope is fully
+// routed and ships as soon as a credit arrives. Unlike the simulated
+// engine (which suspends the posting operation, as real DPS does), the
+// real runtime lets the posting invocation continue — this keeps execution
+// threads deadlock-free regardless of operation placement, at the price of
+// slightly different timing semantics (documented in DESIGN.md).
+type pendingPost struct {
+	op        *dps.Op
+	obj       dps.DataObject
+	frames    []wireFrame
+	seq       int
+	dstThread int
+	srcNode   int
+}
+
+// run is the execution-thread goroutine: it drains the queue, processing
+// one item at a time (DPS threads are sequential execution contexts).
+func (th *workerThread) run() {
+	defer th.wg.Done()
+	for it := range th.queue {
+		th.process(it)
+		th.node.rt.done()
+	}
+}
+
+func (th *workerThread) process(it item) {
+	rt := th.node.rt
+	defer func() {
+		if r := recover(); r != nil {
+			rt.fail(fmt.Errorf("parallel: panic on %s[%d] in %s: %v\n%s",
+				th.coll.Name(), th.idx, it.op, r, debug.Stack()))
+		}
+	}()
+	switch it.kind {
+	case kindClosure:
+		si := th.sink(it.pair, it.instID, nil)
+		si.total = it.total
+		th.checkComplete(it.pair, it.instID, si)
+	case kindData:
+		op := it.op
+		switch op.Kind() {
+		case dps.KindSplit:
+			ctx := &pctx{th: th, op: op, act: newActivation(it.frames), inFrames: it.frames, seq: it.seq}
+			op.CallSplit(ctx, it.obj)
+			th.closeActivation(ctx.act)
+		case dps.KindLeaf:
+			ctx := &pctx{th: th, op: op, inFrames: it.frames, seq: it.seq}
+			op.CallLeaf(ctx, it.obj)
+			if ctx.posts != 1 {
+				rt.fail(fmt.Errorf("parallel: leaf %s posted %d objects, want exactly 1", op, ctx.posts))
+			}
+		case dps.KindMerge, dps.KindStream:
+			if len(it.frames) == 0 {
+				rt.fail(fmt.Errorf("parallel: object at %s carries no instance frame", op))
+				return
+			}
+			top := it.frames[len(it.frames)-1]
+			pair := rt.pairs[top.pairID]
+			if pair == nil || pair.Sink() != op {
+				rt.fail(fmt.Errorf("parallel: object at %s carries mismatched frame", op))
+				return
+			}
+			si := th.sink(pair, top.instID, it.obj)
+			if si.state == nil {
+				si.state = op.NewState(it.obj)
+			}
+			si.parent = it.frames[:len(it.frames)-1]
+			if op.Kind() == dps.KindStream && si.act == nil {
+				si.act = newActivation(si.parent)
+			}
+			ctx := &pctx{th: th, op: op, inst: si, inFrames: it.frames, seq: it.seq}
+			si.state.Absorb(ctx, it.obj)
+			si.absorbed++
+			if pair.Window() > 0 {
+				rt.sendAck(th.node.id, top)
+			}
+			th.checkComplete(pair, top.instID, si)
+		}
+	}
+}
+
+// sink returns (creating if needed) the sink-side instance state.
+func (th *workerThread) sink(pair *dps.Pair, instID uint64, first dps.DataObject) *sinkInstance {
+	k := instKey{uint32(pair.ID()), instID}
+	si := th.sinks[k]
+	if si == nil {
+		si = &sinkInstance{total: -1}
+		th.sinks[k] = si
+	}
+	return si
+}
+
+// checkComplete runs Finish once the closure arrived and every posted
+// object was absorbed.
+func (th *workerThread) checkComplete(pair *dps.Pair, instID uint64, si *sinkInstance) {
+	if si.finished || si.total < 0 || si.absorbed != si.total {
+		return
+	}
+	si.finished = true
+	op := pair.Sink()
+	if si.state == nil {
+		si.state = op.NewState(nil)
+	}
+	if op.Kind() == dps.KindStream && si.act == nil {
+		si.act = newActivation(si.parent)
+	}
+	ctx := &pctx{th: th, op: op, inst: si, isFinish: true}
+	si.state.Finish(ctx)
+	if op.Kind() == dps.KindStream {
+		th.closeActivation(si.act)
+	}
+	delete(th.sinks, instKey{uint32(pair.ID()), instID})
+}
+
+// closeActivation emits the closure messages of every opened instance.
+func (th *workerThread) closeActivation(act *activation) {
+	if act == nil {
+		return
+	}
+	for _, oi := range act.order {
+		oi.src.mu.Lock()
+		total := oi.src.posted
+		oi.src.mu.Unlock()
+		th.node.rt.sendClosure(th.node.id, oi, total)
+	}
+}
+
+// --- Ctx implementation ---
+
+// pctx is the real runtime's operation context.
+type pctx struct {
+	th       *workerThread
+	op       *dps.Op
+	act      *activation   // split activations
+	inst     *sinkInstance // absorb/finish invocations
+	inFrames []wireFrame
+	seq      int
+	posts    int
+	isFinish bool
+}
+
+func (c *pctx) activation() *activation {
+	if c.act != nil {
+		return c.act
+	}
+	if c.inst != nil {
+		return c.inst.act
+	}
+	return nil
+}
+
+func (c *pctx) Post(obj dps.DataObject) { c.PostTo(0, obj) }
+
+func (c *pctx) PostTo(edgeIdx int, obj dps.DataObject) {
+	rt := c.th.node.rt
+	if obj == nil {
+		rt.fail(fmt.Errorf("parallel: %s posted nil", c.op))
+		return
+	}
+	if edgeIdx < 0 || edgeIdx >= c.op.Outs() {
+		rt.fail(fmt.Errorf("parallel: %s posted on edge %d of %d", c.op, edgeIdx, c.op.Outs()))
+		return
+	}
+	edge := c.op.Out(edgeIdx)
+	c.posts++
+	srcNode := c.th.node.id
+	if pair := edge.Pair(); pair != nil {
+		act := c.activation()
+		if act == nil {
+			rt.fail(fmt.Errorf("parallel: %s cannot open pair instances here", c.op))
+			return
+		}
+		oi := act.insts[pair]
+		if oi == nil {
+			id := rt.nextID.Add(1)
+			width := pair.Sink().Collection().Width()
+			st := pair.RouteInstance(obj, width)
+			if st < 0 || st >= width {
+				rt.fail(fmt.Errorf("parallel: %s instance routed to %d of %d", pair, st, width))
+				return
+			}
+			oi = &openInst{
+				pair: pair, id: id, sinkThread: st,
+				src: c.th.node.srcInstance(uint32(pair.ID()), id),
+			}
+			act.insts[pair] = oi
+			act.order = append(act.order, oi)
+		}
+		frames := append(append([]wireFrame(nil), act.parent...), wireFrame{
+			pairID:     uint32(pair.ID()),
+			instID:     oi.id,
+			srcNode:    uint32(srcNode),
+			srcThread:  uint32(c.th.idx),
+			sinkThread: uint32(oi.sinkThread),
+		})
+		src := oi.src
+		src.mu.Lock()
+		seq := src.posted
+		src.posted++
+		var dst int
+		if edge.To() == pair.Sink() {
+			dst = oi.sinkThread
+		} else {
+			dst = edge.Route()(dps.Routing{Obj: obj, Width: edge.To().Collection().Width(), SrcThread: c.th.idx, Seq: seq})
+		}
+		if w := pair.Window(); w > 0 && src.inflight >= w {
+			// Defer the fully routed post until a credit arrives.
+			src.pending = append(src.pending, pendingPost{
+				op: edge.To(), obj: obj, frames: frames, seq: seq,
+				dstThread: dst, srcNode: srcNode,
+			})
+			src.mu.Unlock()
+			return
+		}
+		src.inflight++
+		src.mu.Unlock()
+		rt.sendData(srcNode, edge.To(), obj, frames, seq, dst)
+		return
+	}
+	// Plain edge: leaf pass-through or merge-finish output.
+	frames := c.inFrames
+	seq := c.seq
+	if c.inst != nil {
+		frames = c.inst.parent
+		seq = 0
+	}
+	var dst int
+	if edge.To().IsSink() {
+		if len(frames) == 0 {
+			rt.fail(fmt.Errorf("parallel: %s forwards to %s without an instance frame", c.op, edge.To()))
+			return
+		}
+		top := frames[len(frames)-1]
+		if rt.pairs[top.pairID].Sink() != edge.To() {
+			rt.fail(fmt.Errorf("parallel: %s forwards to %s with mismatched frame", c.op, edge.To()))
+			return
+		}
+		dst = int(top.sinkThread)
+	} else {
+		dst = edge.Route()(dps.Routing{Obj: obj, Width: edge.To().Collection().Width(), SrcThread: c.th.idx, Seq: seq})
+	}
+	rt.sendData(srcNode, edge.To(), obj, frames, seq, dst)
+}
+
+func (c *pctx) Compute(key string, work eventq.Duration, f func()) {
+	if f != nil {
+		f()
+		return
+	}
+	if c.th.node.rt.cfg.SleepModelled && work > 0 {
+		time.Sleep(time.Duration(work))
+	}
+}
+
+func (c *pctx) Thread() int { return c.th.idx }
+func (c *pctx) Width() int  { return c.op.Collection().Width() }
+func (c *pctx) Node() int   { return c.th.node.id }
+func (c *pctx) Now() eventq.Time {
+	return eventq.Time(time.Since(c.th.node.rt.started).Nanoseconds())
+}
+func (c *pctx) Mode() dps.ExecMode    { return dps.ModeDirect }
+func (c *pctx) NoAlloc() bool         { return false }
+func (c *pctx) Store() dps.Store      { return c.th.store }
+func (c *pctx) RunComputations() bool { return true }
+
+func (c *pctx) Phase(name string) {
+	rt := c.th.node.rt
+	rt.phaseMu.Lock()
+	rt.phases = append(rt.phases, Phase{Elapsed: time.Since(rt.started), Name: name})
+	rt.phaseMu.Unlock()
+}

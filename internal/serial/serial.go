@@ -1,0 +1,284 @@
+// Package serial implements the DPS data-object serialization layer.
+//
+// DPS data objects cross node boundaries as length-prefixed binary
+// records. The same Marshal method drives three back ends:
+//
+//   - Buffer: a real encoder used by the TCP transport of the parallel
+//     runtime (internal/parallel).
+//   - Counter: the paper's "modified serializer" (§4) that only *counts*
+//     bytes using the size description of the contained data structures,
+//     performing no memory copies or allocations. This is what makes the
+//     NOALLOC simulation mode possible: the simulated network layer only
+//     needs sizes, never bytes.
+//
+// Layout is little-endian, fixed width for numeric types, and
+// u64-length-prefixed for variable-size values. There is no reflection;
+// objects describe themselves through the Marshaler interface.
+package serial
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Marshaler is implemented by every data object that can cross a node
+// boundary. Marshal must write the object's full wire representation to w;
+// the same method serves real encoding and size counting.
+type Marshaler interface {
+	MarshalDPS(w Writer)
+}
+
+// Unmarshaler is implemented by data objects that the real (TCP) transport
+// must reconstruct on the receiving side. Purely simulated runs never call
+// it.
+type Unmarshaler interface {
+	UnmarshalDPS(r *Reader) error
+}
+
+// Writer is the encoding surface shared by Buffer and Counter.
+type Writer interface {
+	U8(v uint8)
+	U32(v uint32)
+	U64(v uint64)
+	I64(v int64)
+	F64(v float64)
+	Bool(v bool)
+	String(s string)
+	Bytes(b []byte)
+	// F64s encodes a []float64. If data is nil but logicalLen > 0 the
+	// encoder writes logicalLen zeros (Buffer) or just counts them
+	// (Counter); this is how NOALLOC data objects declare payload size
+	// without owning a backing array.
+	F64s(data []float64, logicalLen int)
+	// Skip accounts for n raw bytes of opaque payload (zeros on a real
+	// encoder).
+	Skip(n int)
+}
+
+// counterPool avoids one heap allocation per SizeOf call: the Counter
+// escapes through the Writer interface, so a stack instance would be
+// heap-allocated every time.
+var counterPool = sync.Pool{New: func() any { return new(Counter) }}
+
+// SizeOf returns the wire size of m in bytes without allocating or
+// copying: it runs Marshal against a Counter.
+func SizeOf(m Marshaler) int64 {
+	c := counterPool.Get().(*Counter)
+	c.Reset()
+	m.MarshalDPS(c)
+	n := c.Size()
+	counterPool.Put(c)
+	return n
+}
+
+// --- Counter ---
+
+// Counter counts bytes. The zero value is ready to use.
+type Counter struct{ n int64 }
+
+// Size returns the number of bytes counted so far.
+func (c *Counter) Size() int64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+func (c *Counter) U8(uint8)        { c.n++ }
+func (c *Counter) U32(uint32)      { c.n += 4 }
+func (c *Counter) U64(uint64)      { c.n += 8 }
+func (c *Counter) I64(int64)       { c.n += 8 }
+func (c *Counter) F64(float64)     { c.n += 8 }
+func (c *Counter) Bool(bool)       { c.n++ }
+func (c *Counter) String(s string) { c.n += 8 + int64(len(s)) }
+func (c *Counter) Bytes(b []byte)  { c.n += 8 + int64(len(b)) }
+func (c *Counter) F64s(data []float64, logicalLen int) {
+	c.n += 8 + 8*int64(effLen(data, logicalLen))
+}
+func (c *Counter) Skip(n int) {
+	if n > 0 {
+		c.n += int64(n)
+	}
+}
+
+// --- Buffer ---
+
+// Buffer is a real encoder accumulating bytes in memory. The zero value is
+// an empty buffer ready for use.
+type Buffer struct{ buf []byte }
+
+// NewBuffer returns a Buffer with the given initial capacity.
+func NewBuffer(capacity int) *Buffer {
+	return &Buffer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded bytes. The slice aliases the buffer.
+func (b *Buffer) BytesOut() []byte { return b.buf }
+
+// Len returns the number of encoded bytes.
+func (b *Buffer) Len() int { return len(b.buf) }
+
+// Reset truncates the buffer, retaining capacity.
+func (b *Buffer) Reset() { b.buf = b.buf[:0] }
+
+func (b *Buffer) U8(v uint8)   { b.buf = append(b.buf, v) }
+func (b *Buffer) U32(v uint32) { b.buf = binary.LittleEndian.AppendUint32(b.buf, v) }
+func (b *Buffer) U64(v uint64) { b.buf = binary.LittleEndian.AppendUint64(b.buf, v) }
+func (b *Buffer) I64(v int64)  { b.U64(uint64(v)) }
+func (b *Buffer) F64(v float64) {
+	b.U64(math.Float64bits(v))
+}
+func (b *Buffer) Bool(v bool) {
+	if v {
+		b.U8(1)
+	} else {
+		b.U8(0)
+	}
+}
+func (b *Buffer) String(s string) {
+	b.U64(uint64(len(s)))
+	b.buf = append(b.buf, s...)
+}
+func (b *Buffer) Bytes(p []byte) {
+	b.U64(uint64(len(p)))
+	b.buf = append(b.buf, p...)
+}
+func (b *Buffer) F64s(data []float64, logicalLen int) {
+	n := effLen(data, logicalLen)
+	b.U64(uint64(n))
+	for i := 0; i < n; i++ {
+		if i < len(data) {
+			b.F64(data[i])
+		} else {
+			b.F64(0)
+		}
+	}
+}
+func (b *Buffer) Skip(n int) {
+	for i := 0; i < n; i++ {
+		b.buf = append(b.buf, 0)
+	}
+}
+
+func effLen(data []float64, logicalLen int) int {
+	if data != nil {
+		return len(data)
+	}
+	if logicalLen > 0 {
+		return logicalLen
+	}
+	return 0
+}
+
+// --- Reader ---
+
+// ErrShortBuffer is returned when a decode runs past the end of input.
+var ErrShortBuffer = errors.New("serial: short buffer")
+
+// Reader decodes values written by Buffer. Decoding errors are sticky:
+// after the first failure every subsequent read returns zero values and
+// Err reports the failure.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over p.
+func NewReader(p []byte) *Reader { return &Reader{buf: p} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrShortBuffer, n, r.off, len(r.buf))
+		return nil
+	}
+	p := r.buf[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *Reader) U8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *Reader) U32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (r *Reader) U64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+func (r *Reader) String() string {
+	n := r.U64()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.Remaining()) {
+		r.err = fmt.Errorf("%w: string length %d exceeds remaining %d", ErrShortBuffer, n, r.Remaining())
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+func (r *Reader) Bytes() []byte {
+	n := r.U64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		r.err = fmt.Errorf("%w: bytes length %d exceeds remaining %d", ErrShortBuffer, n, r.Remaining())
+		return nil
+	}
+	p := r.take(int(n))
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out
+}
+
+func (r *Reader) F64s() []float64 {
+	n := r.U64()
+	if r.err != nil {
+		return nil
+	}
+	if n*8 > uint64(r.Remaining()) {
+		r.err = fmt.Errorf("%w: f64 slice length %d exceeds remaining %d bytes", ErrShortBuffer, n, r.Remaining())
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}
+
+// Skip discards n bytes.
+func (r *Reader) Skip(n int) { r.take(n) }

@@ -1,0 +1,293 @@
+package serial
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	b := NewBuffer(64)
+	b.U8(0xAB)
+	b.U32(0xDEADBEEF)
+	b.U64(0x0123456789ABCDEF)
+	b.I64(-42)
+	b.F64(3.14159)
+	b.Bool(true)
+	b.Bool(false)
+	b.String("hello, DPS")
+	b.Bytes([]byte{1, 2, 3})
+
+	r := NewReader(b.BytesOut())
+	if v := r.U8(); v != 0xAB {
+		t.Fatalf("U8 = %x", v)
+	}
+	if v := r.U32(); v != 0xDEADBEEF {
+		t.Fatalf("U32 = %x", v)
+	}
+	if v := r.U64(); v != 0x0123456789ABCDEF {
+		t.Fatalf("U64 = %x", v)
+	}
+	if v := r.I64(); v != -42 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if v := r.F64(); v != 3.14159 {
+		t.Fatalf("F64 = %v", v)
+	}
+	if v := r.Bool(); !v {
+		t.Fatal("Bool true failed")
+	}
+	if v := r.Bool(); v {
+		t.Fatal("Bool false failed")
+	}
+	if v := r.String(); v != "hello, DPS" {
+		t.Fatalf("String = %q", v)
+	}
+	bs := r.Bytes()
+	if len(bs) != 3 || bs[0] != 1 || bs[2] != 3 {
+		t.Fatalf("Bytes = %v", bs)
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestRoundTripF64s(t *testing.T) {
+	b := NewBuffer(0)
+	in := []float64{1.5, -2.25, math.Pi, 0, math.Inf(1)}
+	b.F64s(in, 0)
+	r := NewReader(b.BytesOut())
+	out := r.F64s()
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestF64sNilWithLogicalLen(t *testing.T) {
+	// NOALLOC path: nil data with declared logical length encodes zeros.
+	b := NewBuffer(0)
+	b.F64s(nil, 4)
+	r := NewReader(b.BytesOut())
+	out := r.F64s()
+	if len(out) != 4 {
+		t.Fatalf("len = %d, want 4", len(out))
+	}
+	for _, v := range out {
+		if v != 0 {
+			t.Fatalf("nil-backed F64s decoded non-zero %v", v)
+		}
+	}
+}
+
+// counterMatchesBuffer is the core NOALLOC invariant: for any marshal
+// sequence, Counter.Size() must equal Buffer.Len().
+func TestCounterMatchesBufferProperty(t *testing.T) {
+	prop := func(u8 uint8, u32 uint32, u64 uint64, i64 int64, f float64, flag bool, s string, bs []byte, fs []float64, skipRaw uint8) bool {
+		skip := int(skipRaw % 32)
+		var c Counter
+		b := NewBuffer(0)
+		for _, w := range []Writer{&c, b} {
+			w.U8(u8)
+			w.U32(u32)
+			w.U64(u64)
+			w.I64(i64)
+			w.F64(f)
+			w.Bool(flag)
+			w.String(s)
+			w.Bytes(bs)
+			w.F64s(fs, 0)
+			w.Skip(skip)
+		}
+		return c.Size() == int64(b.Len())
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterNilF64sMatchesBuffer(t *testing.T) {
+	prop := func(nRaw uint16) bool {
+		n := int(nRaw % 2048)
+		var c Counter
+		b := NewBuffer(0)
+		c.F64s(nil, n)
+		b.F64s(nil, n)
+		return c.Size() == int64(b.Len()) && c.Size() == int64(8+8*n)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type testObj struct {
+	id   uint64
+	name string
+	data []float64
+	rows int
+}
+
+func (o *testObj) MarshalDPS(w Writer) {
+	w.U64(o.id)
+	w.String(o.name)
+	w.I64(int64(o.rows))
+	w.F64s(o.data, o.rows)
+}
+
+func (o *testObj) UnmarshalDPS(r *Reader) error {
+	o.id = r.U64()
+	o.name = r.String()
+	o.rows = int(r.I64())
+	o.data = r.F64s()
+	return r.Err()
+}
+
+func TestMarshalerRoundTrip(t *testing.T) {
+	in := &testObj{id: 99, name: "block", data: []float64{1, 2, 3}, rows: 3}
+	b := NewBuffer(0)
+	in.MarshalDPS(b)
+	var out testObj
+	if err := out.UnmarshalDPS(NewReader(b.BytesOut())); err != nil {
+		t.Fatal(err)
+	}
+	if out.id != 99 || out.name != "block" || len(out.data) != 3 || out.data[2] != 3 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	obj := &testObj{id: 1, name: "ab", data: []float64{1, 2}}
+	want := int64(8 + (8 + 2) + 8 + (8 + 16))
+	if got := SizeOf(obj); got != want {
+		t.Fatalf("SizeOf = %d, want %d", got, want)
+	}
+}
+
+func TestSizeOfNoAllocObject(t *testing.T) {
+	// A NOALLOC object declares 1e6 floats without a backing array; its
+	// wire size must reflect the logical payload.
+	obj := &testObj{id: 1, name: "big", data: nil, rows: 1_000_000}
+	want := int64(8 + (8 + 3) + 8 + (8 + 8*1_000_000))
+	if got := SizeOf(obj); got != want {
+		t.Fatalf("SizeOf = %d, want %d", got, want)
+	}
+}
+
+func TestSizeOfAllocationFree(t *testing.T) {
+	obj := &testObj{id: 1, name: "x", data: nil, rows: 1 << 20}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = SizeOf(obj)
+	})
+	if allocs > 0 {
+		t.Fatalf("SizeOf allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestShortBufferErrors(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U64()
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("err = %v, want ErrShortBuffer", r.Err())
+	}
+	// Sticky: further reads keep failing without panicking.
+	_ = r.String()
+	_ = r.F64s()
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestCorruptLengthPrefix(t *testing.T) {
+	b := NewBuffer(0)
+	b.U64(1 << 60) // absurd length prefix
+	r := NewReader(b.BytesOut())
+	if s := r.String(); s != "" || r.Err() == nil {
+		t.Fatalf("corrupt string prefix: %q, err %v", s, r.Err())
+	}
+	r2 := NewReader(b.BytesOut())
+	if p := r2.Bytes(); p != nil || r2.Err() == nil {
+		t.Fatal("corrupt bytes prefix accepted")
+	}
+	r3 := NewReader(b.BytesOut())
+	if f := r3.F64s(); f != nil || r3.Err() == nil {
+		t.Fatal("corrupt f64s prefix accepted")
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	b := NewBuffer(8)
+	b.U64(5)
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("after Reset len = %d", b.Len())
+	}
+	b.U8(1)
+	if b.Len() != 1 {
+		t.Fatalf("after reuse len = %d", b.Len())
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	var c Counter
+	c.U64(1)
+	c.Reset()
+	if c.Size() != 0 {
+		t.Fatalf("after Reset size = %d", c.Size())
+	}
+}
+
+func TestSkip(t *testing.T) {
+	b := NewBuffer(0)
+	b.Skip(5)
+	b.U8(7)
+	r := NewReader(b.BytesOut())
+	r.Skip(5)
+	if v := r.U8(); v != 7 {
+		t.Fatalf("after Skip got %d", v)
+	}
+	var c Counter
+	c.Skip(5)
+	c.Skip(-3) // negative skip must not reduce the count
+	if c.Size() != 5 {
+		t.Fatalf("counter skip = %d", c.Size())
+	}
+}
+
+func TestStringRoundTripProperty(t *testing.T) {
+	prop := func(s string) bool {
+		b := NewBuffer(0)
+		b.String(s)
+		r := NewReader(b.BytesOut())
+		return r.String() == s && r.Err() == nil
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSizeOf(b *testing.B) {
+	obj := &testObj{id: 1, name: "bench", data: nil, rows: 65536}
+	for i := 0; i < b.N; i++ {
+		_ = SizeOf(obj)
+	}
+}
+
+func BenchmarkMarshal64K(b *testing.B) {
+	data := make([]float64, 65536)
+	obj := &testObj{id: 1, name: "bench", data: data, rows: len(data)}
+	buf := NewBuffer(65536*8 + 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		obj.MarshalDPS(buf)
+	}
+	b.SetBytes(int64(buf.Len()))
+}

@@ -1,0 +1,87 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+
+	"dpsim/internal/core"
+	"dpsim/internal/cpumodel"
+	"dpsim/internal/eventq"
+	"dpsim/internal/netmodel"
+	"dpsim/internal/testbed"
+)
+
+func simNet() netmodel.Params {
+	return netmodel.Params{Latency: 150 * eventq.Microsecond, Bandwidth: 12.5e6, Contention: true}
+}
+
+func simCPU() cpumodel.Params {
+	p := cpumodel.Defaults()
+	p.RecvOverhead = 0.08
+	p.SendOverhead = 0.035
+	return p
+}
+
+// TestPredictionAccuracyOnStencil repeats the paper's measured-vs-predicted
+// protocol on the second application: the simulator calibrated on one
+// testbed run must predict the Jacobi solver's runtime within a few
+// percent, showing the methodology is not LU-specific.
+func TestPredictionAccuracyOnStencil(t *testing.T) {
+	cfg := Config{N: 4096, Bands: 16, Nodes: 8, Iterations: 12}
+
+	// Measured: virtual cluster with noise.
+	app1, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := testbed.New(testbed.FastEthernetCluster(cfg.Nodes, 4242))
+	engM, err := core.New(core.Config{
+		Graph:           app1.Graph,
+		Platform:        cl,
+		Durations:       cl.DurationSource(),
+		NoAlloc:         true,
+		PerStepOverhead: 25 * eventq.Microsecond,
+		LocalLatency:    20 * eventq.Microsecond,
+		RecordDurations: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app1.Start(engM)
+	resM, err := engM.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Predicted: simulator with the calibrated duration table.
+	app2, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engP, err := core.New(core.Config{
+		Graph:           app2.Graph,
+		Platform:        core.NewSimPlatform(cfg.Nodes, simNet(), simCPU()),
+		Durations:       core.TableSource{Table: engM.DurationTable()},
+		NoAlloc:         true,
+		PerStepOverhead: 25 * eventq.Microsecond,
+		LocalLatency:    20 * eventq.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2.Start(engP)
+	resP, err := engP.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, p := resM.Elapsed.Seconds(), resP.Elapsed.Seconds()
+	if m <= 0 || p <= 0 {
+		t.Fatalf("times: %v / %v", m, p)
+	}
+	errRel := math.Abs(p-m) / m
+	if errRel > 0.12 {
+		t.Fatalf("stencil prediction error %.1f%% exceeds the paper's ±12%% band (measured %.2fs predicted %.2fs)",
+			100*errRel, m, p)
+	}
+}

@@ -1,0 +1,289 @@
+package testbed
+
+import (
+	"testing"
+
+	"dpsim/internal/core"
+	"dpsim/internal/cpumodel"
+	"dpsim/internal/dps"
+	"dpsim/internal/eventq"
+	"dpsim/internal/netmodel"
+	"dpsim/internal/serial"
+)
+
+// simNetParams/simCPUParams are the simulator-side model parameters used
+// when comparing prediction against the testbed.
+func simNetParams() netmodel.Params {
+	return netmodel.Params{Latency: 200 * eventq.Microsecond, Bandwidth: 12.5e6, Contention: true}
+}
+
+func simCPUParams() cpumodel.Params { return cpumodel.Defaults() }
+
+func quietParams(nodes int) Params {
+	p := FastEthernetCluster(nodes, 1)
+	p.JitterCV = 0
+	p.ComputeNoiseCV = 0
+	p.NodeSpeedCV = 0
+	return p
+}
+
+func TestSingleMessageTiming(t *testing.T) {
+	p := quietParams(2)
+	c := New(p)
+	var doneAt eventq.Time
+	c.Send(0, 1, 1500, func() { doneAt = c.Queue().Now() })
+	c.Queue().Run(0)
+	// One segment: overhead + serialize + wire + deserialize.
+	ser := eventq.DurationOf(1500 / p.LinkBandwidth)
+	want := eventq.Time(p.MsgOverhead + ser + p.WireLatency + ser)
+	if doneAt != want {
+		t.Fatalf("1500B message arrived at %v, want %v", doneAt, want)
+	}
+}
+
+func TestSegmentationPipelines(t *testing.T) {
+	// A large message's segments pipeline: total ≈ overhead + n·ser +
+	// wire + ser, substantially less than n·(2ser+wire).
+	p := quietParams(2)
+	c := New(p)
+	const size = 150_000 // 100 segments
+	var doneAt eventq.Time
+	c.Send(0, 1, size, func() { doneAt = c.Queue().Now() })
+	c.Queue().Run(0)
+	ser := eventq.DurationOf(float64(p.MTU) / p.LinkBandwidth)
+	pipelined := eventq.Time(p.MsgOverhead + 100*ser + p.WireLatency + ser)
+	naive := eventq.Time(p.MsgOverhead + 100*(2*ser+p.WireLatency))
+	if doneAt > pipelined+eventq.Time(eventq.Millisecond) {
+		t.Fatalf("segmented transfer at %v, want ≈ %v (pipelined)", doneAt, pipelined)
+	}
+	if doneAt >= naive {
+		t.Fatalf("segments did not pipeline: %v >= %v", doneAt, naive)
+	}
+}
+
+func TestConcurrentTransfersShareUplink(t *testing.T) {
+	p := quietParams(3)
+	c := New(p)
+	var times []eventq.Time
+	const size = 750_000 // 0.06s alone
+	c.Send(0, 1, size, func() { times = append(times, c.Queue().Now()) })
+	c.Send(0, 2, size, func() { times = append(times, c.Queue().Now()) })
+	c.Queue().Run(0)
+	if len(times) != 2 {
+		t.Fatalf("finished %d transfers", len(times))
+	}
+	alone := eventq.DurationOf(float64(size) / p.LinkBandwidth)
+	// Interleaved on the same uplink: both finish near 2x the solo time.
+	lo := eventq.Time(alone) * 17 / 10
+	hi := eventq.Time(alone)*23/10 + eventq.Time(10*eventq.Millisecond)
+	for _, at := range times {
+		if at < lo || at > hi {
+			t.Fatalf("shared transfer finished at %v, want within [%v, %v]", at, lo, hi)
+		}
+	}
+}
+
+func TestLocalMessageCheap(t *testing.T) {
+	p := quietParams(2)
+	c := New(p)
+	var doneAt eventq.Time
+	c.Send(1, 1, 1<<20, func() { doneAt = c.Queue().Now() })
+	c.Queue().Run(0)
+	if doneAt != eventq.Time(p.MsgOverhead) {
+		t.Fatalf("local message at %v, want %v", doneAt, p.MsgOverhead)
+	}
+}
+
+func TestZeroByteMessageStillCrossesWire(t *testing.T) {
+	p := quietParams(2)
+	c := New(p)
+	var doneAt eventq.Time
+	c.Send(0, 1, 0, func() { doneAt = c.Queue().Now() })
+	c.Queue().Run(0)
+	if doneAt <= eventq.Time(p.MsgOverhead) {
+		t.Fatalf("zero-byte message at %v, want > message overhead", doneAt)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func(seed uint64) eventq.Time {
+		p := FastEthernetCluster(4, seed)
+		c := New(p)
+		var last eventq.Time
+		for i := 0; i < 50; i++ {
+			c.Send(i%4, (i+1)%4, int64(1000*(i+1)), func() { last = c.Queue().Now() })
+		}
+		c.Queue().Run(0)
+		return last
+	}
+	if run(7) != run(7) {
+		t.Fatal("same seed produced different timelines")
+	}
+	if run(7) == run(8) {
+		t.Fatal("different seeds produced identical jittered timelines")
+	}
+}
+
+func TestComputeNoiseThroughDurationSource(t *testing.T) {
+	p := FastEthernetCluster(1, 3)
+	c := New(p)
+	src := c.DurationSource()
+	base := 10 * eventq.Millisecond
+	var min, max eventq.Duration
+	for i := 0; i < 200; i++ {
+		d := src.StepWork("k", base, i)
+		if i == 0 || d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if min == max {
+		t.Fatal("duration source produced no noise")
+	}
+	if min < base {
+		// Dispatch overhead shifts the mean above base; noise can dip
+		// below base+overhead but should stay near it.
+		if float64(min) < 0.85*float64(base) {
+			t.Fatalf("noise min %v implausibly low", min)
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	p := quietParams(2)
+	c := New(p)
+	c.Send(0, 1, 5000, nil)
+	c.Send(1, 0, 3000, nil)
+	c.Queue().Run(0)
+	if c.TotalTransfers() != 2 {
+		t.Fatalf("transfers = %d", c.TotalTransfers())
+	}
+	if c.TotalBytes() != 8000 {
+		t.Fatalf("bytes = %d", c.TotalBytes())
+	}
+}
+
+// --- integration: the testbed as a core.Platform ---
+
+type payload struct{ blob int }
+
+func (p *payload) MarshalDPS(w serial.Writer) { w.Skip(p.blob) }
+
+type devNull struct{}
+
+func (devNull) Absorb(dps.Ctx, dps.DataObject) {}
+func (devNull) Finish(dps.Ctx)                 {}
+
+func TestRunsDPSApplication(t *testing.T) {
+	master := dps.NewCollection("m", 1, 4)
+	workers := dps.NewCollection("w", 4, 4)
+	g := dps.NewGraph("tb")
+	split := g.Split("s", master, func(ctx dps.Ctx, in dps.DataObject) {
+		for i := 0; i < 8; i++ {
+			ctx.Post(&payload{blob: 100_000})
+		}
+	})
+	leaf := g.Leaf("l", workers, func(ctx dps.Ctx, in dps.DataObject) {
+		ctx.Compute("work", 5*eventq.Millisecond, nil)
+		ctx.Post(&payload{blob: 10_000})
+	})
+	merge := g.Merge("mg", master, func(dps.DataObject) dps.MergeState { return devNull{} })
+	g.Connect(split, leaf, dps.RoundRobin)
+	g.Connect(leaf, merge, nil)
+	g.PairOps(split, merge, nil)
+
+	cl := New(FastEthernetCluster(4, 42))
+	eng, err := core.New(core.Config{
+		Graph:     g,
+		Platform:  cl,
+		Durations: cl.DurationSource(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Inject(split, 0, &payload{})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 || res.Transfers == 0 {
+		t.Fatalf("implausible run: %+v", res)
+	}
+	// 6 of 8 objects leave node 0 (workers 1,2,3 are remote, 2 rounds
+	// each): at least 100KB×6 inter-node traffic plus results.
+	if cl.TotalBytes() < 600_000 {
+		t.Fatalf("testbed moved only %d bytes", cl.TotalBytes())
+	}
+}
+
+func TestTestbedVsSimulatorDisagreeSlightly(t *testing.T) {
+	// The same application on the testbed and on the simulator platform
+	// must produce close but not identical times: that gap is the
+	// prediction error the paper measures.
+	build := func() (*dps.Graph, *dps.Op) {
+		master := dps.NewCollection("m", 1, 4)
+		workers := dps.NewCollection("w", 4, 4)
+		g := dps.NewGraph("cmp")
+		split := g.Split("s", master, func(ctx dps.Ctx, in dps.DataObject) {
+			for i := 0; i < 16; i++ {
+				ctx.Post(&payload{blob: 200_000})
+			}
+		})
+		leaf := g.Leaf("l", workers, func(ctx dps.Ctx, in dps.DataObject) {
+			ctx.Compute("work", 20*eventq.Millisecond, nil)
+			ctx.Post(&payload{blob: 1000})
+		})
+		merge := g.Merge("mg", master, func(dps.DataObject) dps.MergeState { return devNull{} })
+		g.Connect(split, leaf, dps.RoundRobin)
+		g.Connect(leaf, merge, nil)
+		g.PairOps(split, merge, nil)
+		return g, split
+	}
+
+	g1, s1 := build()
+	cl := New(FastEthernetCluster(4, 99))
+	engTB, err := core.New(core.Config{Graph: g1, Platform: cl, Durations: cl.DurationSource()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engTB.Inject(s1, 0, &payload{})
+	resTB, err := engTB.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g2, s2 := build()
+	engSim, err := core.New(core.Config{
+		Graph:    g2,
+		Platform: core.NewSimPlatform(4, simNetParams(), simCPUParams()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engSim.Inject(s2, 0, &payload{})
+	resSim, err := engSim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ratio := float64(resTB.Elapsed) / float64(resSim.Elapsed)
+	if ratio < 0.7 || ratio > 1.5 {
+		t.Fatalf("testbed (%v) and simulator (%v) diverge too much: ratio %.2f",
+			resTB.Elapsed, resSim.Elapsed, ratio)
+	}
+	if resTB.Elapsed == resSim.Elapsed {
+		t.Fatal("testbed and simulator agree exactly; models are suspiciously identical")
+	}
+}
+
+func BenchmarkClusterTransferHeavy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := New(FastEthernetCluster(8, uint64(i)))
+		for j := 0; j < 400; j++ {
+			c.Send(j%8, (j+3)%8, 50_000, nil)
+		}
+		c.Queue().Run(0)
+	}
+}

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"dpsim/internal/core"
+)
+
+func TestCSVExport(t *testing.T) {
+	r := NewRecorder()
+	r.Hook(core.TraceEvent{Kind: core.TraceStepStart, Time: 10, Node: 0, Op: "a", Thread: 0, Detail: "x,y"})
+	r.Hook(core.TraceEvent{Kind: core.TraceStepEnd, Time: 30, Node: 0, Op: "a", Thread: 0})
+	r.Hook(core.TraceEvent{Kind: core.TraceTransferStart, Time: 5, Node: 1, Op: "b", Thread: 2, Detail: "1000B"})
+	r.Hook(core.TraceEvent{Kind: core.TraceTransferEnd, Time: 15, Node: 1, Op: "b", Thread: 2})
+
+	var sb strings.Builder
+	if err := r.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "kind,node,op,thread,start_ns,end_ns,detail" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, "transfer,1,b,2,5,15") {
+		t.Fatalf("transfer row missing:\n%s", out)
+	}
+	// Commas in details must be escaped to keep the record parseable.
+	if !strings.Contains(out, "x;y") {
+		t.Fatalf("detail comma not escaped:\n%s", out)
+	}
+}

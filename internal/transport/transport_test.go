@@ -1,0 +1,197 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dpsim/internal/serial"
+)
+
+type echo struct{ V int64 }
+
+func (e *echo) MarshalDPS(w serial.Writer)          { w.I64(e.V) }
+func (e *echo) UnmarshalDPS(r *serial.Reader) error { e.V = r.I64(); return r.Err() }
+
+func collect(n int) ([]Handler, []*[]Message, *sync.WaitGroup) {
+	var wg sync.WaitGroup
+	handlers := make([]Handler, n)
+	boxes := make([]*[]Message, n)
+	var mu sync.Mutex
+	for i := range handlers {
+		box := &[]Message{}
+		boxes[i] = box
+		handlers[i] = func(m Message) {
+			mu.Lock()
+			*box = append(*box, m)
+			mu.Unlock()
+			wg.Done()
+		}
+	}
+	return handlers, boxes, &wg
+}
+
+func TestLocalDelivery(t *testing.T) {
+	handlers, boxes, wg := collect(3)
+	tr := NewLocal(handlers)
+	defer tr.Close()
+	wg.Add(2)
+	if err := tr.Send(1, Message{From: 0, Kind: 7, Body: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(2, Message{From: 0, Kind: 8, Body: []byte("yo")}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(*boxes[1]) != 1 || (*boxes[1])[0].Kind != 7 {
+		t.Fatalf("node1 got %+v", *boxes[1])
+	}
+	if string((*boxes[2])[0].Body) != "yo" {
+		t.Fatalf("node2 got %+v", *boxes[2])
+	}
+}
+
+func TestLocalBadDestination(t *testing.T) {
+	handlers, _, _ := collect(2)
+	tr := NewLocal(handlers)
+	defer tr.Close()
+	if err := tr.Send(9, Message{}); err == nil {
+		t.Fatal("send to missing node accepted")
+	}
+}
+
+func TestTCPMeshDelivery(t *testing.T) {
+	handlers, boxes, wg := collect(3)
+	tr, err := NewTCP(handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	const per = 20
+	wg.Add(3 * 2 * per)
+	for src := 0; src < 3; src++ {
+		for k := 0; k < per; k++ {
+			for dst := 0; dst < 3; dst++ {
+				if dst == src {
+					continue
+				}
+				body := []byte(fmt.Sprintf("%d->%d#%d", src, dst, k))
+				if err := tr.Send(dst, Message{From: src, Kind: 1, Body: body}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	wg.Wait()
+	for i, box := range boxes {
+		if len(*box) != 2*per {
+			t.Fatalf("node %d received %d messages, want %d", i, len(*box), 2*per)
+		}
+	}
+}
+
+func TestTCPSameNodeShortCircuit(t *testing.T) {
+	handlers, boxes, wg := collect(2)
+	tr, err := NewTCP(handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	wg.Add(1)
+	if err := tr.Send(0, Message{From: 0, Kind: 5, Body: []byte("self")}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(*boxes[0]) != 1 {
+		t.Fatal("self-send lost")
+	}
+}
+
+func TestTCPOrderingPerPair(t *testing.T) {
+	var got []int64
+	var mu sync.Mutex
+	var count atomic.Int64
+	done := make(chan struct{})
+	handlers := []Handler{
+		func(Message) {},
+		func(m Message) {
+			r := serial.NewReader(m.Body)
+			mu.Lock()
+			got = append(got, r.I64())
+			mu.Unlock()
+			if count.Add(1) == 100 {
+				close(done)
+			}
+		},
+	}
+	tr, err := NewTCP(handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i := int64(0); i < 100; i++ {
+		b := serial.NewBuffer(8)
+		b.I64(i)
+		if err := tr.Send(1, Message{From: 0, Kind: 1, Body: b.BytesOut()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("TCP reordered same-pair messages: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := NewCodec()
+	c.Register(5, func() Decodable { return &echo{} })
+	body, err := c.Encode(&echo{V: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := c.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.(*echo).V != 42 {
+		t.Fatalf("decoded %+v", obj)
+	}
+}
+
+func TestCodecUnknowns(t *testing.T) {
+	c := NewCodec()
+	if _, err := c.Encode(&echo{}); err == nil {
+		t.Fatal("unregistered encode accepted")
+	}
+	b := serial.NewBuffer(8)
+	b.U32(99)
+	if _, err := c.Decode(b.BytesOut()); err == nil {
+		t.Fatal("unknown tag decode accepted")
+	}
+}
+
+func TestCodecDuplicateTagPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate tag did not panic")
+		}
+	}()
+	c := NewCodec()
+	c.Register(1, func() Decodable { return &echo{} })
+	c.Register(1, func() Decodable { return &echo{} })
+}
+
+func TestCodecCorruptPayload(t *testing.T) {
+	c := NewCodec()
+	c.Register(5, func() Decodable { return &echo{} })
+	b := serial.NewBuffer(8)
+	b.U32(5) // tag but no payload
+	if _, err := c.Decode(b.BytesOut()); err == nil {
+		t.Fatal("corrupt payload accepted")
+	}
+}
