@@ -5,32 +5,99 @@
 //
 // Usage:
 //
-//	clustersim [-nodes 32] [-jobs 40] [-interarrival 10] [-seed 7]
+//	clustersim [-nodes 32] [-jobs 40] [-interarrival 10] [-seed 7] [-json]
+//	clustersim -scenario examples/scenarios/openload.json [-json]
+//
+// Without -scenario, the classic built-in workload runs: an open Poisson
+// stream of LU-profile jobs. With -scenario, the named scenario file
+// supplies nodes, mix and arrival process (its first grid point is used;
+// run cmd/dpssweep to cover the full grid).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"dpsim/internal/cluster"
+	"dpsim/internal/scenario"
 )
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(),
+		"usage: clustersim [-nodes N] [-jobs N] [-interarrival S] [-seed N] [-scenario FILE] [-json]\n")
+	flag.PrintDefaults()
+}
 
 func main() {
 	nodes := flag.Int("nodes", 32, "cluster nodes")
 	jobs := flag.Int("jobs", 40, "jobs in the workload")
 	inter := flag.Float64("interarrival", 10, "mean inter-arrival time [s]")
 	seed := flag.Uint64("seed", 7, "workload seed")
+	scenarioPath := flag.String("scenario", "", "scenario JSON file (overrides the workload flags)")
+	jsonOut := flag.Bool("json", false, "print machine-readable JSON results")
+	flag.Usage = usage
 	flag.Parse()
-
-	wl := cluster.PoissonWorkload(*jobs, *nodes, *inter, *seed)
-	results, err := cluster.Compare(*nodes, wl)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
-		os.Exit(1)
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "clustersim: unexpected arguments: %v\n", flag.Args())
+		usage()
+		os.Exit(2)
 	}
-	fmt.Printf("cluster of %d nodes, %d LU-profile jobs, mean inter-arrival %.0fs\n\n",
-		*nodes, *jobs, *inter)
+
+	var spec *scenario.Spec
+	if *scenarioPath != "" {
+		var err error
+		spec, err = scenario.Load(*scenarioPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		// The classic clustersim workload, expressed as a scenario: an
+		// open Poisson stream of LU-profile jobs.
+		spec = &scenario.Spec{
+			Name:  "clustersim",
+			Nodes: []int{*nodes},
+			Seed:  *seed,
+			Jobs:  *jobs,
+			Mix:   []scenario.MixSpec{{Kind: "lu"}},
+			Arrivals: scenario.ArrivalList{
+				{Process: "poisson", MeanInterarrivalS: *inter},
+			},
+		}
+		if err := spec.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	n := spec.Nodes[0]
+	load := spec.Loads[0]
+	var results []cluster.Result
+	for _, sched := range spec.Schedulers {
+		run, err := spec.RunCell(scenario.CellParams{
+			Nodes: n, Load: load, Scheduler: sched, ArrivalIdx: 0, Seed: spec.Seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
+			os.Exit(1)
+		}
+		results = append(results, run.Result)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("scenario %q: cluster of %d nodes, %s arrivals\n\n",
+		spec.Name, n, spec.Arrivals[0].Label())
 	fmt.Printf("%-18s  %10s  %12s  %12s  %11s  %9s\n",
 		"scheduler", "makespan", "mean resp.", "max resp.", "utilization", "mean eff.")
 	for _, r := range results {

@@ -1,0 +1,129 @@
+// Command dpssweep expands a declarative scenario file into an experiment
+// grid — arrival process × cluster size × offered load × scheduler — and
+// runs every cell with seed replications across a parallel worker pool.
+//
+// Usage:
+//
+//	dpssweep -scenario examples/scenarios/openload.json [-replications 20]
+//	         [-workers N] [-csv out.csv] [-json out.json]
+//
+// The aggregate table always prints to stdout; -csv and -json additionally
+// export machine-readable results ("-" writes to stdout instead of a
+// file). Identical scenarios and seeds produce identical exports
+// regardless of the worker count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"dpsim/internal/scenario"
+	"dpsim/internal/sweep"
+)
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(),
+		"usage: dpssweep -scenario FILE [-replications N] [-workers N] [-csv FILE] [-json FILE]\n")
+	flag.PrintDefaults()
+}
+
+func main() {
+	scenarioPath := flag.String("scenario", "", "scenario JSON file (required)")
+	replications := flag.Int("replications", 1, "seed replications per grid cell")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	csvPath := flag.String("csv", "", "write aggregate CSV to this file (\"-\" for stdout)")
+	jsonPath := flag.String("json", "", "write aggregate JSON to this file (\"-\" for stdout)")
+	quiet := flag.Bool("q", false, "suppress the progress line and table")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "dpssweep: unexpected arguments: %v\n", flag.Args())
+		usage()
+		os.Exit(2)
+	}
+	if *scenarioPath == "" {
+		fmt.Fprintln(os.Stderr, "dpssweep: -scenario is required")
+		usage()
+		os.Exit(2)
+	}
+	if *replications <= 0 {
+		fmt.Fprintln(os.Stderr, "dpssweep: -replications must be positive")
+		os.Exit(2)
+	}
+
+	spec, err := scenario.Load(*scenarioPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpssweep: %v\n", err)
+		os.Exit(1)
+	}
+	cells := sweep.Cells(spec)
+	opt := sweep.Options{Replications: *replications, Workers: *workers}
+	if !*quiet {
+		w := opt.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		fmt.Printf("scenario %q: %d cells × %d replications = %d runs on %d workers\n",
+			spec.Name, len(cells), *replications, len(cells)**replications, w)
+		opt.Progress = func(done, total int) {
+			fmt.Printf("\r%d/%d runs", done, total)
+			if done == total {
+				fmt.Println()
+			}
+		}
+	}
+	stats, err := sweep.Run(spec, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpssweep: %v\n", err)
+		os.Exit(1)
+	}
+
+	if !*quiet {
+		printTable(stats)
+	}
+	if err := export(*csvPath, func(w io.Writer) error {
+		return sweep.WriteCSV(w, spec.Name, stats)
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "dpssweep: csv: %v\n", err)
+		os.Exit(1)
+	}
+	if err := export(*jsonPath, func(w io.Writer) error {
+		return sweep.WriteJSON(w, spec.Name, stats)
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "dpssweep: json: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func printTable(stats []sweep.CellStats) {
+	fmt.Printf("\n%-16s %6s %5s %-18s %10s %10s %10s %10s %8s %8s\n",
+		"arrival", "nodes", "load", "scheduler",
+		"mean resp", "p95 resp", "p99 resp", "makespan", "util", "slowdn")
+	for _, st := range stats {
+		fmt.Printf("%-16s %6d %5.2g %-18s %9.1fs %9.1fs %9.1fs %9.1fs %7.1f%% %8.2f\n",
+			st.Arrival, st.Nodes, st.Load, st.Scheduler,
+			st.MeanResponse, st.P95Response, st.P99Response,
+			st.MeanMakespan, 100*st.MeanUtilization, st.MeanSlowdown)
+	}
+}
+
+func export(path string, write func(io.Writer) error) error {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -23,10 +23,19 @@
 //     parallel-sub-block-multiplication (PM) variants, with dynamic
 //     multiplication-thread removal.
 //   - internal/experiments — regenerates Table 1 and Figs. 8–13.
-//   - internal/cluster — the §9 future work: a malleable cluster server.
+//   - internal/cluster — the §9 future work: a malleable cluster server,
+//     drivable run-to-completion or through step primitives
+//     (PeekNextEventTime/ProcessNextEvent/Inject) for open arrivals.
+//   - internal/scenario — declarative cluster scenarios: JSON specs with
+//     weighted job mixes (LU-profile, synthetic, stencil-derived) and
+//     pluggable arrival processes (closed, Poisson, bursty MMPP, diurnal,
+//     trace replay), generated through forked deterministic RNG streams.
+//   - internal/sweep — expands a scenario into an experiment grid (arrival
+//     × nodes × load × scheduler), runs it on a parallel worker pool with
+//     seed replications, and aggregates/export results as CSV/JSON.
 //
 // Entry points: cmd/paperrepro (all tables and figures), cmd/lusim (one
 // configuration), cmd/dpstrace (timing diagrams), cmd/clustersim (the
-// multi-application scheduler comparison), and the runnable programs in
-// examples/.
+// multi-application scheduler comparison), cmd/dpssweep (scenario-driven
+// parallel experiment sweeps), and the runnable programs in examples/.
 package dpsim

@@ -1,0 +1,3 @@
+module dpsim
+
+go 1.24

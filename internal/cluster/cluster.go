@@ -321,12 +321,20 @@ type JobOutcome struct {
 }
 
 // Sim runs a workload on a malleable cluster under a scheduler.
+//
+// A Sim can be driven two ways: Run() executes the closed workload passed
+// to NewSim to completion, while the step primitives — PeekNextEventTime,
+// ProcessNextEvent and Inject — decompose the same event loop so an outer
+// driver (an open arrival process, a co-simulation sharing the clock) can
+// interleave job injections with event processing. Both paths execute the
+// identical event sequence for the same inputs.
 type Sim struct {
 	nodes int
 	sched Scheduler
 	q     *eventq.Queue
 	jobs  []*Job
 
+	started  bool
 	active   map[int]*JobState
 	finished []*JobState
 	effNum   float64
@@ -355,13 +363,70 @@ func NewSim(nodes int, sched Scheduler, jobs []*Job) (*Sim, error) {
 	return &Sim{nodes: nodes, sched: sched, q: eventq.New(), jobs: jobs, active: make(map[int]*JobState)}, nil
 }
 
-// Run executes the workload and returns the outcome summary.
-func (s *Sim) Run() Result {
+// start schedules the arrivals of the jobs passed to NewSim, exactly
+// once. It is invoked lazily by every driving entry point so that closed
+// runs (Run) and stepped runs observe the same initial event sequence.
+func (s *Sim) start() {
+	if s.started {
+		return
+	}
+	s.started = true
 	for _, j := range s.jobs {
 		j := j
 		s.q.At(eventq.Time(eventq.DurationOf(j.Arrival)), func() { s.arrive(j) })
 	}
-	s.q.Run(0)
+}
+
+// PeekNextEventTime reports the virtual instant of the next pending
+// simulation event, and false when the simulation has no pending work.
+// Drivers use it to decide whether an external arrival precedes the next
+// internal event (the shared-clock decomposition).
+func (s *Sim) PeekNextEventTime() (eventq.Time, bool) {
+	s.start()
+	return s.q.NextTime()
+}
+
+// ProcessNextEvent fires the earliest pending event, advancing the clock.
+// It reports false when no events remain.
+func (s *Sim) ProcessNextEvent() bool {
+	s.start()
+	return s.q.Step()
+}
+
+// Now returns the current virtual time of the simulation clock.
+func (s *Sim) Now() eventq.Time { return s.q.Now() }
+
+// Inject adds a job while the simulation is running (an open arrival).
+// The job's Arrival must not precede the current clock; its MaxNodes is
+// normalized exactly as NewSim does for the initial workload.
+func (s *Sim) Inject(j *Job) error {
+	s.start()
+	if j == nil || len(j.Phases) == 0 {
+		return fmt.Errorf("cluster: injected job has no phases")
+	}
+	if j.MaxNodes <= 0 || j.MaxNodes > s.nodes {
+		j.MaxNodes = s.nodes
+	}
+	at := eventq.Time(eventq.DurationOf(j.Arrival))
+	if at < s.q.Now() {
+		return fmt.Errorf("cluster: job %d arrives at %v, before now %v", j.ID, at, s.q.Now())
+	}
+	s.jobs = append(s.jobs, j)
+	s.q.At(at, func() { s.arrive(j) })
+	return nil
+}
+
+// Run executes the workload and returns the outcome summary. It is the
+// closed-loop composition of the step primitives.
+func (s *Sim) Run() Result {
+	for s.ProcessNextEvent() {
+	}
+	return s.Result()
+}
+
+// Result summarizes the simulation so far: call it after Run, or after the
+// stepped event loop drains, to collect the outcome.
+func (s *Sim) Result() Result {
 	res := Result{Scheduler: s.sched.Name(), Makespan: s.q.Now().Seconds()}
 	var sum float64
 	for _, js := range s.finished {
@@ -401,7 +466,16 @@ func (s *Sim) arrive(j *Job) {
 // completions.
 func (s *Sim) reallocate() {
 	now := s.q.Now()
-	for _, js := range s.active {
+	ids := make([]int, 0, len(s.active))
+	for id := range s.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	// Settle in ID order: the efficiency counters are float accumulators,
+	// and a map-order walk would make their last bits depend on iteration
+	// order, breaking bit-reproducibility across runs.
+	for _, id := range ids {
+		js := s.active[id]
 		dt := (now - js.last).Seconds()
 		if dt > 0 && js.rate > 0 {
 			done := js.rate * dt
@@ -426,11 +500,6 @@ func (s *Sim) reallocate() {
 	if total > s.nodes {
 		panic(fmt.Sprintf("cluster: scheduler %s over-allocated %d of %d nodes", s.sched.Name(), total, s.nodes))
 	}
-	ids := make([]int, 0, len(s.active))
-	for id := range s.active {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
 	for _, id := range ids {
 		js := s.active[id]
 		js.Alloc = alloc[id]
@@ -535,10 +604,27 @@ type IterLike struct {
 	Efficiency    float64
 }
 
+// Schedulers returns one instance of every built-in scheduler, in the
+// canonical comparison order.
+func Schedulers() []Scheduler {
+	return []Scheduler{Rigid{}, Moldable{}, Equipartition{}, EfficiencyGreedy{}}
+}
+
+// SchedulerByName resolves a scheduler from its Name() string (the form
+// used in scenario files and CLI flags).
+func SchedulerByName(name string) (Scheduler, bool) {
+	for _, s := range Schedulers() {
+		if s.Name() == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
 // Compare runs the same workload under every scheduler.
 func Compare(nodes int, jobs []*Job) ([]Result, error) {
 	var out []Result
-	for _, sched := range []Scheduler{Rigid{}, Moldable{}, Equipartition{}, EfficiencyGreedy{}} {
+	for _, sched := range Schedulers() {
 		// Deep-copy jobs: the sim mutates MaxNodes normalization only,
 		// but fresh copies keep runs independent.
 		cp := make([]*Job, len(jobs))

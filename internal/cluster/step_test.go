@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dpsim/internal/eventq"
+)
+
+// TestPoissonWorkloadDeterminism: the same seed must yield a bit-identical
+// workload; a different seed must not.
+func TestPoissonWorkloadDeterminism(t *testing.T) {
+	a := PoissonWorkload(30, 16, 8, 42)
+	b := PoissonWorkload(30, 16, 8, 42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].MaxNodes != b[i].MaxNodes {
+			t.Fatalf("job %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		if !reflect.DeepEqual(a[i].Phases, b[i].Phases) {
+			t.Fatalf("job %d phases differ", i)
+		}
+	}
+	c := PoissonWorkload(30, 16, 8, 43)
+	same := true
+	for i := range a {
+		if a[i].Arrival != c[i].Arrival {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical arrival sequences")
+	}
+}
+
+// TestSchedulerAllocationInvariants: for random states, every scheduler's
+// allocations are non-negative, per-job ≤ MaxNodes, and sum ≤ nodes.
+func TestSchedulerAllocationInvariants(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		wl := PoissonWorkload(9, 11, 3, seed)
+		st := State{Nodes: 7}
+		for i, j := range wl {
+			js := &JobState{Job: j}
+			if i%3 == 0 {
+				js.Alloc = 1 + i%2 // some already-running jobs
+			}
+			st.Active = append(st.Active, js)
+		}
+		for _, sched := range Schedulers() {
+			alloc := sched.Allocate(st)
+			total := 0
+			for id, a := range alloc {
+				if a < 0 {
+					t.Fatalf("%s: negative allocation %d for job %d (seed %d)", sched.Name(), a, id, seed)
+				}
+				total += a
+			}
+			if total > st.Nodes {
+				t.Fatalf("%s: allocated %d of %d nodes (seed %d)", sched.Name(), total, st.Nodes, seed)
+			}
+			for _, js := range st.Active {
+				if a := alloc[js.Job.ID]; a > js.Job.MaxNodes && js.Alloc == 0 {
+					t.Fatalf("%s: job %d got %d > MaxNodes %d", sched.Name(), js.Job.ID, a, js.Job.MaxNodes)
+				}
+			}
+		}
+	}
+}
+
+// stepRun drives a Sim through the step primitives only and returns the
+// summary — the open-loop path with nothing injected.
+func stepRun(s *Sim) Result {
+	for {
+		if _, ok := s.PeekNextEventTime(); !ok {
+			break
+		}
+		s.ProcessNextEvent()
+	}
+	return s.Result()
+}
+
+// TestStepPrimitivesReproduceRun: the stepped event loop must produce the
+// exact Result that the monolithic Run produces for the same workload.
+func TestStepPrimitivesReproduceRun(t *testing.T) {
+	for _, sched := range Schedulers() {
+		wl1 := PoissonWorkload(25, 12, 6, 7)
+		wl2 := PoissonWorkload(25, 12, 6, 7)
+		s1, err := NewSim(12, sched, wl1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := NewSim(12, sched, wl2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1 := s1.Run()
+		r2 := stepRun(s2)
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("%s: stepped result differs from Run:\n%+v\nvs\n%+v", sched.Name(), r1, r2)
+		}
+	}
+}
+
+// TestInjectMatchesClosedRun: feeding the same jobs through Inject as the
+// simulation progresses must reproduce the closed run bit-for-bit.
+func TestInjectMatchesClosedRun(t *testing.T) {
+	closedJobs := PoissonWorkload(20, 8, 5, 11)
+	openJobs := PoissonWorkload(20, 8, 5, 11)
+
+	cs, err := NewSim(8, EfficiencyGreedy{}, closedJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cs.Run()
+
+	os, err := NewSim(8, EfficiencyGreedy{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for {
+		et, evOK := os.PeekNextEventTime()
+		if i < len(openJobs) {
+			at := eventq.Time(eventq.DurationOf(openJobs[i].Arrival))
+			if !evOK || at <= et {
+				if err := os.Inject(openJobs[i]); err != nil {
+					t.Fatal(err)
+				}
+				i++
+				continue
+			}
+		}
+		if !evOK {
+			break
+		}
+		os.ProcessNextEvent()
+	}
+	got := os.Result()
+	if len(got.PerJob) != len(want.PerJob) {
+		t.Fatalf("open run finished %d jobs, closed %d", len(got.PerJob), len(want.PerJob))
+	}
+	for i := range want.PerJob {
+		if math.Abs(got.PerJob[i].Finish-want.PerJob[i].Finish) > 1e-9 {
+			t.Fatalf("job %d finish %v (open) vs %v (closed)", i, got.PerJob[i].Finish, want.PerJob[i].Finish)
+		}
+	}
+	if math.Abs(got.Makespan-want.Makespan) > 1e-9 {
+		t.Fatalf("makespan %v vs %v", got.Makespan, want.Makespan)
+	}
+}
+
+// TestInjectRejectsPastArrival: injecting behind the clock is an error,
+// not a silent causality violation.
+func TestInjectRejectsPastArrival(t *testing.T) {
+	j1 := singleJob(10, 2, 4)
+	sim, err := NewSim(4, Equipartition{}, []*Job{j1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the run so the clock sits at the makespan.
+	sim.Run()
+	late := singleJob(10, 2, 4)
+	late.ID = 1
+	late.Arrival = 0.5
+	if err := sim.Inject(late); err == nil {
+		t.Fatal("past-arrival injection accepted")
+	}
+}
+
+// TestInjectValidation mirrors NewSim's checks for open arrivals.
+func TestInjectValidation(t *testing.T) {
+	sim, err := NewSim(4, Rigid{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Inject(&Job{ID: 0}); err == nil {
+		t.Fatal("phaseless job accepted")
+	}
+	big := singleJob(4, 1, 99)
+	if err := sim.Inject(big); err != nil {
+		t.Fatal(err)
+	}
+	if big.MaxNodes != 4 {
+		t.Fatalf("MaxNodes not clamped: %d", big.MaxNodes)
+	}
+}

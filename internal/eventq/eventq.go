@@ -153,6 +153,16 @@ func (q *Queue) Cancel(e *Event) bool {
 	return true
 }
 
+// NextTime reports the instant of the earliest pending event without
+// firing it, and false when the queue is empty. Cancelled events are
+// removed eagerly, so the head of the heap is always live.
+func (q *Queue) NextTime() (Time, bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.peek().when, true
+}
+
 // Step fires the earliest pending event, advancing the clock to its
 // instant. It reports false when no events remain.
 func (q *Queue) Step() bool {

@@ -333,3 +333,27 @@ func BenchmarkHeap1k(b *testing.B) {
 		q.Run(0)
 	}
 }
+
+func TestNextTime(t *testing.T) {
+	q := New()
+	if _, ok := q.NextTime(); ok {
+		t.Fatal("empty queue reported a next time")
+	}
+	e := q.At(50, func() {})
+	q.At(30, func() {})
+	if at, ok := q.NextTime(); !ok || at != 30 {
+		t.Fatalf("next = %v, %v", at, ok)
+	}
+	// Peeking must not advance the clock or fire anything.
+	if q.Now() != 0 || q.Fired() != 0 {
+		t.Fatal("NextTime advanced the queue")
+	}
+	q.Step()
+	if at, ok := q.NextTime(); !ok || at != 50 {
+		t.Fatalf("after step: next = %v, %v", at, ok)
+	}
+	q.Cancel(e)
+	if _, ok := q.NextTime(); ok {
+		t.Fatal("cancelled event still visible")
+	}
+}

@@ -247,3 +247,38 @@ func Median(v []float64) float64 {
 	}
 	return (s[mid-1] + s[mid]) / 2
 }
+
+// Percentile returns the p-quantile of v for p in [0, 1], using linear
+// interpolation between order statistics (the common "type 7" estimator).
+// It returns 0 for empty input, NaN for NaN p, and clamps p to [0, 1].
+func Percentile(v []float64, p float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return PercentileSorted(s, p)
+}
+
+// PercentileSorted is Percentile over an already-sorted slice, avoiding
+// the per-call copy and sort when several quantiles of the same data are
+// needed.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

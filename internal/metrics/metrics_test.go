@@ -199,3 +199,49 @@ func TestSummaryHelpers(t *testing.T) {
 		t.Fatal("empty helpers not 0")
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	v := []float64{4, 1, 3, 2, 5}
+	if got := Percentile(v, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(v, 1); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(v, 0.5); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	// Linear interpolation between order statistics: p75 of 1..5 is 4.
+	if got := Percentile(v, 0.75); got != 4 {
+		t.Fatalf("p75 = %v", got)
+	}
+	if got := Percentile(v, 0.9); math.Abs(got-4.6) > 1e-12 {
+		t.Fatalf("p90 = %v", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := Percentile(v, -3); got != 1 {
+		t.Fatalf("clamped low = %v", got)
+	}
+	if got := Percentile(v, 7); got != 5 {
+		t.Fatalf("clamped high = %v", got)
+	}
+	if v[0] != 4 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileNaNAndSorted(t *testing.T) {
+	v := []float64{4, 1, 3, 2, 5}
+	if got := Percentile(v, math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("NaN p = %v, want NaN", got)
+	}
+	sorted := []float64{1, 2, 3, 4, 5}
+	if got := PercentileSorted(sorted, 0.75); got != 4 {
+		t.Fatalf("sorted p75 = %v", got)
+	}
+	if got := PercentileSorted(nil, 0.5); got != 0 {
+		t.Fatalf("sorted empty = %v", got)
+	}
+}

@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"dpsim/internal/cluster"
+	"dpsim/internal/lu"
+	"dpsim/internal/rng"
+)
+
+// luSizes are the paper's standard LU configurations, drawn from when an
+// "lu" mix entry does not pin n and r (mirrors cluster.PoissonWorkload).
+var luSizes = []struct{ n, r int }{
+	{1296, 162}, {1296, 108}, {648, 81}, {2592, 324},
+}
+
+// sampleBody draws one job body (phases + node cap) from the weighted mix
+// using only the passed per-job stream.
+func (s *Spec) sampleBody(r *rng.Source, nodes int) ([]cluster.Phase, int) {
+	var total float64
+	for _, m := range s.Mix {
+		total += m.Weight
+	}
+	pick := r.Float64() * total
+	m := s.Mix[len(s.Mix)-1]
+	for _, cand := range s.Mix {
+		pick -= cand.Weight
+		if pick < 0 {
+			m = cand
+			break
+		}
+	}
+	maxNodes := m.MaxNodes
+	if maxNodes <= 0 {
+		if nodes <= 2 {
+			maxNodes = nodes
+		} else {
+			maxNodes = 2 + r.Intn(nodes-1) // uniform over [2, nodes]
+		}
+	}
+	if maxNodes > nodes {
+		maxNodes = nodes
+	}
+	return m.phases(r, maxNodes), maxNodes
+}
+
+func (m MixSpec) phases(r *rng.Source, maxNodes int) []cluster.Phase {
+	switch m.Kind {
+	case "lu":
+		n, rr := m.N, m.R
+		if n == 0 {
+			sz := luSizes[r.Intn(len(luSizes))]
+			n, rr = sz.n, sz.r
+		}
+		return cluster.LUProfile(n, rr, lu.DefaultCostModel(), maxNodes)
+	case "synthetic":
+		work := m.WorkS * r.LogNormal(m.CV)
+		return cluster.SyntheticProfile(m.Phases, work, m.Comm)
+	case "stencil":
+		return stencilProfile(m.GridN, m.Iterations, m.FlopsPerSec)
+	}
+	panic("scenario: unvalidated mix kind " + m.Kind)
+}
+
+// stencilProfile derives a cluster job profile from the Jacobi
+// heat-diffusion solver of internal/stencil: each iteration's serial work
+// is the 5-flops-per-cell sweep over the n×n grid, and the communication
+// factor is the ratio of one band's halo exchange (two n-row messages over
+// the paper's Fast Ethernet, 100 µs + 8n/12.5e6 s each) to its share of
+// the compute — the per-node overhead that eff(p) = 1/(1+c(p-1)) charges
+// once per extra node.
+func stencilProfile(n, iterations int, flops float64) []cluster.Phase {
+	if flops <= 0 {
+		flops = 63e6 // the paper's UltraSparc II calibration
+	}
+	work := 5 * float64(n) * float64(n) / flops
+	halo := 2 * (100e-6 + 8*float64(n)/12.5e6)
+	comm := halo / work
+	out := make([]cluster.Phase, iterations)
+	for i := range out {
+		out[i] = cluster.Phase{Work: work, Comm: comm}
+	}
+	return out
+}

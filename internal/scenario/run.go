@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"fmt"
+
+	"dpsim/internal/cluster"
+	"dpsim/internal/eventq"
+)
+
+// CellParams identifies one point of the experiment grid plus the seed of
+// one replication.
+type CellParams struct {
+	Nodes      int
+	Load       float64
+	Scheduler  string
+	ArrivalIdx int
+	Seed       uint64
+}
+
+// CellRun is the outcome of one simulated replication.
+type CellRun struct {
+	Result cluster.Result
+	// Slowdowns is the per-finished-job bounded slowdown: response time
+	// divided by the job's best-case runtime on its own MaxNodes
+	// allocation (≥ 1 up to scheduler effects).
+	Slowdowns []float64
+}
+
+// RunCell expands one grid cell into a job stream and drives it through
+// the cluster simulator's step primitives, injecting each arrival as the
+// shared clock reaches it — the open-system event loop.
+func (s *Spec) RunCell(p CellParams) (*CellRun, error) {
+	sched, ok := cluster.SchedulerByName(p.Scheduler)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scheduler %q", p.Scheduler)
+	}
+	stream, err := s.Stream(p.ArrivalIdx, p.Nodes, p.Load, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := cluster.NewSim(p.Nodes, sched, nil)
+	if err != nil {
+		return nil, err
+	}
+	ideal := make(map[int]float64)
+	pending, ok := stream.Next()
+	for {
+		et, evOK := sim.PeekNextEventTime()
+		if ok {
+			at := eventq.Time(eventq.DurationOf(pending.Arrival))
+			if !evOK || at <= et {
+				ideal[pending.ID] = idealRuntime(pending)
+				if err := sim.Inject(pending); err != nil {
+					return nil, err
+				}
+				pending, ok = stream.Next()
+				continue
+			}
+		}
+		if !evOK {
+			break
+		}
+		sim.ProcessNextEvent()
+	}
+	res := sim.Result()
+	run := &CellRun{Result: res, Slowdowns: make([]float64, 0, len(res.PerJob))}
+	for _, j := range res.PerJob {
+		if best := ideal[j.ID]; best > 0 {
+			run.Slowdowns = append(run.Slowdowns, j.Response/best)
+		}
+	}
+	return run, nil
+}
+
+// idealRuntime is the job's runtime with MaxNodes held exclusively for
+// every phase — the denominator of the bounded-slowdown metric.
+func idealRuntime(j *cluster.Job) float64 {
+	var t float64
+	for _, ph := range j.Phases {
+		if rate := ph.Rate(j.MaxNodes); rate > 0 {
+			t += ph.Work / rate
+		}
+	}
+	return t
+}

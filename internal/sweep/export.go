@@ -1,0 +1,59 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// csvHeader is the stable column order of WriteCSV.
+const csvHeader = "scenario,arrival,nodes,load,scheduler,replications,jobs," +
+	"mean_response_s,p50_response_s,p95_response_s,p99_response_s," +
+	"mean_makespan_s,mean_utilization,mean_slowdown"
+
+// WriteCSV renders the aggregates as CSV, one row per cell in grid order.
+// Fields are RFC 4180-quoted when needed (scenario names and trace labels
+// may contain commas); floats use %g, so identical aggregates always
+// serialize identically.
+func WriteCSV(w io.Writer, scenarioName string, stats []CellStats) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(strings.Split(csvHeader, ",")); err != nil {
+		return err
+	}
+	for _, st := range stats {
+		row := []string{
+			scenarioName, st.Arrival,
+			fmt.Sprintf("%d", st.Nodes), fmt.Sprintf("%g", st.Load), st.Scheduler,
+			fmt.Sprintf("%d", st.Replications), fmt.Sprintf("%d", st.Jobs),
+			fmt.Sprintf("%g", st.MeanResponse), fmt.Sprintf("%g", st.P50Response),
+			fmt.Sprintf("%g", st.P95Response), fmt.Sprintf("%g", st.P99Response),
+			fmt.Sprintf("%g", st.MeanMakespan), fmt.Sprintf("%g", st.MeanUtilization),
+			fmt.Sprintf("%g", st.MeanSlowdown),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Report is the JSON export envelope.
+type Report struct {
+	Scenario     string      `json:"scenario"`
+	Replications int         `json:"replications"`
+	Cells        []CellStats `json:"cells"`
+}
+
+// WriteJSON renders the aggregates as an indented JSON report.
+func WriteJSON(w io.Writer, scenarioName string, stats []CellStats) error {
+	reps := 0
+	if len(stats) > 0 {
+		reps = stats[0].Replications
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Report{Scenario: scenarioName, Replications: reps, Cells: stats})
+}

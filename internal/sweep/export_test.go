@@ -1,0 +1,33 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+// TestWriteCSVQuotesSpecialFields: scenario names or trace labels with
+// commas/quotes must round-trip through RFC 4180 quoting instead of
+// corrupting the column layout.
+func TestWriteCSVQuotesSpecialFields(t *testing.T) {
+	stats := []CellStats{{
+		Cell:         Cell{Arrival: `trace:odd,"name".csv`, Nodes: 4, Load: 1, Scheduler: "rigid-fcfs"},
+		Replications: 1, Jobs: 2,
+		MeanResponse: 1, P50Response: 1, P95Response: 2, P99Response: 3,
+		MeanMakespan: 5, MeanUtilization: 0.5, MeanSlowdown: 1.5,
+	}}
+	var b strings.Builder
+	if err := WriteCSV(&b, "nodes,loads study", stats); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("export not parseable: %v", err)
+	}
+	if len(rows) != 2 || len(rows[1]) != 14 {
+		t.Fatalf("rows = %d, fields = %d", len(rows), len(rows[1]))
+	}
+	if rows[1][0] != "nodes,loads study" || rows[1][1] != `trace:odd,"name".csv` {
+		t.Fatalf("fields corrupted: %q, %q", rows[1][0], rows[1][1])
+	}
+}

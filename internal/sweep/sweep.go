@@ -1,0 +1,181 @@
+// Package sweep expands a scenario into an experiment grid — arrival
+// process × cluster size × offered load × scheduler — and runs every cell,
+// replicated over derived seeds, across a pool of parallel workers.
+//
+// Results are bit-identical for identical seeds regardless of worker
+// count: every replication's seed is a pure function of (master seed, cell
+// index, replication index), workers only fill pre-indexed slots, and
+// aggregation always folds replications in index order.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dpsim/internal/metrics"
+	"dpsim/internal/rng"
+	"dpsim/internal/scenario"
+)
+
+// Cell is one point of the experiment grid.
+type Cell struct {
+	Arrival    string  `json:"arrival"`
+	ArrivalIdx int     `json:"-"`
+	Nodes      int     `json:"nodes"`
+	Load       float64 `json:"load"`
+	Scheduler  string  `json:"scheduler"`
+}
+
+// CellStats aggregates a cell's replications.
+type CellStats struct {
+	Cell
+	Replications int `json:"replications"`
+	// Jobs is the total finished jobs pooled over all replications.
+	Jobs int `json:"jobs"`
+	// Response-time statistics over the pooled per-job responses [s].
+	MeanResponse float64 `json:"mean_response_s"`
+	P50Response  float64 `json:"p50_response_s"`
+	P95Response  float64 `json:"p95_response_s"`
+	P99Response  float64 `json:"p99_response_s"`
+	// Per-replication means.
+	MeanMakespan    float64 `json:"mean_makespan_s"`
+	MeanUtilization float64 `json:"mean_utilization"`
+	// MeanSlowdown averages the pooled bounded slowdowns.
+	MeanSlowdown float64 `json:"mean_slowdown"`
+}
+
+// Options tunes a sweep run.
+type Options struct {
+	// Replications per cell (default 1).
+	Replications int
+	// Workers caps the worker pool (default GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, is called after each completed run with
+	// (done, total). Calls arrive from worker goroutines.
+	Progress func(done, total int)
+}
+
+// Cells expands the scenario's grid in canonical order: arrival process,
+// then nodes, then load, then scheduler.
+func Cells(spec *scenario.Spec) []Cell {
+	var out []Cell
+	for ai, a := range spec.Arrivals {
+		for _, n := range spec.Nodes {
+			for _, l := range spec.Loads {
+				for _, sched := range spec.Schedulers {
+					out = append(out, Cell{
+						Arrival: a.Label(), ArrivalIdx: ai,
+						Nodes: n, Load: l, Scheduler: sched,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runSeed derives the seed of one replication as a pure function of the
+// master seed and the run's grid coordinates, so results do not depend on
+// scheduling order. Two splitmix rounds decorrelate neighboring cells.
+func runSeed(master uint64, cell, rep int) uint64 {
+	h := rng.New(master ^ (uint64(cell+1) * 0x9e3779b97f4a7c15)).Uint64()
+	return rng.New(h ^ (uint64(rep+1) * 0xbf58476d1ce4e5b9)).Uint64()
+}
+
+// Run executes the full grid and returns one aggregate per cell, in
+// Cells() order.
+func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
+	reps := opt.Replications
+	if reps <= 0 {
+		reps = 1
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cells := Cells(spec)
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("sweep: empty grid")
+	}
+	total := len(cells) * reps
+	if workers > total {
+		workers = total
+	}
+
+	runs := make([]*scenario.CellRun, total)
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				ci, rep := idx/reps, idx%reps
+				c := cells[ci]
+				run, err := spec.RunCell(scenario.CellParams{
+					Nodes:      c.Nodes,
+					Load:       c.Load,
+					Scheduler:  c.Scheduler,
+					ArrivalIdx: c.ArrivalIdx,
+					Seed:       runSeed(spec.Seed, ci, rep),
+				})
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("sweep: cell %s/%d nodes/load %g/%s rep %d: %w",
+						c.Arrival, c.Nodes, c.Load, c.Scheduler, rep, err)
+				}
+				runs[idx] = run
+				done++
+				if opt.Progress != nil {
+					// Under the lock so counts reach the callback in order
+					// (a stale count printed after the final one would
+					// corrupt progress displays).
+					opt.Progress(done, total)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for idx := 0; idx < total; idx++ {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := make([]CellStats, len(cells))
+	for ci, c := range cells {
+		st := CellStats{Cell: c, Replications: reps}
+		var responses, slowdowns []float64
+		var makespan, util float64
+		for rep := 0; rep < reps; rep++ {
+			run := runs[ci*reps+rep]
+			for _, j := range run.Result.PerJob {
+				responses = append(responses, j.Response)
+			}
+			slowdowns = append(slowdowns, run.Slowdowns...)
+			makespan += run.Result.Makespan
+			util += run.Result.Utilization
+		}
+		st.Jobs = len(responses)
+		st.MeanResponse = metrics.Mean(responses)
+		sort.Float64s(responses) // responses is cell-local; sort once for all quantiles
+		st.P50Response = metrics.PercentileSorted(responses, 0.50)
+		st.P95Response = metrics.PercentileSorted(responses, 0.95)
+		st.P99Response = metrics.PercentileSorted(responses, 0.99)
+		st.MeanMakespan = makespan / float64(reps)
+		st.MeanUtilization = util / float64(reps)
+		st.MeanSlowdown = metrics.Mean(slowdowns)
+		out[ci] = st
+	}
+	return out, nil
+}

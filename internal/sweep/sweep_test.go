@@ -1,0 +1,184 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dpsim/internal/scenario"
+	"dpsim/internal/trace"
+)
+
+// testSpec builds a 4-arrival-process scenario (closed, poisson, bursty,
+// trace replay) over a 2×1×2 nodes×load×scheduler grid.
+func testSpec(t *testing.T) *scenario.Spec {
+	t.Helper()
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "jobs.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = trace.WriteJobs(f, []trace.JobRecord{
+		{ID: 0, Arrival: 0, MaxNodes: 4, Phases: []trace.PhaseRecord{{Work: 12, Comm: 0.1}}},
+		{ID: 1, Arrival: 3, MaxNodes: 0, Phases: []trace.PhaseRecord{{Work: 8, Comm: 0.05}, {Work: 4, Comm: 0.2}}},
+		{ID: 2, Arrival: 9, MaxNodes: 8, Phases: []trace.PhaseRecord{{Work: 20, Comm: 0}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	body := `{
+		"name": "sweeptest",
+		"nodes": [4, 8],
+		"loads": [1.0],
+		"schedulers": ["rigid-fcfs", "efficiency-greedy"],
+		"seed": 21,
+		"jobs": 8,
+		"mix": [
+			{"kind": "synthetic", "phases": 2, "work_s": 15, "comm": 0.05, "cv": 0.3},
+			{"kind": "stencil", "grid_n": 324, "iterations": 3, "weight": 0.5}
+		],
+		"arrivals": [
+			{"process": "closed"},
+			{"process": "poisson", "mean_interarrival_s": 4},
+			{"process": "bursty", "burst_interarrival_s": 0.5, "calm_interarrival_s": 15,
+			 "burst_dwell_s": 3, "calm_dwell_s": 30},
+			{"process": "trace", "path": "jobs.csv"}
+		]
+	}`
+	path := filepath.Join(dir, "s.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := scenario.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestCellsExpansionOrder(t *testing.T) {
+	spec := testSpec(t)
+	cells := Cells(spec)
+	// 4 arrivals × 2 nodes × 1 load × 2 schedulers.
+	if len(cells) != 16 {
+		t.Fatalf("cells = %d, want 16", len(cells))
+	}
+	if cells[0].Arrival != "closed" || cells[0].Nodes != 4 || cells[0].Scheduler != "rigid-fcfs" {
+		t.Fatalf("first cell = %+v", cells[0])
+	}
+	if cells[1].Scheduler != "efficiency-greedy" {
+		t.Fatalf("second cell = %+v", cells[1])
+	}
+	last := cells[len(cells)-1]
+	if last.Arrival != "trace:jobs.csv" || last.Nodes != 8 {
+		t.Fatalf("last cell = %+v", last)
+	}
+}
+
+func exportBoth(t *testing.T, spec *scenario.Spec, stats []CellStats) (string, string) {
+	t.Helper()
+	var csvB, jsonB strings.Builder
+	if err := WriteCSV(&csvB, spec.Name, stats); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&jsonB, spec.Name, stats); err != nil {
+		t.Fatal(err)
+	}
+	return csvB.String(), jsonB.String()
+}
+
+// TestRunDeterministicAcrossWorkerCounts is the core contract: the same
+// scenario and seed produce byte-identical CSV and JSON aggregates no
+// matter how the runs are sharded.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	spec := testSpec(t)
+	var first, firstJSON string
+	for _, workers := range []int{1, 3, 16} {
+		stats, err := Run(spec, Options{Replications: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		csvOut, jsonOut := exportBoth(t, spec, stats)
+		if first == "" {
+			first, firstJSON = csvOut, jsonOut
+			continue
+		}
+		if csvOut != first {
+			t.Fatalf("workers=%d: CSV differs\n%s\nvs\n%s", workers, csvOut, first)
+		}
+		if jsonOut != firstJSON {
+			t.Fatalf("workers=%d: JSON differs", workers)
+		}
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	spec := testSpec(t)
+	stats, err := Run(spec, Options{Replications: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 16 {
+		t.Fatalf("stats = %d", len(stats))
+	}
+	for _, st := range stats {
+		if st.Replications != 2 {
+			t.Fatalf("replications = %d", st.Replications)
+		}
+		wantJobs := 2 * 8
+		if strings.HasPrefix(st.Arrival, "trace:") {
+			wantJobs = 2 * 3
+		}
+		if st.Jobs != wantJobs {
+			t.Fatalf("%s: jobs = %d, want %d", st.Arrival, st.Jobs, wantJobs)
+		}
+		if st.MeanResponse <= 0 || st.MeanMakespan <= 0 {
+			t.Fatalf("%+v", st)
+		}
+		if st.P50Response > st.P95Response || st.P95Response > st.P99Response {
+			t.Fatalf("percentiles out of order: %+v", st)
+		}
+		if st.MeanUtilization <= 0 || st.MeanUtilization > 1+1e-9 {
+			t.Fatalf("utilization = %v", st.MeanUtilization)
+		}
+		if st.MeanSlowdown < 1-1e-9 {
+			t.Fatalf("slowdown = %v", st.MeanSlowdown)
+		}
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	spec := testSpec(t)
+	var calls, lastTotal int
+	stats, err := Run(spec, Options{Replications: 1, Workers: 1, Progress: func(done, total int) {
+		calls++
+		lastTotal = total
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(stats) || lastTotal != 16 {
+		t.Fatalf("progress calls = %d, total = %d", calls, lastTotal)
+	}
+}
+
+func TestRunSeedDerivation(t *testing.T) {
+	if runSeed(1, 0, 0) == runSeed(1, 0, 1) || runSeed(1, 0, 0) == runSeed(1, 1, 0) {
+		t.Fatal("replication seeds collide")
+	}
+	if runSeed(1, 2, 3) != runSeed(1, 2, 3) {
+		t.Fatal("seed derivation not deterministic")
+	}
+}
+
+func TestCSVHeaderStable(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(b.String()); got != csvHeader {
+		t.Fatalf("header = %q", got)
+	}
+}
