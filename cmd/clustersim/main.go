@@ -10,8 +10,9 @@
 //
 // Without -scenario, the classic built-in workload runs: an open Poisson
 // stream of LU-profile jobs. With -scenario, the named scenario file
-// supplies nodes, mix and arrival process (its first grid point is used;
-// run cmd/dpssweep to cover the full grid).
+// supplies nodes, mix, arrival process and — when declared — the node
+// availability process and reconfiguration-cost model (its first grid
+// point is used; run cmd/dpssweep to cover the full grid).
 package main
 
 import (
@@ -76,8 +77,10 @@ func main() {
 	load := spec.Loads[0]
 	var results []cluster.Result
 	for _, sched := range spec.Schedulers {
+		// The first grid point throughout, including the first
+		// availability process when the scenario declares any.
 		run, err := spec.RunCell(scenario.CellParams{
-			Nodes: n, Load: load, Scheduler: sched, ArrivalIdx: 0, Seed: spec.Seed,
+			Nodes: n, Load: load, Scheduler: sched, ArrivalIdx: 0, AvailIdx: 0, Seed: spec.Seed,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
@@ -96,14 +99,18 @@ func main() {
 		return
 	}
 
-	fmt.Printf("scenario %q: cluster of %d nodes, %s arrivals\n\n",
-		spec.Name, n, spec.Arrivals[0].Label())
-	fmt.Printf("%-18s  %10s  %12s  %12s  %11s  %9s\n",
-		"scheduler", "makespan", "mean resp.", "max resp.", "utilization", "mean eff.")
+	availLabel := "fixed pool"
+	if len(spec.Availability) > 0 {
+		availLabel = spec.Availability[0].Label() + " availability"
+	}
+	fmt.Printf("scenario %q: cluster of %d nodes, %s arrivals, %s\n\n",
+		spec.Name, n, spec.Arrivals[0].Label(), availLabel)
+	fmt.Printf("%-18s  %10s  %12s  %10s  %11s  %9s  %8s  %10s\n",
+		"scheduler", "makespan", "mean resp.", "mean wait", "utilization", "mean eff.", "realloc", "lost work")
 	for _, r := range results {
-		fmt.Printf("%-18s  %9.1fs  %11.1fs  %11.1fs  %10.1f%%  %8.1f%%\n",
-			r.Scheduler, r.Makespan, r.MeanResponse, r.MaxResponse,
-			100*r.Utilization, 100*r.MeanAllocEfficiency)
+		fmt.Printf("%-18s  %9.1fs  %11.1fs  %9.1fs  %10.1f%%  %8.1f%%  %8d  %9.1fs\n",
+			r.Scheduler, r.Makespan, r.MeanResponse, r.MeanWait,
+			100*r.Utilization, 100*r.MeanAllocEfficiency, r.Reallocations, r.LostWorkS)
 	}
 	fmt.Println("\nDynamic node allocation (equipartition, efficiency-greedy) raises the")
 	fmt.Println("cluster's service rate over rigid FCFS — the paper's §1/§9 motivation.")

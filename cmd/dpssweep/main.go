@@ -1,6 +1,7 @@
 // Command dpssweep expands a declarative scenario file into an experiment
-// grid — arrival process × cluster size × offered load × scheduler — and
-// runs every cell with seed replications across a parallel worker pool.
+// grid — arrival process × availability process × cluster size × offered
+// load × scheduler — and runs every cell with seed replications across a
+// parallel worker pool.
 //
 // Usage:
 //
@@ -99,14 +100,15 @@ func main() {
 }
 
 func printTable(stats []sweep.CellStats) {
-	fmt.Printf("\n%-16s %6s %5s %-18s %10s %10s %10s %10s %8s %8s\n",
-		"arrival", "nodes", "load", "scheduler",
-		"mean resp", "p95 resp", "p99 resp", "makespan", "util", "slowdn")
+	fmt.Printf("\n%-16s %-16s %6s %5s %-18s %10s %10s %9s %10s %8s %8s %8s %8s %9s\n",
+		"arrival", "availability", "nodes", "load", "scheduler",
+		"mean resp", "p95 resp", "wait", "makespan", "util", "avutil", "slowdn", "realloc", "lost work")
 	for _, st := range stats {
-		fmt.Printf("%-16s %6d %5.2g %-18s %9.1fs %9.1fs %9.1fs %9.1fs %7.1f%% %8.2f\n",
-			st.Arrival, st.Nodes, st.Load, st.Scheduler,
-			st.MeanResponse, st.P95Response, st.P99Response,
-			st.MeanMakespan, 100*st.MeanUtilization, st.MeanSlowdown)
+		fmt.Printf("%-16s %-16s %6d %5.2g %-18s %9.1fs %9.1fs %8.1fs %9.1fs %7.1f%% %7.1f%% %8.2f %8.1f %8.1fs\n",
+			st.Arrival, st.Avail, st.Nodes, st.Load, st.Scheduler,
+			st.MeanResponse, st.P95Response, st.MeanWait,
+			st.MeanMakespan, 100*st.MeanUtilization, 100*st.MeanAvailUtilization,
+			st.MeanSlowdown, st.MeanReallocations, st.MeanLostWork)
 	}
 }
 

@@ -25,14 +25,24 @@
 //   - internal/experiments — regenerates Table 1 and Figs. 8–13.
 //   - internal/cluster — the §9 future work: a malleable cluster server,
 //     drivable run-to-completion or through step primitives
-//     (PeekNextEventTime/ProcessNextEvent/Inject) for open arrivals.
+//     (PeekNextEventTime/ProcessNextEvent/Inject) for open arrivals, with
+//     a time-varying node pool (capacity changes preempt and reallocate
+//     jobs) and a reconfiguration-cost model (data-redistribution pauses
+//     on allocation deltas, lost work on abrupt reclaims).
+//   - internal/availability — node-availability dynamics: deterministic
+//     generators for maintenance windows, exponential/Weibull
+//     failure/repair processes, spot-style preemption with reclaim
+//     notice, desktop-grid churn, and capacity-trace replay, all seeded
+//     through forked internal/rng streams.
 //   - internal/scenario — declarative cluster scenarios: JSON specs with
-//     weighted job mixes (LU-profile, synthetic, stencil-derived) and
+//     weighted job mixes (LU-profile, synthetic, stencil-derived),
 //     pluggable arrival processes (closed, Poisson, bursty MMPP, diurnal,
-//     trace replay), generated through forked deterministic RNG streams.
+//     trace replay) and availability processes, generated through forked
+//     deterministic RNG streams.
 //   - internal/sweep — expands a scenario into an experiment grid (arrival
-//     × nodes × load × scheduler), runs it on a parallel worker pool with
-//     seed replications, and aggregates/export results as CSV/JSON.
+//     × availability × nodes × load × scheduler), runs it on a parallel
+//     worker pool with seed replications, and aggregates/exports results
+//     as CSV/JSON.
 //
 // Entry points: cmd/paperrepro (all tables and figures), cmd/lusim (one
 // configuration), cmd/dpstrace (timing diagrams), cmd/clustersim (the

@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"testing"
+
+	"dpsim/internal/availability"
+	"dpsim/internal/rng"
+)
+
+// BenchmarkClusterStep measures the event-loop hot path: one op is a full
+// 60-job open-workload run stepped event by event, on a fixed pool and on
+// a volatile one with reconfiguration costs, so regressions in either the
+// classic path or the availability machinery show up in the trajectory.
+func BenchmarkClusterStep(b *testing.B) {
+	spec := availability.Spec{Process: "failures", MTTFS: 300, MTTRS: 80, HorizonS: 3000}
+	changes, err := spec.Generate(16, rng.New(9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, volatile bool) {
+		events := 0
+		for i := 0; i < b.N; i++ {
+			sim, err := NewSim(16, EfficiencyGreedy{}, PoissonWorkload(60, 16, 4, 7))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if volatile {
+				if err := sim.SetCapacityChanges(changes); err != nil {
+					b.Fatal(err)
+				}
+				if err := sim.SetReconfigCost(ReconfigCost{RedistributionSPerNode: 0.2, LostWorkS: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for sim.ProcessNextEvent() {
+				events++
+			}
+		}
+		b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	}
+	b.Run("fixed", func(b *testing.B) { run(b, false) })
+	b.Run("volatile", func(b *testing.B) { run(b, true) })
+}

@@ -26,7 +26,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
+	"dpsim/internal/availability"
 	"dpsim/internal/eventq"
 	"dpsim/internal/lu"
 	"dpsim/internal/rng"
@@ -117,6 +119,11 @@ type JobState struct {
 	rate      float64
 	last      eventq.Time
 	ev        *eventq.Event
+	// pausedUntil blocks progress while the job redistributes its data
+	// after an allocation change (the reconfiguration-cost model).
+	pausedUntil eventq.Time
+	// firstStart is the instant the job first held nodes; -1 until then.
+	firstStart float64
 }
 
 // Phase returns the job's current phase.
@@ -299,17 +306,71 @@ func (EfficiencyGreedy) Allocate(st State) map[int]int {
 
 // --- the cluster simulation ---
 
+// ReconfigCost prices dynamic reconfiguration under time-varying capacity
+// (and scheduler-driven resizing in general). The zero value makes every
+// reconfiguration free, reproducing the cost-free simulator exactly.
+type ReconfigCost struct {
+	// RedistributionSPerNode pauses a running job for this many seconds
+	// per node of allocation delta before it resumes at the new rate —
+	// the data-redistribution time of growing or shrinking a malleable
+	// application. Charged whenever a job running on p > 0 nodes is
+	// resized to a different q > 0.
+	RedistributionSPerNode float64
+	// LostWorkS is the work-seconds of in-phase progress a job loses per
+	// node reclaimed from it by an abrupt (no-notice) capacity drop — the
+	// rollback to the last consistent state. The charge is capped at the
+	// progress made in the current phase (earlier phases stay committed),
+	// and the total nodes charged per event at the number actually
+	// reclaimed (in job-ID order): allocation that merely migrates to
+	// another job during the drop's rebalance is a redistribution, not a
+	// loss.
+	LostWorkS float64
+}
+
+// Event tiers: at equal instants capacity changes precede arrivals, and
+// arrivals precede phase completions — in both the closed (NewSim jobs)
+// and the open (Inject) drive, which is what makes the two paths execute
+// identical event sequences even at exact ties.
+const (
+	tierCapacity int8 = -2
+	tierArrival  int8 = -1
+)
+
 // Result summarizes one simulated workload.
 type Result struct {
 	Scheduler    string
 	Makespan     float64
 	MeanResponse float64
 	MaxResponse  float64
-	// Utilization is total useful serial work divided by nodes×makespan.
+	// MeanWait is the mean time finished jobs spent between arrival and
+	// first node allocation.
+	MeanWait float64
+	// Utilization is total useful serial work divided by nodes×makespan
+	// (nodes = the full pool, counting unavailable capacity as waste).
 	Utilization float64
+	// AvailWeightedUtilization divides the same work by the integral of
+	// the *available* capacity over [0, makespan]: utilization relative
+	// to what the volatile pool actually offered. Equal to Utilization
+	// when capacity never changes.
+	AvailWeightedUtilization float64
 	// MeanAllocEfficiency is the work-weighted dynamic efficiency.
 	MeanAllocEfficiency float64
-	PerJob              []JobOutcome
+	// Unfinished counts jobs that arrived (or were scheduled) but did
+	// not complete — e.g. stranded by a permanent capacity loss their
+	// scheduler cannot work around.
+	Unfinished int
+	// Reallocations counts per-job allocation changes applied over the
+	// run: admissions, resizes and preemptions.
+	Reallocations int
+	// CapacityEvents counts the capacity changes applied to the pool.
+	CapacityEvents int
+	// LostWorkS totals the work-seconds rolled back by abrupt capacity
+	// drops under the reconfiguration-cost model.
+	LostWorkS float64
+	// RedistributionS totals the per-job pause time charged for data
+	// redistribution on allocation deltas.
+	RedistributionS float64
+	PerJob          []JobOutcome
 }
 
 // JobOutcome is one job's fate.
@@ -318,6 +379,10 @@ type JobOutcome struct {
 	Arrival  float64
 	Finish   float64
 	Response float64
+	// FirstStart is the instant the job first held nodes; Wait is
+	// FirstStart-Arrival, the queueing delay before any progress.
+	FirstStart float64
+	Wait       float64
 }
 
 // Sim runs a workload on a malleable cluster under a scheduler.
@@ -339,6 +404,43 @@ type Sim struct {
 	finished []*JobState
 	effNum   float64
 	effDen   float64
+
+	// Time-varying capacity (empty changes = the classic fixed pool).
+	changes  []availability.Change
+	cost     ReconfigCost
+	capNow   int // capacity currently in effect
+	schedCap int // capacity offered to the scheduler (≤ capNow during a notice window)
+	// abruptNodes is the not-yet-charged node count of the abrupt drop
+	// being applied: the lost-work budget of the current reallocation.
+	abruptNodes int
+	// pendingDrains holds the announced targets of notice windows still
+	// open (keyed by change index), so an intervening capacity event
+	// cannot silently void an outstanding reclaim notice.
+	pendingDrains map[int]int
+	capHist       []capStep
+	// Idle suspension: once no job is active and no arrival is pending,
+	// the remaining capacity events are cancelled (they can no longer
+	// affect an outcome); Inject resumes the timeline with a catch-up.
+	pendingArrivals int
+	capEvs          []*eventq.Event
+	capStopped      bool
+	nextChange      int
+	// lastJobEvent is the instant of the last arrival or phase completion:
+	// the makespan of the workload, independent of capacity events that
+	// may outlive the jobs.
+	lastJobEvent eventq.Time
+
+	reallocs  int
+	capEvents int
+	lostWork  float64
+	redistS   float64
+}
+
+// capStep is one applied capacity change, recorded for the
+// availability-weighted utilization integral.
+type capStep struct {
+	at  eventq.Time
+	cap int
 }
 
 // NewSim creates a simulation of the given cluster size.
@@ -360,7 +462,49 @@ func NewSim(nodes int, sched Scheduler, jobs []*Job) (*Sim, error) {
 			j.MaxNodes = nodes
 		}
 	}
-	return &Sim{nodes: nodes, sched: sched, q: eventq.New(), jobs: jobs, active: make(map[int]*JobState)}, nil
+	return &Sim{
+		nodes: nodes, sched: sched, q: eventq.New(), jobs: jobs,
+		active: make(map[int]*JobState), capNow: nodes, schedCap: nodes,
+	}, nil
+}
+
+// SetReconfigCost installs the reconfiguration-cost model. It must be
+// called before the first event is processed.
+func (s *Sim) SetReconfigCost(c ReconfigCost) error {
+	if s.started {
+		return errors.New("cluster: SetReconfigCost after the simulation started")
+	}
+	if c.RedistributionSPerNode < 0 || c.LostWorkS < 0 {
+		return errors.New("cluster: negative reconfiguration costs")
+	}
+	s.cost = c
+	return nil
+}
+
+// SetCapacityChanges installs the pool's capacity timeline (for example
+// from availability.Spec.Generate). Changes must be sorted by At with
+// capacities in [0, nodes]; drops with NoticeS > 0 are announced that far
+// in advance so the scheduler can drain the doomed nodes gracefully. It
+// must be called before the first event is processed.
+func (s *Sim) SetCapacityChanges(changes []availability.Change) error {
+	if s.started {
+		return errors.New("cluster: SetCapacityChanges after the simulation started")
+	}
+	prev := 0.0
+	for i, c := range changes {
+		if c.At < 0 || c.At < prev {
+			return fmt.Errorf("cluster: capacity change %d at %g out of order", i, c.At)
+		}
+		prev = c.At
+		if c.Capacity < 0 || c.Capacity > s.nodes {
+			return fmt.Errorf("cluster: capacity change %d to %d outside [0, %d]", i, c.Capacity, s.nodes)
+		}
+		if c.NoticeS < 0 {
+			return fmt.Errorf("cluster: capacity change %d has negative notice", i)
+		}
+	}
+	s.changes = changes
+	return nil
 }
 
 // start schedules the arrivals of the jobs passed to NewSim, exactly
@@ -371,10 +515,119 @@ func (s *Sim) start() {
 		return
 	}
 	s.started = true
+	s.pendingDrains = make(map[int]int)
+	s.scheduleChanges(0)
 	for _, j := range s.jobs {
 		j := j
-		s.q.At(eventq.Time(eventq.DurationOf(j.Arrival)), func() { s.arrive(j) })
+		s.pendingArrivals++
+		s.q.AtTier(eventq.Time(eventq.DurationOf(j.Arrival)), tierArrival, func() { s.arrive(j) })
 	}
+}
+
+// scheduleChanges queues the apply (and announce) events of
+// s.changes[from:]. Notice windows opening before the current instant are
+// clamped to it.
+func (s *Sim) scheduleChanges(from int) {
+	now := s.q.Now()
+	prev := s.capNow
+	for i := from; i < len(s.changes); i++ {
+		c := s.changes[i]
+		at := eventq.Time(eventq.DurationOf(c.At))
+		graceful := c.Capacity < prev && c.NoticeS > 0
+		if graceful {
+			annAt := at - eventq.Time(eventq.DurationOf(c.NoticeS))
+			if annAt < now {
+				annAt = now
+			}
+			idx, target := i, c.Capacity
+			s.capEvs = append(s.capEvs, s.q.AtTier(annAt, tierCapacity, func() { s.announceCapacity(idx, target) }))
+		}
+		idx, cap, g := i, c.Capacity, graceful
+		s.capEvs = append(s.capEvs, s.q.AtTier(at, tierCapacity, func() { s.applyCapacity(idx, cap, g) }))
+		prev = c.Capacity
+	}
+}
+
+// maybeSuspendCapacity cancels the not-yet-applied capacity events once
+// the workload is exhausted: with nothing to serve they cannot affect any
+// outcome, and a long availability horizon (a day of failure events, say)
+// would otherwise keep churning the event loop long after the last job.
+func (s *Sim) maybeSuspendCapacity() {
+	if s.capStopped || len(s.active) > 0 || s.pendingArrivals > 0 {
+		return
+	}
+	for _, e := range s.capEvs {
+		s.q.Cancel(e)
+	}
+	s.capEvs = s.capEvs[:0]
+	for k := range s.pendingDrains {
+		delete(s.pendingDrains, k)
+	}
+	s.capStopped = true
+}
+
+// resumeCapacity fast-forwards a suspended timeline to the current
+// instant — changes that elapsed while the cluster was idle are applied
+// silently (there was nothing to reallocate) — and re-schedules the rest.
+func (s *Sim) resumeCapacity() {
+	s.capStopped = false
+	now := s.q.Now()
+	for s.nextChange < len(s.changes) {
+		c := s.changes[s.nextChange]
+		at := eventq.Time(eventq.DurationOf(c.At))
+		if at > now {
+			break
+		}
+		s.capEvents++
+		s.capHist = append(s.capHist, capStep{at: at, cap: c.Capacity})
+		s.capNow = c.Capacity
+		s.nextChange++
+	}
+	s.schedCap = s.capNow
+	s.scheduleChanges(s.nextChange)
+}
+
+// announceCapacity opens a reclaim-notice window: the scheduler's usable
+// capacity shrinks to the announced target ahead of the actual drop, so
+// jobs migrate off the doomed nodes and lose no work when it lands.
+func (s *Sim) announceCapacity(idx, target int) {
+	s.pendingDrains[idx] = target
+	if next := s.effectiveSchedCap(); next < s.schedCap {
+		s.schedCap = next
+		s.reallocate()
+	}
+}
+
+// applyCapacity puts a capacity change into effect. Abrupt drops (no
+// notice) preempt whatever still runs beyond the new capacity and charge
+// the lost-work cost; graceful drops land on an already-drained pool.
+func (s *Sim) applyCapacity(idx, cap int, graceful bool) {
+	s.capEvents++
+	s.capHist = append(s.capHist, capStep{at: s.q.Now(), cap: cap})
+	delete(s.pendingDrains, idx)
+	s.nextChange = idx + 1
+	if cap < s.capNow && !graceful {
+		s.abruptNodes = s.capNow - cap
+	}
+	s.capNow = cap
+	s.schedCap = s.effectiveSchedCap()
+	s.reallocate()
+	s.abruptNodes = 0
+	s.maybeSuspendCapacity()
+}
+
+// effectiveSchedCap is the capacity the scheduler may use right now: the
+// actual pool, further limited by any reclaim notice still outstanding —
+// a capacity rise (or an unrelated change) inside a notice window must
+// not hand back nodes that are already doomed.
+func (s *Sim) effectiveSchedCap() int {
+	cap := s.capNow
+	for _, target := range s.pendingDrains {
+		if target < cap {
+			cap = target
+		}
+	}
+	return cap
 }
 
 // PeekNextEventTime reports the virtual instant of the next pending
@@ -411,8 +664,12 @@ func (s *Sim) Inject(j *Job) error {
 	if at < s.q.Now() {
 		return fmt.Errorf("cluster: job %d arrives at %v, before now %v", j.ID, at, s.q.Now())
 	}
+	if s.capStopped {
+		s.resumeCapacity()
+	}
 	s.jobs = append(s.jobs, j)
-	s.q.At(at, func() { s.arrive(j) })
+	s.pendingArrivals++
+	s.q.AtTier(at, tierArrival, func() { s.arrive(j) })
 	return nil
 }
 
@@ -425,16 +682,28 @@ func (s *Sim) Run() Result {
 }
 
 // Result summarizes the simulation so far: call it after Run, or after the
-// stepped event loop drains, to collect the outcome.
+// stepped event loop drains, to collect the outcome. The makespan is the
+// instant of the last job event (arrival or completion): capacity events
+// outliving the workload do not stretch it.
 func (s *Sim) Result() Result {
-	res := Result{Scheduler: s.sched.Name(), Makespan: s.q.Now().Seconds()}
-	var sum float64
+	res := Result{
+		Scheduler: s.sched.Name(), Makespan: s.lastJobEvent.Seconds(),
+		Reallocations: s.reallocs, CapacityEvents: s.capEvents,
+		LostWorkS: s.lostWork, RedistributionS: s.redistS,
+	}
+	var sum, waitSum float64
 	for _, js := range s.finished {
 		resp := js.finished - js.Job.Arrival
+		wait := js.firstStart - js.Job.Arrival
+		if wait < 0 {
+			wait = 0 // nanosecond arrival rounding can undercut the float instant
+		}
 		res.PerJob = append(res.PerJob, JobOutcome{
 			ID: js.Job.ID, Arrival: js.Job.Arrival, Finish: js.finished, Response: resp,
+			FirstStart: js.firstStart, Wait: wait,
 		})
 		sum += resp
+		waitSum += wait
 		if resp > res.MaxResponse {
 			res.MaxResponse = resp
 		}
@@ -442,13 +711,40 @@ func (s *Sim) Result() Result {
 	sort.Slice(res.PerJob, func(i, j int) bool { return res.PerJob[i].ID < res.PerJob[j].ID })
 	if len(s.finished) > 0 {
 		res.MeanResponse = sum / float64(len(s.finished))
+		res.MeanWait = waitSum / float64(len(s.finished))
+	}
+	// Useful work is what was actually completed: the full profile of
+	// finished jobs plus the settled progress of still-active ones.
+	// Stranded or pending jobs must not inflate utilization. (With every
+	// job finished this sums TotalWork over s.jobs in order, exactly the
+	// fixed-pool computation.)
+	res.Unfinished = len(s.jobs) - len(s.finished)
+	done := make(map[int]bool, len(s.finished))
+	for _, js := range s.finished {
+		done[js.Job.ID] = true
 	}
 	var work float64
 	for _, j := range s.jobs {
-		work += j.TotalWork()
+		switch {
+		case done[j.ID]:
+			work += j.TotalWork()
+		default:
+			if js, ok := s.active[j.ID]; ok {
+				completed := j.TotalWork() - js.Remaining
+				for k := js.PhaseIdx + 1; k < len(j.Phases); k++ {
+					completed -= j.Phases[k].Work
+				}
+				if completed > 0 {
+					work += completed
+				}
+			}
+		}
 	}
 	if res.Makespan > 0 {
 		res.Utilization = work / (float64(s.nodes) * res.Makespan)
+		if avail := s.capacityIntegral(s.lastJobEvent); avail > 0 {
+			res.AvailWeightedUtilization = work / avail
+		}
 	}
 	if s.effDen > 0 {
 		res.MeanAllocEfficiency = s.effNum / s.effDen
@@ -456,9 +752,35 @@ func (s *Sim) Result() Result {
 	return res
 }
 
+// capacityIntegral is ∫₀ᵉⁿᵈ capacity(t) dt in node-seconds, from the
+// applied capacity history. With no capacity events it reduces to the
+// fixed pool's nodes×makespan, bit-identically.
+func (s *Sim) capacityIntegral(end eventq.Time) float64 {
+	if len(s.capHist) == 0 {
+		return float64(s.nodes) * end.Seconds()
+	}
+	var integral float64
+	level := s.nodes
+	prev := eventq.Time(0)
+	for _, st := range s.capHist {
+		if st.at >= end {
+			break
+		}
+		integral += float64(level) * (st.at - prev).Seconds()
+		level = st.cap
+		prev = st.at
+	}
+	if end > prev {
+		integral += float64(level) * (end - prev).Seconds()
+	}
+	return integral
+}
+
 func (s *Sim) arrive(j *Job) {
-	js := &JobState{Job: j, Remaining: j.Phases[0].Work, started: s.q.Now().Seconds(), last: s.q.Now()}
+	s.pendingArrivals--
+	js := &JobState{Job: j, Remaining: j.Phases[0].Work, started: s.q.Now().Seconds(), last: s.q.Now(), firstStart: -1}
 	s.active[j.ID] = js
+	s.lastJobEvent = s.q.Now()
 	s.reallocate()
 }
 
@@ -476,7 +798,7 @@ func (s *Sim) reallocate() {
 	// order, breaking bit-reproducibility across runs.
 	for _, id := range ids {
 		js := s.active[id]
-		dt := (now - js.last).Seconds()
+		dt := (now - progressStart(js, now)).Seconds()
 		if dt > 0 && js.rate > 0 {
 			done := js.rate * dt
 			if done > js.Remaining {
@@ -491,18 +813,97 @@ func (s *Sim) reallocate() {
 		}
 		js.last = now
 	}
-	st := State{Nodes: s.nodes, Active: s.activeList()}
-	alloc := s.sched.Allocate(st)
+	// Snapshot pre-event allocations: reconfiguration costs are charged on
+	// the net per-job delta across the preemption pass and the scheduler.
+	oldAlloc := make([]int, len(ids))
 	total := 0
+	for i, id := range ids {
+		oldAlloc[i] = s.active[id].Alloc
+		total += oldAlloc[i]
+	}
+	// Preemption pass: a capacity drop can leave more nodes allocated than
+	// remain usable. Evict whole jobs — latest arrival first, ties broken
+	// toward the highest ID — until the allocation fits; schedulers that
+	// preserve running allocations (rigid, moldable) then see the evicted
+	// jobs as waiting and re-admit them FCFS when space returns.
+	if total > s.schedCap {
+		victims := make([]*JobState, 0, len(ids))
+		for _, id := range ids {
+			if s.active[id].Alloc > 0 {
+				victims = append(victims, s.active[id])
+			}
+		}
+		sort.SliceStable(victims, func(i, j int) bool {
+			if victims[i].Job.Arrival != victims[j].Job.Arrival {
+				return victims[i].Job.Arrival > victims[j].Job.Arrival
+			}
+			return victims[i].Job.ID > victims[j].Job.ID
+		})
+		for _, v := range victims {
+			if total <= s.schedCap {
+				break
+			}
+			total -= v.Alloc
+			v.Alloc = 0
+		}
+	}
+	st := State{Nodes: s.schedCap, Active: s.activeList()}
+	alloc := s.sched.Allocate(st)
+	total = 0
 	for _, a := range alloc {
 		total += a
 	}
-	if total > s.nodes {
-		panic(fmt.Sprintf("cluster: scheduler %s over-allocated %d of %d nodes", s.sched.Name(), total, s.nodes))
+	if total > s.schedCap {
+		panic(fmt.Sprintf("cluster: scheduler %s over-allocated %d of %d nodes", s.sched.Name(), total, s.schedCap))
 	}
-	for _, id := range ids {
+	for i, id := range ids {
 		js := s.active[id]
-		js.Alloc = alloc[id]
+		newA := alloc[id]
+		if newA != oldAlloc[i] {
+			s.reallocs++
+			if s.abruptNodes > 0 && newA < oldAlloc[i] && s.cost.LostWorkS > 0 {
+				// Rollback: in-phase progress on the reclaimed nodes is
+				// gone; completed phases stay committed. Only the nodes
+				// the event actually reclaimed are charged — shrink that
+				// migrates allocation to another job is redistribution,
+				// not loss.
+				n := oldAlloc[i] - newA
+				if n > s.abruptNodes {
+					n = s.abruptNodes
+				}
+				s.abruptNodes -= n
+				lost := s.cost.LostWorkS * float64(n)
+				if done := js.Phase().Work - js.Remaining; lost > done {
+					lost = done
+				}
+				if lost > 0 {
+					js.Remaining += lost
+					s.lostWork += lost
+				}
+			}
+			if s.cost.RedistributionSPerNode > 0 && oldAlloc[i] > 0 && newA > 0 {
+				delta := newA - oldAlloc[i]
+				if delta < 0 {
+					delta = -delta
+				}
+				pause := s.cost.RedistributionSPerNode * float64(delta)
+				// Overlapping pauses coalesce (one redistribution at a
+				// time); charge only the actual extension so the
+				// accounting matches the dynamics.
+				if until := now.Add(eventq.DurationOf(pause)); until > js.pausedUntil {
+					from := js.pausedUntil
+					if from < now {
+						from = now
+					}
+					s.redistS += eventq.Duration(until - from).Seconds()
+					js.pausedUntil = until
+				}
+			}
+		}
+		js.Alloc = newA
+		if newA > 0 && js.firstStart < 0 {
+			js.firstStart = now.Seconds()
+		}
 		js.rate = js.Phase().Rate(js.Alloc)
 		if js.ev != nil {
 			s.q.Cancel(js.ev)
@@ -510,23 +911,42 @@ func (s *Sim) reallocate() {
 		}
 		if js.rate > 0 {
 			eta := eventq.DurationOf(js.Remaining / js.rate)
+			if js.pausedUntil > now {
+				eta += eventq.Duration(js.pausedUntil - now)
+			}
 			jj := js
 			js.ev = s.q.After(eta, func() { s.phaseDone(jj) })
 		}
 	}
 }
 
+// progressStart is the instant from which a job has been progressing at
+// its current rate: its last settlement, deferred past any redistribution
+// pause still in force (never beyond now).
+func progressStart(js *JobState, now eventq.Time) eventq.Time {
+	from := js.last
+	if js.pausedUntil > from {
+		if js.pausedUntil < now {
+			from = js.pausedUntil
+		} else {
+			from = now
+		}
+	}
+	return from
+}
+
 func (s *Sim) phaseDone(js *JobState) {
 	js.Remaining = 0
 	// Credit the completed slice.
 	now := s.q.Now()
-	dt := (now - js.last).Seconds()
+	dt := (now - progressStart(js, now)).Seconds()
 	if dt > 0 && js.rate > 0 && js.Alloc > 0 {
 		done := js.rate * dt
 		s.effNum += done
 		s.effDen += done / js.Phase().Efficiency(js.Alloc)
 	}
 	js.last = now
+	s.lastJobEvent = now
 	js.PhaseIdx++
 	if js.PhaseIdx >= len(js.Job.Phases) {
 		js.finished = now.Seconds()
@@ -536,6 +956,7 @@ func (s *Sim) phaseDone(js *JobState) {
 		js.Remaining = js.Job.Phases[js.PhaseIdx].Work
 	}
 	s.reallocate()
+	s.maybeSuspendCapacity()
 }
 
 func (s *Sim) activeList() []*JobState {
@@ -610,11 +1031,22 @@ func Schedulers() []Scheduler {
 	return []Scheduler{Rigid{}, Moldable{}, Equipartition{}, EfficiencyGreedy{}}
 }
 
+// SchedulerNames lists the built-in scheduler names in canonical order —
+// the valid values for scenario files and CLI flags.
+func SchedulerNames() []string {
+	scheds := Schedulers()
+	names := make([]string, len(scheds))
+	for i, s := range scheds {
+		names[i] = s.Name()
+	}
+	return names
+}
+
 // SchedulerByName resolves a scheduler from its Name() string (the form
-// used in scenario files and CLI flags).
+// used in scenario files and CLI flags), case-insensitively.
 func SchedulerByName(name string) (Scheduler, bool) {
 	for _, s := range Schedulers() {
-		if s.Name() == name {
+		if strings.EqualFold(s.Name(), name) {
 			return s, true
 		}
 	}

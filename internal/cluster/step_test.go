@@ -153,6 +153,65 @@ func TestInjectMatchesClosedRun(t *testing.T) {
 	}
 }
 
+// TestInjectTieBreak: an arrival injected at exactly the instant of a
+// pending internal event must behave as if it had been scheduled up
+// front — the driver protocol injects on at <= next-event-time, so the
+// arrival fires before the coinciding phase completion, exactly like a
+// closed run where same-instant events fire in scheduling order (arrivals
+// are scheduled first).
+func TestInjectTieBreak(t *testing.T) {
+	// Job 0: two 40-work-second phases on 8 nodes under equipartition →
+	// its phase boundary fires at exactly t=5, and job 1 arrives at
+	// exactly t=5 to collide with it.
+	mkJobs := func() []*Job {
+		a := singleJob(80, 2, 8) // two phases: boundary event at t=5
+		b := singleJob(40, 1, 8)
+		b.ID, b.Arrival = 1, 5 // collides with a's phase boundary
+		return []*Job{a, b}
+	}
+
+	closed, err := NewSim(8, Equipartition{}, mkJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := closed.Run()
+
+	open, err := NewSim(8, Equipartition{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := mkJobs()
+	i := 0
+	injectedAtTie := false
+	for {
+		et, evOK := open.PeekNextEventTime()
+		if i < len(jobs) {
+			at := eventq.Time(eventq.DurationOf(jobs[i].Arrival))
+			if !evOK || at <= et {
+				if evOK && at == et {
+					injectedAtTie = true
+				}
+				if err := open.Inject(jobs[i]); err != nil {
+					t.Fatal(err)
+				}
+				i++
+				continue
+			}
+		}
+		if !evOK {
+			break
+		}
+		open.ProcessNextEvent()
+	}
+	if !injectedAtTie {
+		t.Fatal("test did not exercise the tie: arrival never coincided with a pending event")
+	}
+	got := open.Result()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tie-broken open run differs from closed run:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
 // TestInjectRejectsPastArrival: injecting behind the clock is an error,
 // not a silent causality violation.
 func TestInjectRejectsPastArrival(t *testing.T) {

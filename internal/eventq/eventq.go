@@ -83,10 +83,11 @@ func (t Time) String() string {
 }
 
 // Event is a callback scheduled at an instant. Events scheduled for the
-// same instant fire in scheduling order (FIFO), which makes simulations
-// deterministic regardless of heap internals.
+// same instant fire by ascending tier, then in scheduling order (FIFO),
+// which makes simulations deterministic regardless of heap internals.
 type Event struct {
 	when   Time
+	tier   int8
 	seq    uint64
 	index  int // heap index; -1 when not queued
 	fn     func()
@@ -120,14 +121,24 @@ func (q *Queue) Len() int { return len(q.heap) }
 // Fired returns the cumulative number of events executed.
 func (q *Queue) Fired() uint64 { return q.fired }
 
-// At schedules fn at the absolute instant when. Scheduling in the past
-// (before Now) panics: it would mean a model produced a causality
-// violation and continuing would silently corrupt the timeline.
+// At schedules fn at the absolute instant when, in the default tier 0.
+// Scheduling in the past (before Now) panics: it would mean a model
+// produced a causality violation and continuing would silently corrupt
+// the timeline.
 func (q *Queue) At(when Time, fn func()) *Event {
+	return q.AtTier(when, 0, fn)
+}
+
+// AtTier schedules fn at the absolute instant when in the given tier.
+// Same-instant events fire by ascending tier, FIFO within a tier, no
+// matter when each was scheduled — so a model can give a class of events
+// (e.g. externally injected arrivals) a stable position relative to
+// events that are already queued for that instant.
+func (q *Queue) AtTier(when Time, tier int8, fn func()) *Event {
 	if when < q.now {
 		panic(fmt.Sprintf("eventq: scheduling at %v before now %v", when, q.now))
 	}
-	e := &Event{when: when, seq: q.nextSq, fn: fn}
+	e := &Event{when: when, tier: tier, seq: q.nextSq, fn: fn}
 	q.nextSq++
 	q.push(e)
 	return e
@@ -213,6 +224,9 @@ func (q *Queue) less(i, j int) bool {
 	a, b := q.heap[i], q.heap[j]
 	if a.when != b.when {
 		return a.when < b.when
+	}
+	if a.tier != b.tier {
+		return a.tier < b.tier
 	}
 	return a.seq < b.seq
 }

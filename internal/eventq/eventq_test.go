@@ -1,6 +1,7 @@
 package eventq
 
 import (
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -48,6 +49,26 @@ func TestFIFOTieBreak(t *testing.T) {
 		if v != i {
 			t.Fatalf("same-time events fired out of scheduling order: %v", got)
 		}
+	}
+}
+
+// TestTierOrdering: same-instant events fire by ascending tier before
+// FIFO, regardless of scheduling order — a lower-tier event scheduled
+// LAST still beats higher-tier events already queued for that instant.
+func TestTierOrdering(t *testing.T) {
+	q := New()
+	var got []string
+	q.At(10, func() { got = append(got, "t0-a") })
+	q.AtTier(10, 1, func() { got = append(got, "t1") })
+	q.AtTier(10, -1, func() { got = append(got, "t-1-a") })
+	q.At(10, func() { got = append(got, "t0-b") })
+	q.AtTier(10, -2, func() { got = append(got, "t-2") })
+	q.AtTier(10, -1, func() { got = append(got, "t-1-b") })
+	q.At(5, func() { got = append(got, "early") })
+	q.Run(0)
+	want := []string{"early", "t-2", "t-1-a", "t-1-b", "t0-a", "t0-b", "t1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order %v, want %v", got, want)
 	}
 }
 

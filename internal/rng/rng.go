@@ -91,6 +91,24 @@ func (s *Source) Exp(mean float64) float64 {
 	return -mean * math.Log(1-u)
 }
 
+// Weibull returns a Weibull deviate with the given mean and shape k > 0.
+// The scale is derived from the mean via λ = mean/Γ(1+1/k), so Weibull and
+// Exp with equal means are directly comparable (k = 1 reduces to the
+// exponential law). Weibull time-to-failure with k < 1 models infant
+// mortality, k > 1 wear-out — the standard reliability laws for compute
+// node failure processes.
+func (s *Source) Weibull(mean, shape float64) float64 {
+	if shape <= 0 {
+		panic("rng: Weibull called with shape <= 0")
+	}
+	u := s.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	scale := mean / math.Gamma(1+1/shape)
+	return scale * math.Pow(-math.Log(1-u), 1/shape)
+}
+
 // Perm returns a pseudo-random permutation of [0, n).
 func (s *Source) Perm(n int) []int {
 	p := make([]int, n)

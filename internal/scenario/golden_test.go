@@ -1,0 +1,65 @@
+package scenario
+
+import "testing"
+
+// Golden values produced by the scenario layer BEFORE the availability
+// subsystem existed (PR 1 state), %.17g. A scenario with no availability
+// block and no reconfig block must reproduce them bit-for-bit through
+// RunCell — the whole declarative path, not just the simulator core.
+var goldenCells = []struct {
+	scheduler                      string
+	makespan, meanResp             float64
+	utilization, meanEff, slowdown float64
+}{
+	{"rigid-fcfs", 282.99615706600002, 76.115414918386094, 0.58125731054403462, 0.73313404224908729, 62.872780381944168},
+	{"moldable", 285.36779609600001, 77.375887942163857, 0.57642658842675942, 0.73956272677890744, 64.245563099193717},
+	{"equipartition", 252.60591229600001, 69.772806487774972, 0.65118659993091987, 0.9007664729149254, 46.859591713070238},
+	{"efficiency-greedy", 249.90429024100001, 62.876720903330515, 0.65822633533761199, 0.86746014198780474, 41.32079512033517},
+}
+
+func TestGoldenScenarioBackwardCompat(t *testing.T) {
+	spec, err := Parse([]byte(`{
+		"name": "golden",
+		"nodes": [16],
+		"seed": 99,
+		"jobs": 18,
+		"mix": [
+			{"kind": "lu", "weight": 1},
+			{"kind": "synthetic", "phases": 5, "work_s": 180, "comm": 0.04, "cv": 0.3, "weight": 2}
+		],
+		"arrivals": {"process": "poisson", "mean_interarrival_s": 8}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sched := range spec.Schedulers {
+		want := goldenCells[i]
+		if sched != want.scheduler {
+			t.Fatalf("scheduler order changed: %s vs golden %s", sched, want.scheduler)
+		}
+		run, err := spec.RunCell(CellParams{Nodes: 16, Load: 1, Scheduler: sched, ArrivalIdx: 0, Seed: spec.Seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := run.Result
+		var sd float64
+		for _, s := range run.Slowdowns {
+			sd += s
+		}
+		if r.Makespan != want.makespan {
+			t.Errorf("%s: makespan %.17g, golden %.17g", sched, r.Makespan, want.makespan)
+		}
+		if r.MeanResponse != want.meanResp {
+			t.Errorf("%s: mean response %.17g, golden %.17g", sched, r.MeanResponse, want.meanResp)
+		}
+		if r.Utilization != want.utilization {
+			t.Errorf("%s: utilization %.17g, golden %.17g", sched, r.Utilization, want.utilization)
+		}
+		if r.MeanAllocEfficiency != want.meanEff {
+			t.Errorf("%s: mean efficiency %.17g, golden %.17g", sched, r.MeanAllocEfficiency, want.meanEff)
+		}
+		if sd != want.slowdown {
+			t.Errorf("%s: slowdown sum %.17g, golden %.17g", sched, sd, want.slowdown)
+		}
+	}
+}

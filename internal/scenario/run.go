@@ -2,9 +2,11 @@ package scenario
 
 import (
 	"fmt"
+	"strings"
 
 	"dpsim/internal/cluster"
 	"dpsim/internal/eventq"
+	"dpsim/internal/rng"
 )
 
 // CellParams identifies one point of the experiment grid plus the seed of
@@ -14,7 +16,10 @@ type CellParams struct {
 	Load       float64
 	Scheduler  string
 	ArrivalIdx int
-	Seed       uint64
+	// AvailIdx indexes Spec.Availability; any value is the fixed pool
+	// when the spec lists no availability processes, and -1 forces it.
+	AvailIdx int
+	Seed     uint64
 }
 
 // CellRun is the outcome of one simulated replication.
@@ -32,7 +37,8 @@ type CellRun struct {
 func (s *Spec) RunCell(p CellParams) (*CellRun, error) {
 	sched, ok := cluster.SchedulerByName(p.Scheduler)
 	if !ok {
-		return nil, fmt.Errorf("scenario: unknown scheduler %q", p.Scheduler)
+		return nil, fmt.Errorf("scenario: unknown scheduler %q (valid: %s)",
+			p.Scheduler, strings.Join(cluster.SchedulerNames(), ", "))
 	}
 	stream, err := s.Stream(p.ArrivalIdx, p.Nodes, p.Load, p.Seed)
 	if err != nil {
@@ -41,6 +47,36 @@ func (s *Spec) RunCell(p CellParams) (*CellRun, error) {
 	sim, err := cluster.NewSim(p.Nodes, sched, nil)
 	if err != nil {
 		return nil, err
+	}
+	if len(s.Availability) > 0 && p.AvailIdx >= 0 {
+		if p.AvailIdx >= len(s.Availability) {
+			return nil, fmt.Errorf("scenario: availability index %d out of range", p.AvailIdx)
+		}
+		av := s.Availability[p.AvailIdx]
+		av.Dir = s.dir
+		// The job stream consumes the first two forks of the cell seed
+		// (arrival instants, job bodies); the capacity timeline takes the
+		// third, so turning availability on never perturbs the workload
+		// itself.
+		base := rng.New(p.Seed)
+		base.Fork()
+		base.Fork()
+		changes, err := av.Generate(p.Nodes, base.Fork())
+		if err != nil {
+			return nil, err
+		}
+		if err := sim.SetCapacityChanges(changes); err != nil {
+			return nil, err
+		}
+	}
+	if s.Reconfig != nil {
+		err := sim.SetReconfigCost(cluster.ReconfigCost{
+			RedistributionSPerNode: s.Reconfig.RedistributionSPerNode,
+			LostWorkS:              s.Reconfig.LostWorkS,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	ideal := make(map[int]float64)
 	pending, ok := stream.Next()

@@ -5,10 +5,11 @@
 // streams driven through the cluster simulator's step primitives.
 //
 // A scenario file names the dimensions of an experiment grid — nodes ×
-// load × arrival process × scheduler — which internal/sweep expands and
-// runs in parallel. Every random choice flows through forked internal/rng
-// streams keyed on (seed, cell, replication, job), so results are
-// bit-reproducible regardless of execution order or worker count.
+// load × arrival process × availability process × scheduler — which
+// internal/sweep expands and runs in parallel. Every random choice flows
+// through forked internal/rng streams keyed on (seed, cell, replication,
+// job), so results are bit-reproducible regardless of execution order or
+// worker count.
 //
 // Supported arrival processes: closed job lists (all at t=0 or explicit
 // instants), open Poisson, bursty MMPP-2 (a two-state Markov-modulated
@@ -20,6 +21,11 @@
 // paper's LU cost model), synthetic uniform-phase jobs with optional
 // log-normal work noise, and stencil-derived jobs (Jacobi heat-diffusion
 // compute/halo cost ratios from internal/stencil's model).
+//
+// Scenarios may additionally declare node-availability processes
+// (internal/availability: maintenance windows, failures, spot
+// preemption, churn, capacity-trace replay) as another grid axis, plus a
+// reconfiguration-cost model priced by the cluster simulator.
 package scenario
 
 import (
@@ -27,7 +33,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"dpsim/internal/availability"
 	"dpsim/internal/cluster"
 )
 
@@ -61,10 +69,48 @@ type Spec struct {
 	// Arrivals lists the arrival processes of the grid. The JSON value
 	// may be a single object or an array.
 	Arrivals ArrivalList `json:"arrivals"`
+	// Availability lists node-availability processes forming another grid
+	// axis (availability.Spec schema: maintenance windows, failures, spot
+	// preemption, churn, capacity-trace replay; "none" is the fixed-pool
+	// baseline). Empty means the pool never changes. The JSON value may
+	// be a single object or an array.
+	Availability AvailabilityList `json:"availability,omitempty"`
+	// Reconfig prices dynamic reconfiguration (applies to every cell);
+	// nil means reconfiguration is free, the classic simulator.
+	Reconfig *ReconfigSpec `json:"reconfig,omitempty"`
 
 	// dir is the directory of the scenario file, for resolving relative
 	// trace paths; empty for in-memory specs.
 	dir string
+}
+
+// ReconfigSpec is the JSON form of cluster.ReconfigCost.
+type ReconfigSpec struct {
+	// RedistributionSPerNode pauses a resized job this many seconds per
+	// node of allocation delta (data redistribution).
+	RedistributionSPerNode float64 `json:"redistribution_s_per_node,omitempty"`
+	// LostWorkS is the in-phase progress (work-seconds) lost per node
+	// reclaimed by an abrupt capacity drop.
+	LostWorkS float64 `json:"lost_work_s,omitempty"`
+}
+
+// AvailabilityList unmarshals from either a single JSON object or an
+// array of objects, like ArrivalList.
+type AvailabilityList []availability.Spec
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (l *AvailabilityList) UnmarshalJSON(data []byte) error {
+	var many []availability.Spec
+	if err := json.Unmarshal(data, &many); err == nil {
+		*l = many
+		return nil
+	}
+	var one availability.Spec
+	if err := json.Unmarshal(data, &one); err != nil {
+		return err
+	}
+	*l = AvailabilityList{one}
+	return nil
 }
 
 // MixSpec is one weighted component of the job mix.
@@ -205,7 +251,8 @@ func (s *Spec) Validate() error {
 	}
 	for _, name := range s.Schedulers {
 		if _, ok := cluster.SchedulerByName(name); !ok {
-			return fmt.Errorf("unknown scheduler %q", name)
+			return fmt.Errorf("unknown scheduler %q (valid: %s)",
+				name, strings.Join(cluster.SchedulerNames(), ", "))
 		}
 	}
 	if len(s.Arrivals) == 0 {
@@ -227,6 +274,14 @@ func (s *Spec) Validate() error {
 		if err := s.Mix[i].validate(); err != nil {
 			return fmt.Errorf("mix[%d]: %w", i, err)
 		}
+	}
+	for i := range s.Availability {
+		if err := s.Availability[i].Validate(); err != nil {
+			return fmt.Errorf("availability[%d]: %w", i, err)
+		}
+	}
+	if s.Reconfig != nil && (s.Reconfig.RedistributionSPerNode < 0 || s.Reconfig.LostWorkS < 0) {
+		return fmt.Errorf("reconfig costs must be >= 0")
 	}
 	return nil
 }

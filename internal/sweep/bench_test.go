@@ -1,0 +1,37 @@
+package sweep
+
+import (
+	"testing"
+
+	"dpsim/internal/scenario"
+)
+
+// BenchmarkSweepGrid measures the parallel sweep machinery end to end:
+// one op expands and runs a 12-cell grid (2 availability axes × 2 nodes ×
+// 3 schedulers) with 2 replications per cell on the default worker pool.
+func BenchmarkSweepGrid(b *testing.B) {
+	spec, err := scenario.Parse([]byte(`{
+		"name": "bench",
+		"nodes": [8, 16],
+		"schedulers": ["rigid-fcfs", "equipartition", "efficiency-greedy"],
+		"seed": 3,
+		"jobs": 12,
+		"mix": [{"kind": "synthetic", "phases": 4, "work_s": 120, "comm": 0.05, "cv": 0.3}],
+		"arrivals": {"process": "poisson", "mean_interarrival_s": 8},
+		"availability": [
+			{"process": "none"},
+			{"process": "spot", "reclaim_mean_s": 60, "reclaim_nodes": 2,
+			 "restore_mean_s": 40, "min_capacity": 2, "horizon_s": 2000}
+		],
+		"reconfig": {"redistribution_s_per_node": 0.2, "lost_work_s": 1}
+	}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec, Options{Replications: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

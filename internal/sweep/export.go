@@ -9,9 +9,10 @@ import (
 )
 
 // csvHeader is the stable column order of WriteCSV.
-const csvHeader = "scenario,arrival,nodes,load,scheduler,replications,jobs," +
-	"mean_response_s,p50_response_s,p95_response_s,p99_response_s," +
-	"mean_makespan_s,mean_utilization,mean_slowdown"
+const csvHeader = "scenario,arrival,availability,nodes,load,scheduler,replications,jobs,unfinished," +
+	"mean_response_s,p50_response_s,p95_response_s,p99_response_s,mean_wait_s," +
+	"mean_makespan_s,mean_utilization,mean_avail_utilization,mean_slowdown," +
+	"mean_reallocations,mean_capacity_events,mean_lost_work_s"
 
 // WriteCSV renders the aggregates as CSV, one row per cell in grid order.
 // Fields are RFC 4180-quoted when needed (scenario names and trace labels
@@ -24,13 +25,17 @@ func WriteCSV(w io.Writer, scenarioName string, stats []CellStats) error {
 	}
 	for _, st := range stats {
 		row := []string{
-			scenarioName, st.Arrival,
+			scenarioName, st.Arrival, st.Avail,
 			fmt.Sprintf("%d", st.Nodes), fmt.Sprintf("%g", st.Load), st.Scheduler,
 			fmt.Sprintf("%d", st.Replications), fmt.Sprintf("%d", st.Jobs),
+			fmt.Sprintf("%d", st.Unfinished),
 			fmt.Sprintf("%g", st.MeanResponse), fmt.Sprintf("%g", st.P50Response),
 			fmt.Sprintf("%g", st.P95Response), fmt.Sprintf("%g", st.P99Response),
+			fmt.Sprintf("%g", st.MeanWait),
 			fmt.Sprintf("%g", st.MeanMakespan), fmt.Sprintf("%g", st.MeanUtilization),
-			fmt.Sprintf("%g", st.MeanSlowdown),
+			fmt.Sprintf("%g", st.MeanAvailUtilization), fmt.Sprintf("%g", st.MeanSlowdown),
+			fmt.Sprintf("%g", st.MeanReallocations), fmt.Sprintf("%g", st.MeanCapacityEvents),
+			fmt.Sprintf("%g", st.MeanLostWork),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

@@ -11,7 +11,7 @@ import (
 // corrupting the column layout.
 func TestWriteCSVQuotesSpecialFields(t *testing.T) {
 	stats := []CellStats{{
-		Cell:         Cell{Arrival: `trace:odd,"name".csv`, Nodes: 4, Load: 1, Scheduler: "rigid-fcfs"},
+		Cell:         Cell{Arrival: `trace:odd,"name".csv`, Avail: "none", Nodes: 4, Load: 1, Scheduler: "rigid-fcfs"},
 		Replications: 1, Jobs: 2,
 		MeanResponse: 1, P50Response: 1, P95Response: 2, P99Response: 3,
 		MeanMakespan: 5, MeanUtilization: 0.5, MeanSlowdown: 1.5,
@@ -24,7 +24,7 @@ func TestWriteCSVQuotesSpecialFields(t *testing.T) {
 	if err != nil {
 		t.Fatalf("export not parseable: %v", err)
 	}
-	if len(rows) != 2 || len(rows[1]) != 14 {
+	if len(rows) != 2 || len(rows[1]) != 21 {
 		t.Fatalf("rows = %d, fields = %d", len(rows), len(rows[1]))
 	}
 	if rows[1][0] != "nodes,loads study" || rows[1][1] != `trace:odd,"name".csv` {

@@ -1,6 +1,7 @@
 // Package sweep expands a scenario into an experiment grid — arrival
-// process × cluster size × offered load × scheduler — and runs every cell,
-// replicated over derived seeds, across a pool of parallel workers.
+// process × availability process × cluster size × offered load ×
+// scheduler — and runs every cell, replicated over derived seeds, across
+// a pool of parallel workers.
 //
 // Results are bit-identical for identical seeds regardless of worker
 // count: every replication's seed is a pure function of (master seed, cell
@@ -23,6 +24,8 @@ import (
 type Cell struct {
 	Arrival    string  `json:"arrival"`
 	ArrivalIdx int     `json:"-"`
+	Avail      string  `json:"availability"`
+	AvailIdx   int     `json:"-"`
 	Nodes      int     `json:"nodes"`
 	Load       float64 `json:"load"`
 	Scheduler  string  `json:"scheduler"`
@@ -32,18 +35,36 @@ type Cell struct {
 type CellStats struct {
 	Cell
 	Replications int `json:"replications"`
-	// Jobs is the total finished jobs pooled over all replications.
-	Jobs int `json:"jobs"`
+	// Jobs is the total finished jobs pooled over all replications;
+	// Unfinished counts jobs that arrived but never completed (e.g.
+	// stranded by a permanent capacity loss) — response/wait/slowdown
+	// statistics cover finished jobs only, so a non-zero Unfinished
+	// flags survivorship bias in them.
+	Jobs       int `json:"jobs"`
+	Unfinished int `json:"unfinished"`
 	// Response-time statistics over the pooled per-job responses [s].
 	MeanResponse float64 `json:"mean_response_s"`
 	P50Response  float64 `json:"p50_response_s"`
 	P95Response  float64 `json:"p95_response_s"`
 	P99Response  float64 `json:"p99_response_s"`
+	// MeanWait averages the pooled per-job arrival→first-allocation
+	// delays [s].
+	MeanWait float64 `json:"mean_wait_s"`
 	// Per-replication means.
 	MeanMakespan    float64 `json:"mean_makespan_s"`
 	MeanUtilization float64 `json:"mean_utilization"`
+	// MeanAvailUtilization is utilization against the capacity the
+	// volatile pool actually offered (equals MeanUtilization for a fixed
+	// pool).
+	MeanAvailUtilization float64 `json:"mean_avail_utilization"`
 	// MeanSlowdown averages the pooled bounded slowdowns.
 	MeanSlowdown float64 `json:"mean_slowdown"`
+	// Availability dynamics, per-replication means: scheduler allocation
+	// changes, applied capacity changes, and work-seconds rolled back by
+	// abrupt reclaims.
+	MeanReallocations  float64 `json:"mean_reallocations"`
+	MeanCapacityEvents float64 `json:"mean_capacity_events"`
+	MeanLostWork       float64 `json:"mean_lost_work_s"`
 }
 
 // Options tunes a sweep run.
@@ -58,17 +79,44 @@ type Options struct {
 }
 
 // Cells expands the scenario's grid in canonical order: arrival process,
-// then nodes, then load, then scheduler.
+// then availability process, then nodes, then load, then scheduler. A
+// scenario without availability processes gets the single fixed-pool
+// pseudo-entry "none".
 func Cells(spec *scenario.Spec) []Cell {
+	type availEntry struct {
+		label string
+		idx   int
+	}
+	avail := []availEntry{{label: "none", idx: -1}}
+	if len(spec.Availability) > 0 {
+		avail = avail[:0]
+		seen := make(map[string]int)
+		for vi, v := range spec.Availability {
+			label := v.Label()
+			seen[label]++
+			avail = append(avail, availEntry{label: label, idx: vi})
+		}
+		// Two axis entries may share a process (e.g. spot with and
+		// without notice); suffix duplicates with their index so every
+		// exported row names its cell unambiguously.
+		for i := range avail {
+			if seen[avail[i].label] > 1 {
+				avail[i].label = fmt.Sprintf("%s#%d", avail[i].label, avail[i].idx)
+			}
+		}
+	}
 	var out []Cell
 	for ai, a := range spec.Arrivals {
-		for _, n := range spec.Nodes {
-			for _, l := range spec.Loads {
-				for _, sched := range spec.Schedulers {
-					out = append(out, Cell{
-						Arrival: a.Label(), ArrivalIdx: ai,
-						Nodes: n, Load: l, Scheduler: sched,
-					})
+		for _, v := range avail {
+			for _, n := range spec.Nodes {
+				for _, l := range spec.Loads {
+					for _, sched := range spec.Schedulers {
+						out = append(out, Cell{
+							Arrival: a.Label(), ArrivalIdx: ai,
+							Avail: v.label, AvailIdx: v.idx,
+							Nodes: n, Load: l, Scheduler: sched,
+						})
+					}
 				}
 			}
 		}
@@ -124,12 +172,13 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 					Load:       c.Load,
 					Scheduler:  c.Scheduler,
 					ArrivalIdx: c.ArrivalIdx,
+					AvailIdx:   c.AvailIdx,
 					Seed:       runSeed(spec.Seed, ci, rep),
 				})
 				mu.Lock()
 				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("sweep: cell %s/%d nodes/load %g/%s rep %d: %w",
-						c.Arrival, c.Nodes, c.Load, c.Scheduler, rep, err)
+					firstErr = fmt.Errorf("sweep: cell %s/%s/%d nodes/load %g/%s rep %d: %w",
+						c.Arrival, c.Avail, c.Nodes, c.Load, c.Scheduler, rep, err)
 				}
 				runs[idx] = run
 				done++
@@ -155,26 +204,37 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 	out := make([]CellStats, len(cells))
 	for ci, c := range cells {
 		st := CellStats{Cell: c, Replications: reps}
-		var responses, slowdowns []float64
-		var makespan, util float64
+		var responses, waits, slowdowns []float64
+		var makespan, util, availUtil, reallocs, capEvents, lostWork float64
 		for rep := 0; rep < reps; rep++ {
 			run := runs[ci*reps+rep]
 			for _, j := range run.Result.PerJob {
 				responses = append(responses, j.Response)
+				waits = append(waits, j.Wait)
 			}
 			slowdowns = append(slowdowns, run.Slowdowns...)
+			st.Unfinished += run.Result.Unfinished
 			makespan += run.Result.Makespan
 			util += run.Result.Utilization
+			availUtil += run.Result.AvailWeightedUtilization
+			reallocs += float64(run.Result.Reallocations)
+			capEvents += float64(run.Result.CapacityEvents)
+			lostWork += run.Result.LostWorkS
 		}
 		st.Jobs = len(responses)
 		st.MeanResponse = metrics.Mean(responses)
+		st.MeanWait = metrics.Mean(waits)
 		sort.Float64s(responses) // responses is cell-local; sort once for all quantiles
 		st.P50Response = metrics.PercentileSorted(responses, 0.50)
 		st.P95Response = metrics.PercentileSorted(responses, 0.95)
 		st.P99Response = metrics.PercentileSorted(responses, 0.99)
 		st.MeanMakespan = makespan / float64(reps)
 		st.MeanUtilization = util / float64(reps)
+		st.MeanAvailUtilization = availUtil / float64(reps)
 		st.MeanSlowdown = metrics.Mean(slowdowns)
+		st.MeanReallocations = reallocs / float64(reps)
+		st.MeanCapacityEvents = capEvents / float64(reps)
+		st.MeanLostWork = lostWork / float64(reps)
 		out[ci] = st
 	}
 	return out, nil

@@ -114,6 +114,113 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// availTestSpec is a volatile-capacity grid: poisson arrivals × three
+// availability axes (fixed pool, stochastic failures, spot reclaims).
+func availTestSpec(t *testing.T) *scenario.Spec {
+	t.Helper()
+	spec, err := scenario.Parse([]byte(`{
+		"name": "availsweep",
+		"nodes": [8],
+		"loads": [1.0],
+		"schedulers": ["equipartition", "efficiency-greedy"],
+		"seed": 33,
+		"jobs": 8,
+		"mix": [{"kind": "synthetic", "phases": 3, "work_s": 80, "comm": 0.05, "cv": 0.4}],
+		"arrivals": {"process": "poisson", "mean_interarrival_s": 5},
+		"availability": [
+			{"process": "none"},
+			{"process": "failures", "mttf_s": 30, "mttr_s": 20, "horizon_s": 2000},
+			{"process": "spot", "reclaim_mean_s": 40, "reclaim_nodes": 2,
+			 "restore_mean_s": 30, "notice_s": 5, "min_capacity": 2, "horizon_s": 2000}
+		],
+		"reconfig": {"redistribution_s_per_node": 0.2, "lost_work_s": 1}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestAvailabilityDeterministicAcrossWorkerCounts: stochastic
+// availability timelines derive from the replication seed alone, so the
+// exports must stay byte-identical no matter how the runs are sharded.
+func TestAvailabilityDeterministicAcrossWorkerCounts(t *testing.T) {
+	spec := availTestSpec(t)
+	cells := Cells(spec)
+	if len(cells) != 6 { // 1 arrival × 3 availability × 1 node × 1 load × 2 schedulers
+		t.Fatalf("cells = %d, want 6", len(cells))
+	}
+	if cells[0].Avail != "none" || cells[2].Avail != "failures" || cells[4].Avail != "spot" {
+		t.Fatalf("availability axis order: %+v", cells)
+	}
+	var first, firstJSON string
+	for _, workers := range []int{1, 4, 16} {
+		stats, err := Run(spec, Options{Replications: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		csvOut, jsonOut := exportBoth(t, spec, stats)
+		if first == "" {
+			first, firstJSON = csvOut, jsonOut
+			// Sanity: the volatile axes actually applied capacity events
+			// and charged costs somewhere.
+			var events, lost float64
+			for _, st := range stats {
+				if st.Avail == "none" {
+					if st.MeanCapacityEvents != 0 {
+						t.Fatalf("fixed pool saw capacity events: %+v", st)
+					}
+					continue
+				}
+				events += st.MeanCapacityEvents
+				lost += st.MeanLostWork
+			}
+			if events == 0 {
+				t.Fatal("volatile axes applied no capacity events")
+			}
+			if lost == 0 {
+				t.Fatal("abrupt reclaims lost no work despite lost_work_s > 0")
+			}
+			continue
+		}
+		if csvOut != first {
+			t.Fatalf("workers=%d: CSV differs\n%s\nvs\n%s", workers, csvOut, first)
+		}
+		if jsonOut != firstJSON {
+			t.Fatalf("workers=%d: JSON differs", workers)
+		}
+	}
+}
+
+// TestDuplicateAvailabilityLabelsDisambiguated: two axis entries with
+// the same process must not collapse to one label in exports.
+func TestDuplicateAvailabilityLabelsDisambiguated(t *testing.T) {
+	spec, err := scenario.Parse([]byte(`{
+		"name": "dup",
+		"nodes": [4],
+		"schedulers": ["equipartition"],
+		"seed": 1,
+		"jobs": 2,
+		"mix": [{"kind": "synthetic", "phases": 1, "work_s": 10}],
+		"arrivals": {"process": "closed"},
+		"availability": [
+			{"process": "spot", "reclaim_mean_s": 100},
+			{"process": "spot", "reclaim_mean_s": 100, "notice_s": 60},
+			{"process": "churn", "mean_on_s": 50, "mean_off_s": 10}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := Cells(spec)
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d, want 3", len(cells))
+	}
+	if cells[0].Avail != "spot#0" || cells[1].Avail != "spot#1" || cells[2].Avail != "churn" {
+		t.Fatalf("labels = %q, %q, %q", cells[0].Avail, cells[1].Avail, cells[2].Avail)
+	}
+}
+
 func TestRunAggregates(t *testing.T) {
 	spec := testSpec(t)
 	stats, err := Run(spec, Options{Replications: 2, Workers: 4})

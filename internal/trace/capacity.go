@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CapacityPoint is one step of a recorded cluster-capacity timeline: from
+// instant T on, Capacity nodes are available. Like JobRecord it mirrors
+// the simulator's needs without importing any simulator package, keeping
+// the dependency direction trace → (nothing).
+type CapacityPoint struct {
+	T        float64 // seconds since trace start
+	Capacity int     // available nodes from T on
+}
+
+const capacityHeader = "t_s,capacity"
+
+// WriteCapacity renders a capacity timeline as CSV with the header
+// "t_s,capacity", one row per step.
+func WriteCapacity(w io.Writer, points []CapacityPoint) error {
+	if _, err := fmt.Fprintln(w, capacityHeader); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%g,%d\n", p.T, p.Capacity); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCapacity parses a capacity timeline written by WriteCapacity (or by
+// hand: availability traces from real clusters are easy to export in this
+// form). Rows must be sorted by time with non-negative capacities; a
+// corrupted trace fails loudly here instead of tripping the simulator's
+// causality check mid-run.
+func ReadCapacity(r io.Reader) ([]CapacityPoint, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: capacity csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty capacity csv")
+	}
+	if got := strings.Join(rows[0], ","); got != capacityHeader {
+		return nil, fmt.Errorf("trace: capacity csv header %q, want %q", got, capacityHeader)
+	}
+	var out []CapacityPoint
+	prev := 0.0
+	for n, row := range rows[1:] {
+		line := n + 2
+		t, err := strconv.ParseFloat(row[0], 64)
+		if err != nil || t < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad t_s %q", line, row[0])
+		}
+		if t < prev {
+			return nil, fmt.Errorf("trace: line %d: t_s %g before previous %g", line, t, prev)
+		}
+		prev = t
+		cap, err := strconv.Atoi(row[1])
+		if err != nil || cap < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad capacity %q", line, row[1])
+		}
+		out = append(out, CapacityPoint{T: t, Capacity: cap})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("trace: capacity csv has no rows")
+	}
+	return out, nil
+}
