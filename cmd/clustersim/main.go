@@ -7,12 +7,18 @@
 //
 //	clustersim [-nodes 32] [-jobs 40] [-interarrival 10] [-seed 7] [-json]
 //	clustersim -scenario examples/scenarios/openload.json [-json]
+//	clustersim -schedulers "rigid-fcfs,easy-backfill,malleable-hysteresis(epoch_s=45)"
 //
 // Without -scenario, the classic built-in workload runs: an open Poisson
 // stream of LU-profile jobs. With -scenario, the named scenario file
 // supplies nodes, mix, arrival process and — when declared — the node
 // availability process and reconfiguration-cost model (its first grid
 // point is used; run cmd/dpssweep to cover the full grid).
+//
+// -schedulers overrides the compared policies with a comma-separated
+// list of scheduler specs — a registered name, optionally with
+// parameters as "name(key=value,...)". Valid names come from the policy
+// registry (internal/sched) and are listed in the flag's help text.
 package main
 
 import (
@@ -20,14 +26,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dpsim/internal/cluster"
 	"dpsim/internal/scenario"
+	"dpsim/internal/sched"
 )
 
 func usage() {
 	fmt.Fprintf(flag.CommandLine.Output(),
-		"usage: clustersim [-nodes N] [-jobs N] [-interarrival S] [-seed N] [-scenario FILE] [-json]\n")
+		"usage: clustersim [-nodes N] [-jobs N] [-interarrival S] [-seed N] [-scenario FILE] [-schedulers LIST] [-json]\n")
 	flag.PrintDefaults()
 }
 
@@ -37,6 +45,9 @@ func main() {
 	inter := flag.Float64("interarrival", 10, "mean inter-arrival time [s]")
 	seed := flag.Uint64("seed", 7, "workload seed")
 	scenarioPath := flag.String("scenario", "", "scenario JSON file (overrides the workload flags)")
+	schedulers := flag.String("schedulers", "",
+		"comma-separated scheduler specs to compare, each NAME or NAME(k=v,...)\n"+
+			"(overrides the scenario's list; valid names: "+strings.Join(sched.Names(), ", ")+")")
 	jsonOut := flag.Bool("json", false, "print machine-readable JSON results")
 	flag.Usage = usage
 	flag.Parse()
@@ -72,15 +83,23 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *schedulers != "" {
+		if err := spec.ApplySchedulerOverride(*schedulers); err != nil {
+			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	n := spec.Nodes[0]
 	load := spec.Loads[0]
 	var results []cluster.Result
-	for _, sched := range spec.Schedulers {
+	labels := make([]string, len(spec.Schedulers))
+	for i := range spec.Schedulers {
+		labels[i] = spec.Schedulers[i].Label()
 		// The first grid point throughout, including the first
 		// availability process when the scenario declares any.
 		run, err := spec.RunCell(scenario.CellParams{
-			Nodes: n, Load: load, Scheduler: sched, ArrivalIdx: 0, AvailIdx: 0, Seed: spec.Seed,
+			Nodes: n, Load: load, SchedulerIdx: i, ArrivalIdx: 0, AvailIdx: 0, Seed: spec.Seed,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
@@ -90,9 +109,21 @@ func main() {
 	}
 
 	if *jsonOut {
+		// Attach the parameterized label: Result.Scheduler is the bare
+		// policy name, which cannot distinguish two parameter variants
+		// of one policy. SchedulerSpec round-trips through
+		// sched.ParseSpec, fully identifying the cell.
+		type labeledResult struct {
+			SchedulerSpec string `json:"scheduler_spec"`
+			cluster.Result
+		}
+		labeled := make([]labeledResult, len(results))
+		for i, r := range results {
+			labeled[i] = labeledResult{SchedulerSpec: labels[i], Result: r}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
+		if err := enc.Encode(labeled); err != nil {
 			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
 			os.Exit(1)
 		}
@@ -105,11 +136,17 @@ func main() {
 	}
 	fmt.Printf("scenario %q: cluster of %d nodes, %s arrivals, %s\n\n",
 		spec.Name, n, spec.Arrivals[0].Label(), availLabel)
-	fmt.Printf("%-18s  %10s  %12s  %10s  %11s  %9s  %8s  %10s\n",
-		"scheduler", "makespan", "mean resp.", "mean wait", "utilization", "mean eff.", "realloc", "lost work")
-	for _, r := range results {
-		fmt.Printf("%-18s  %9.1fs  %11.1fs  %9.1fs  %10.1f%%  %8.1f%%  %8d  %9.1fs\n",
-			r.Scheduler, r.Makespan, r.MeanResponse, r.MeanWait,
+	width := len("scheduler")
+	for _, l := range labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	fmt.Printf("%-*s  %10s  %12s  %10s  %11s  %9s  %8s  %10s\n",
+		width, "scheduler", "makespan", "mean resp.", "mean wait", "utilization", "mean eff.", "realloc", "lost work")
+	for i, r := range results {
+		fmt.Printf("%-*s  %9.1fs  %11.1fs  %9.1fs  %10.1f%%  %8.1f%%  %8d  %9.1fs\n",
+			width, labels[i], r.Makespan, r.MeanResponse, r.MeanWait,
 			100*r.Utilization, 100*r.MeanAllocEfficiency, r.Reallocations, r.LostWorkS)
 	}
 	fmt.Println("\nDynamic node allocation (equipartition, efficiency-greedy) raises the")

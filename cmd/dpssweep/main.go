@@ -7,11 +7,18 @@
 //
 //	dpssweep -scenario examples/scenarios/openload.json [-replications 20]
 //	         [-workers N] [-csv out.csv] [-json out.json]
+//	         [-schedulers "equipartition,malleable-hysteresis(epoch_s=45)"]
 //
 // The aggregate table always prints to stdout; -csv and -json additionally
 // export machine-readable results ("-" writes to stdout instead of a
 // file). Identical scenarios and seeds produce identical exports
 // regardless of the worker count.
+//
+// -schedulers overrides the scenario's scheduler axis with a
+// comma-separated list of scheduler specs — a registered policy name,
+// optionally parameterized as "name(key=value,...)"; valid names come
+// from the policy registry (internal/sched) and are listed in the
+// flag's help text.
 package main
 
 import (
@@ -20,14 +27,16 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"dpsim/internal/scenario"
+	"dpsim/internal/sched"
 	"dpsim/internal/sweep"
 )
 
 func usage() {
 	fmt.Fprintf(flag.CommandLine.Output(),
-		"usage: dpssweep -scenario FILE [-replications N] [-workers N] [-csv FILE] [-json FILE]\n")
+		"usage: dpssweep -scenario FILE [-replications N] [-workers N] [-schedulers LIST] [-csv FILE] [-json FILE]\n")
 	flag.PrintDefaults()
 }
 
@@ -35,6 +44,9 @@ func main() {
 	scenarioPath := flag.String("scenario", "", "scenario JSON file (required)")
 	replications := flag.Int("replications", 1, "seed replications per grid cell")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	schedulers := flag.String("schedulers", "",
+		"comma-separated scheduler specs forming the grid axis, each NAME or NAME(k=v,...)\n"+
+			"(overrides the scenario's list; valid names: "+strings.Join(sched.Names(), ", ")+")")
 	csvPath := flag.String("csv", "", "write aggregate CSV to this file (\"-\" for stdout)")
 	jsonPath := flag.String("json", "", "write aggregate JSON to this file (\"-\" for stdout)")
 	quiet := flag.Bool("q", false, "suppress the progress line and table")
@@ -59,6 +71,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dpssweep: %v\n", err)
 		os.Exit(1)
+	}
+	if *schedulers != "" {
+		if err := spec.ApplySchedulerOverride(*schedulers); err != nil {
+			fmt.Fprintf(os.Stderr, "dpssweep: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	cells := sweep.Cells(spec)
 	opt := sweep.Options{Replications: *replications, Workers: *workers}
@@ -100,15 +118,21 @@ func main() {
 }
 
 func printTable(stats []sweep.CellStats) {
-	fmt.Printf("\n%-16s %-16s %6s %5s %-18s %10s %10s %9s %10s %8s %8s %8s %8s %9s\n",
-		"arrival", "availability", "nodes", "load", "scheduler",
-		"mean resp", "p95 resp", "wait", "makespan", "util", "avutil", "slowdn", "realloc", "lost work")
+	width := len("scheduler")
 	for _, st := range stats {
-		fmt.Printf("%-16s %-16s %6d %5.2g %-18s %9.1fs %9.1fs %8.1fs %9.1fs %7.1f%% %7.1f%% %8.2f %8.1f %8.1fs\n",
-			st.Arrival, st.Avail, st.Nodes, st.Load, st.Scheduler,
+		if len(st.Scheduler) > width {
+			width = len(st.Scheduler)
+		}
+	}
+	fmt.Printf("\n%-16s %-16s %6s %5s %-*s %10s %10s %9s %10s %8s %8s %8s %8s %9s %9s\n",
+		"arrival", "availability", "nodes", "load", width, "scheduler",
+		"mean resp", "p95 resp", "wait", "makespan", "util", "avutil", "slowdn", "realloc", "lost work", "redist")
+	for _, st := range stats {
+		fmt.Printf("%-16s %-16s %6d %5.2g %-*s %9.1fs %9.1fs %8.1fs %9.1fs %7.1f%% %7.1f%% %8.2f %8.1f %8.1fs %8.1fs\n",
+			st.Arrival, st.Avail, st.Nodes, st.Load, width, st.Scheduler,
 			st.MeanResponse, st.P95Response, st.MeanWait,
 			st.MeanMakespan, 100*st.MeanUtilization, 100*st.MeanAvailUtilization,
-			st.MeanSlowdown, st.MeanReallocations, st.MeanLostWork)
+			st.MeanSlowdown, st.MeanReallocations, st.MeanLostWork, st.MeanRedistribution)
 	}
 }
 

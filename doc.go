@@ -29,16 +29,26 @@
 //     a time-varying node pool (capacity changes preempt and reallocate
 //     jobs) and a reconfiguration-cost model (data-redistribution pauses
 //     on allocation deltas, lost work on abrupt reclaims).
+//   - internal/sched — the scheduling-policy subsystem: the Scheduler
+//     interface and scheduler-visible state views, a self-registering
+//     policy registry (Register/ByName/Names, with per-policy parameters
+//     and "name(key=value,...)" spec strings), eight built-in policies
+//     spanning the rigidity spectrum (rigid-fcfs, easy-backfill,
+//     moldable, sjf-moldable, equipartition, fair-share,
+//     efficiency-greedy, malleable-hysteresis), and the CheckInvariants
+//     harness certifying any registered policy against the simulator's
+//     invariants under randomized workloads and availability timelines.
 //   - internal/availability — node-availability dynamics: deterministic
 //     generators for maintenance windows, exponential/Weibull
 //     failure/repair processes, spot-style preemption with reclaim
 //     notice, desktop-grid churn, and capacity-trace replay, all seeded
 //     through forked internal/rng streams.
 //   - internal/scenario — declarative cluster scenarios: JSON specs with
-//     weighted job mixes (LU-profile, synthetic, stencil-derived),
-//     pluggable arrival processes (closed, Poisson, bursty MMPP, diurnal,
-//     trace replay) and availability processes, generated through forked
-//     deterministic RNG streams.
+//     weighted job mixes (LU-profile, synthetic, stencil-derived,
+//     per-component fair-share job weights), pluggable arrival processes
+//     (closed, Poisson, bursty MMPP, diurnal, trace replay),
+//     availability processes and parameterized scheduler blocks,
+//     generated through forked deterministic RNG streams.
 //   - internal/sweep — expands a scenario into an experiment grid (arrival
 //     × availability × nodes × load × scheduler), runs it on a parallel
 //     worker pool with seed replications, and aggregates/exports results

@@ -8,6 +8,7 @@ import (
 	"dpsim/internal/availability"
 	"dpsim/internal/eventq"
 	"dpsim/internal/rng"
+	"dpsim/internal/sched"
 )
 
 // avSim builds a Sim over simple perfectly-parallel jobs with a capacity
@@ -33,7 +34,7 @@ func avSim(t *testing.T, nodes int, sched Scheduler, jobs []*Job, ch []availabil
 // Capacity 4 during [5, 15) removes 4×10 = 40 node-seconds → finish 25s.
 func TestCapacitySlowdown(t *testing.T) {
 	job := singleJob(160, 1, 8)
-	sim := avSim(t, 8, Equipartition{}, []*Job{job},
+	sim := avSim(t, 8, sched.Equipartition{}, []*Job{job},
 		[]availability.Change{{At: 5, Capacity: 4}, {At: 15, Capacity: 8}}, ReconfigCost{})
 	r := sim.Run()
 	if math.Abs(r.Makespan-25) > 1e-9 {
@@ -57,7 +58,7 @@ func TestCapacitySlowdown(t *testing.T) {
 // outage, and be re-admitted when capacity returns.
 func TestCapacityDropPreemptsRigid(t *testing.T) {
 	job := singleJob(80, 1, 8) // 10s on 8 nodes
-	sim := avSim(t, 8, Rigid{}, []*Job{job},
+	sim := avSim(t, 8, sched.Rigid{}, []*Job{job},
 		[]availability.Change{{At: 4, Capacity: 4}, {At: 16, Capacity: 8}}, ReconfigCost{})
 	r := sim.Run()
 	// 4s of progress (32 work-seconds), evicted during [4, 16) (rigid
@@ -75,7 +76,7 @@ func TestCapacityDropPreemptsRigid(t *testing.T) {
 func TestAbruptDropLosesWork(t *testing.T) {
 	mk := func(notice float64) Result {
 		job := singleJob(160, 1, 8)
-		sim := avSim(t, 8, Equipartition{}, []*Job{job},
+		sim := avSim(t, 8, sched.Equipartition{}, []*Job{job},
 			[]availability.Change{{At: 5, Capacity: 4, NoticeS: notice}, {At: 15, Capacity: 8}},
 			ReconfigCost{LostWorkS: 3})
 		return sim.Run()
@@ -107,7 +108,7 @@ func TestAbruptDropLosesWork(t *testing.T) {
 // progress made in the current phase.
 func TestLostWorkCappedAtPhaseProgress(t *testing.T) {
 	job := singleJob(160, 1, 8)
-	sim := avSim(t, 8, Equipartition{}, []*Job{job},
+	sim := avSim(t, 8, sched.Equipartition{}, []*Job{job},
 		[]availability.Change{{At: 1, Capacity: 4}, {At: 15, Capacity: 8}},
 		ReconfigCost{LostWorkS: 100}) // 4 nodes × 100 ≫ the 8 done
 	r := sim.Run()
@@ -120,11 +121,11 @@ func TestLostWorkCappedAtPhaseProgress(t *testing.T) {
 // shows up in both the accounting and the makespan.
 func TestRedistributionPause(t *testing.T) {
 	job := singleJob(160, 1, 8)
-	free := avSim(t, 8, Equipartition{}, []*Job{singleJob(160, 1, 8)},
+	free := avSim(t, 8, sched.Equipartition{}, []*Job{singleJob(160, 1, 8)},
 		[]availability.Change{{At: 5, Capacity: 4}, {At: 15, Capacity: 8}}, ReconfigCost{})
 	base := free.Run()
 
-	paid := avSim(t, 8, Equipartition{}, []*Job{job},
+	paid := avSim(t, 8, sched.Equipartition{}, []*Job{job},
 		[]availability.Change{{At: 5, Capacity: 4}, {At: 15, Capacity: 8}},
 		ReconfigCost{RedistributionSPerNode: 0.5})
 	r := paid.Run()
@@ -148,7 +149,7 @@ func TestWaitAndFirstStart(t *testing.T) {
 	a := singleJob(80, 1, 8) // runs [0, 10) on all 8 nodes
 	b := singleJob(40, 1, 8) // arrives at 2, admitted at 10, runs 5s
 	b.ID, b.Arrival = 1, 2
-	sim, err := NewSim(8, Rigid{}, []*Job{a, b})
+	sim, err := NewSim(8, sched.Rigid{}, []*Job{a, b})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestWaitAndFirstStart(t *testing.T) {
 // when the pool returns and all jobs still finish.
 func TestCapacityZeroStalls(t *testing.T) {
 	job := singleJob(80, 1, 8) // 10s flat out
-	sim := avSim(t, 8, EfficiencyGreedy{}, []*Job{job},
+	sim := avSim(t, 8, sched.EfficiencyGreedy{}, []*Job{job},
 		[]availability.Change{{At: 5, Capacity: 0}, {At: 20, Capacity: 8}}, ReconfigCost{})
 	r := sim.Run()
 	if math.Abs(r.Makespan-25) > 1e-9 { // 5s + 15s outage + 5s
@@ -187,7 +188,7 @@ func TestCapacityZeroStalls(t *testing.T) {
 // integral.
 func TestCapacityEventsDoNotStretchMakespan(t *testing.T) {
 	job := singleJob(80, 1, 8)
-	sim := avSim(t, 8, Equipartition{}, []*Job{job},
+	sim := avSim(t, 8, sched.Equipartition{}, []*Job{job},
 		[]availability.Change{{At: 500, Capacity: 4}, {At: 600, Capacity: 8}}, ReconfigCost{})
 	r := sim.Run()
 	if math.Abs(r.Makespan-10) > 1e-9 {
@@ -202,7 +203,7 @@ func TestCapacityEventsDoNotStretchMakespan(t *testing.T) {
 // TestSetAfterStartRejected: the configuration surface is sealed once the
 // event loop runs.
 func TestSetAfterStartRejected(t *testing.T) {
-	sim, err := NewSim(4, Equipartition{}, []*Job{singleJob(4, 1, 4)})
+	sim, err := NewSim(4, sched.Equipartition{}, []*Job{singleJob(4, 1, 4)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestSetAfterStartRejected(t *testing.T) {
 // TestSetCapacityChangesValidation: out-of-order or out-of-range
 // timelines are rejected up front.
 func TestSetCapacityChangesValidation(t *testing.T) {
-	sim, err := NewSim(4, Equipartition{}, nil)
+	sim, err := NewSim(4, sched.Equipartition{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,28 +237,6 @@ func TestSetCapacityChangesValidation(t *testing.T) {
 	}
 }
 
-// TestSchedulerByNameCaseInsensitive: names resolve regardless of case
-// and the valid list is exposed for error messages.
-func TestSchedulerByNameCaseInsensitive(t *testing.T) {
-	for _, name := range []string{"rigid-fcfs", "RIGID-FCFS", "Equipartition", "EFFICIENCY-greedy", "Moldable"} {
-		if _, ok := SchedulerByName(name); !ok {
-			t.Fatalf("%q did not resolve", name)
-		}
-	}
-	if _, ok := SchedulerByName("no-such"); ok {
-		t.Fatal("bogus name resolved")
-	}
-	names := SchedulerNames()
-	if len(names) != len(Schedulers()) {
-		t.Fatalf("SchedulerNames lists %d of %d", len(names), len(Schedulers()))
-	}
-	for i, s := range Schedulers() {
-		if names[i] != s.Name() {
-			t.Fatalf("name %d = %q, want %q", i, names[i], s.Name())
-		}
-	}
-}
-
 // TestStrandedJobUtilization: a job stranded by a permanent capacity
 // loss must not count its unexecuted work toward utilization (which
 // could exceed 100%), and must be surfaced as unfinished.
@@ -265,7 +244,7 @@ func TestStrandedJobUtilization(t *testing.T) {
 	a := singleJob(2, 1, 1)    // runs [0, 2] on 1 node
 	b := singleJob(1000, 1, 8) // admitted at t=2, stranded at t=2.5
 	b.ID = 1
-	sim := avSim(t, 8, Rigid{}, []*Job{a, b},
+	sim := avSim(t, 8, sched.Rigid{}, []*Job{a, b},
 		[]availability.Change{{At: 2.5, Capacity: 1}}, ReconfigCost{})
 	r := sim.Run()
 	if r.Unfinished != 1 || len(r.PerJob) != 1 {
@@ -285,7 +264,7 @@ func TestStrandedJobUtilization(t *testing.T) {
 // (here a drop and a restore) land inside the notice window.
 func TestNoticeSurvivesInterveningEvents(t *testing.T) {
 	job := singleJob(1600, 1, 8)
-	sim := avSim(t, 8, Equipartition{}, []*Job{job},
+	sim := avSim(t, 8, sched.Equipartition{}, []*Job{job},
 		[]availability.Change{
 			{At: 100, Capacity: 6},
 			{At: 110, Capacity: 8},
@@ -312,7 +291,7 @@ func TestRedistributionChargesExtensionOnly(t *testing.T) {
 	a := singleJob(160, 1, 8)
 	b := singleJob(20, 1, 4)
 	b.ID, b.Arrival = 1, 6
-	sim := avSim(t, 8, Equipartition{}, []*Job{a, b},
+	sim := avSim(t, 8, sched.Equipartition{}, []*Job{a, b},
 		[]availability.Change{{At: 5, Capacity: 4}},
 		ReconfigCost{RedistributionSPerNode: 0.5})
 	r := sim.Run()
@@ -333,7 +312,7 @@ func TestLostWorkBoundedByCapacityDelta(t *testing.T) {
 	b.ID, b.Arrival = 1, 1
 	// Rigid on 12 nodes: a holds 8, b holds 4. Abrupt drop to 11 evicts b
 	// entirely (shrink 4) but only 1 node left the pool.
-	sim := avSim(t, 12, Rigid{}, []*Job{a, b},
+	sim := avSim(t, 12, sched.Rigid{}, []*Job{a, b},
 		[]availability.Change{{At: 5, Capacity: 11}}, ReconfigCost{LostWorkS: 3})
 	r := sim.Run()
 	if r.LostWorkS != 3 { // 1 reclaimed node × 3, NOT 4 × 3
@@ -346,7 +325,7 @@ func TestLostWorkBoundedByCapacityDelta(t *testing.T) {
 // availability horizon.
 func TestIdleCapacityTimelineSuspends(t *testing.T) {
 	job := singleJob(80, 1, 8) // finishes at 10
-	sim := avSim(t, 8, Equipartition{}, []*Job{job},
+	sim := avSim(t, 8, sched.Equipartition{}, []*Job{job},
 		[]availability.Change{{At: 500, Capacity: 4}, {At: 600, Capacity: 8}}, ReconfigCost{})
 	r := sim.Run()
 	if r.CapacityEvents != 0 {
@@ -363,7 +342,7 @@ func TestInjectAfterSuspensionCatchesUp(t *testing.T) {
 	run := func(arrival, want float64) {
 		t.Helper()
 		a := singleJob(80, 1, 8) // finishes at 10; timeline suspends
-		sim := avSim(t, 8, Equipartition{}, []*Job{a},
+		sim := avSim(t, 8, sched.Equipartition{}, []*Job{a},
 			[]availability.Change{{At: 500, Capacity: 4}, {At: 600, Capacity: 8}}, ReconfigCost{})
 		for sim.ProcessNextEvent() {
 		}
@@ -401,7 +380,7 @@ func TestInjectExactTieMatchesClosedRun(t *testing.T) {
 	}
 	cost := ReconfigCost{RedistributionSPerNode: 0.5}
 
-	cs, err := NewSim(8, Equipartition{}, mkJobs())
+	cs, err := NewSim(8, sched.Equipartition{}, mkJobs())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -410,7 +389,7 @@ func TestInjectExactTieMatchesClosedRun(t *testing.T) {
 	}
 	want := cs.Run()
 
-	os, err := NewSim(8, Equipartition{}, nil)
+	os, err := NewSim(8, sched.Equipartition{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -454,7 +433,7 @@ func TestGeneratedTimelineRuns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sim := avSim(t, 12, EfficiencyGreedy{}, PoissonWorkload(10, 12, 8, 5), ch,
+		sim := avSim(t, 12, sched.EfficiencyGreedy{}, PoissonWorkload(10, 12, 8, 5), ch,
 			ReconfigCost{RedistributionSPerNode: 0.2, LostWorkS: 1})
 		return sim.Run()
 	}

@@ -9,16 +9,13 @@
 // produces for a real application (paper Fig. 11). Phase time on p nodes
 // is work/(p·eff(p)), with eff(p) = 1/(1 + comm·(p-1)).
 //
-// Schedulers reallocate nodes at every arrival, phase boundary and
-// departure:
-//
-//   - Rigid: FCFS with a fixed per-job allocation held to completion (the
-//     conventional space-sharing baseline).
-//   - Equipartition: active jobs share the nodes evenly (classic malleable
-//     scheduling, Cirne/Berman-style moldability taken to runtime).
-//   - EfficiencyGreedy: nodes are assigned one by one to the job with the
-//     highest marginal throughput gain given its current phase's dynamic
-//     efficiency — the policy the paper's simulator enables.
+// Scheduling policies live in internal/sched: the simulator invokes a
+// sched.Scheduler at every arrival, phase boundary, departure and
+// capacity change, handing it a snapshot of the usable pool and the
+// active jobs and applying the returned per-job allocations. Any policy
+// registered there (rigid FCFS, EASY backfilling, equipartition,
+// fair-share, efficiency-greedy, hysteresis-throttled malleability, ...)
+// plugs into this simulator unchanged.
 package cluster
 
 import (
@@ -26,54 +23,27 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 
 	"dpsim/internal/availability"
 	"dpsim/internal/eventq"
 	"dpsim/internal/lu"
 	"dpsim/internal/rng"
+	"dpsim/internal/sched"
 )
 
-// Phase is one stage of an application with roughly constant parallel
-// behavior (an LU iteration, a solver sweep, ...).
-type Phase struct {
-	// Work is the phase's serial execution time in seconds.
-	Work float64
-	// Comm is the communication/imbalance factor: efficiency on p nodes
-	// is 1/(1+Comm·(p-1)). Zero means perfectly parallel.
-	Comm float64
-}
-
-// Efficiency returns the dynamic efficiency of the phase on p nodes.
-func (ph Phase) Efficiency(p int) float64 {
-	if p <= 0 {
-		return 0
-	}
-	return 1 / (1 + ph.Comm*float64(p-1))
-}
-
-// Rate returns the phase's progress in work-seconds per second on p nodes.
-func (ph Phase) Rate(p int) float64 {
-	return float64(p) * ph.Efficiency(p)
-}
-
-// Job is one application submitted to the cluster.
-type Job struct {
-	ID      int
-	Arrival float64 // seconds
-	Phases  []Phase
-	// MaxNodes caps the allocation (rigid jobs always request MaxNodes).
-	MaxNodes int
-}
-
-// TotalWork returns the job's serial running time.
-func (j *Job) TotalWork() float64 {
-	var w float64
-	for _, ph := range j.Phases {
-		w += ph.Work
-	}
-	return w
-}
+// Phase, Job and Scheduler are defined by the scheduling subsystem; the
+// aliases keep the cluster API self-contained for callers that never
+// touch a policy directly.
+type (
+	// Phase is one stage of an application with roughly constant
+	// parallel behavior (an LU iteration, a solver sweep, ...).
+	Phase = sched.Phase
+	// Job is one application submitted to the cluster.
+	Job = sched.Job
+	// Scheduler decides allocations; see sched.Scheduler for the
+	// contract and sched.Register for adding policies.
+	Scheduler = sched.Scheduler
+)
 
 // LUProfile derives a job profile from the LU application's per-iteration
 // serial work (paper Fig. 11's baseline), with a communication factor that
@@ -102,14 +72,10 @@ func SyntheticProfile(phases int, totalWork, comm float64) []Phase {
 	return out
 }
 
-// State is the scheduler-visible cluster state.
-type State struct {
-	Nodes  int
-	Active []*JobState
-}
-
-// JobState is one running (or paused) job.
-type JobState struct {
+// jobState is the simulator's bookkeeping for one active (running or
+// waiting) job; the scheduler sees read-only sched.JobState snapshots of
+// it, never the live struct.
+type jobState struct {
 	Job       *Job
 	PhaseIdx  int
 	Remaining float64 // work-seconds left in the current phase
@@ -127,182 +93,7 @@ type JobState struct {
 }
 
 // Phase returns the job's current phase.
-func (js *JobState) Phase() Phase { return js.Job.Phases[js.PhaseIdx] }
-
-// Scheduler decides allocations. Allocate must return a per-job node
-// count whose sum does not exceed state.Nodes; jobs not in the map get 0.
-type Scheduler interface {
-	Name() string
-	Allocate(st State) map[int]int
-}
-
-// --- schedulers ---
-
-// Rigid allocates each job its MaxNodes, FCFS, holding until completion.
-type Rigid struct{}
-
-// Name implements Scheduler.
-func (Rigid) Name() string { return "rigid-fcfs" }
-
-// Allocate implements Scheduler. Running jobs keep their nodes; waiting
-// jobs are admitted FCFS into whatever remains (a running job admitted by
-// backfilling must never be evicted by an older waiter).
-func (Rigid) Allocate(st State) map[int]int {
-	out := make(map[int]int)
-	free := st.Nodes
-	for _, js := range st.Active {
-		if js.Alloc > 0 {
-			out[js.Job.ID] = js.Alloc
-			free -= js.Alloc
-		}
-	}
-	// FCFS by arrival (stable by ID) over the waiting jobs.
-	waiting := make([]*JobState, 0, len(st.Active))
-	for _, js := range st.Active {
-		if js.Alloc == 0 {
-			waiting = append(waiting, js)
-		}
-	}
-	sort.SliceStable(waiting, func(i, j int) bool {
-		if waiting[i].Job.Arrival != waiting[j].Job.Arrival {
-			return waiting[i].Job.Arrival < waiting[j].Job.Arrival
-		}
-		return waiting[i].Job.ID < waiting[j].Job.ID
-	})
-	for _, js := range waiting {
-		if want := js.Job.MaxNodes; want <= free {
-			out[js.Job.ID] = want
-			free -= want
-		}
-	}
-	return out
-}
-
-// Equipartition divides the nodes evenly among active jobs.
-type Equipartition struct{}
-
-// Name implements Scheduler.
-func (Equipartition) Name() string { return "equipartition" }
-
-// Allocate implements Scheduler.
-func (Equipartition) Allocate(st State) map[int]int {
-	out := make(map[int]int)
-	if len(st.Active) == 0 {
-		return out
-	}
-	jobs := append([]*JobState(nil), st.Active...)
-	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Job.ID < jobs[j].Job.ID })
-	share := st.Nodes / len(jobs)
-	extra := st.Nodes % len(jobs)
-	for i, js := range jobs {
-		a := share
-		if i < extra {
-			a++
-		}
-		if a > js.Job.MaxNodes {
-			a = js.Job.MaxNodes
-		}
-		out[js.Job.ID] = a
-	}
-	return out
-}
-
-// Moldable chooses each job's allocation once, at start, to maximize its
-// own efficiency×speedup trade-off (the moldable-job model of Cirne &
-// Berman, the paper's ref [5]); the allocation never changes afterwards.
-// It captures what is possible *without* runtime reallocation.
-type Moldable struct {
-	// MinEfficiency is the lowest acceptable first-phase efficiency when
-	// picking the start allocation (default 0.5).
-	MinEfficiency float64
-}
-
-// Name implements Scheduler.
-func (Moldable) Name() string { return "moldable" }
-
-// Allocate implements Scheduler.
-func (m Moldable) Allocate(st State) map[int]int {
-	minEff := m.MinEfficiency
-	if minEff <= 0 {
-		minEff = 0.5
-	}
-	out := make(map[int]int)
-	free := st.Nodes
-	for _, js := range st.Active {
-		if js.Alloc > 0 {
-			out[js.Job.ID] = js.Alloc
-			free -= js.Alloc
-		}
-	}
-	waiting := make([]*JobState, 0, len(st.Active))
-	for _, js := range st.Active {
-		if js.Alloc == 0 {
-			waiting = append(waiting, js)
-		}
-	}
-	sort.SliceStable(waiting, func(i, j int) bool {
-		if waiting[i].Job.Arrival != waiting[j].Job.Arrival {
-			return waiting[i].Job.Arrival < waiting[j].Job.Arrival
-		}
-		return waiting[i].Job.ID < waiting[j].Job.ID
-	})
-	for _, js := range waiting {
-		// Largest allocation whose first-phase efficiency stays above the
-		// threshold, molded to what is currently free.
-		ph := js.Job.Phases[0]
-		want := 1
-		for p := 2; p <= js.Job.MaxNodes; p++ {
-			if ph.Efficiency(p) >= minEff {
-				want = p
-			}
-		}
-		if want <= free {
-			out[js.Job.ID] = want
-			free -= want
-		}
-	}
-	return out
-}
-
-// EfficiencyGreedy assigns nodes one at a time to the job with the largest
-// marginal rate gain under its current phase's efficiency curve — the
-// dynamic-efficiency-aware policy.
-type EfficiencyGreedy struct{}
-
-// Name implements Scheduler.
-func (EfficiencyGreedy) Name() string { return "efficiency-greedy" }
-
-// Allocate implements Scheduler.
-func (EfficiencyGreedy) Allocate(st State) map[int]int {
-	out := make(map[int]int)
-	if len(st.Active) == 0 {
-		return out
-	}
-	jobs := append([]*JobState(nil), st.Active...)
-	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Job.ID < jobs[j].Job.ID })
-	alloc := make([]int, len(jobs))
-	for n := 0; n < st.Nodes; n++ {
-		best, bestGain := -1, 0.0
-		for i, js := range jobs {
-			if alloc[i] >= js.Job.MaxNodes {
-				continue
-			}
-			ph := js.Phase()
-			gain := ph.Rate(alloc[i]+1) - ph.Rate(alloc[i])
-			if gain > bestGain {
-				bestGain, best = gain, i
-			}
-		}
-		if best < 0 {
-			break
-		}
-		alloc[best]++
-	}
-	for i, js := range jobs {
-		out[js.Job.ID] = alloc[i]
-	}
-	return out
-}
+func (js *jobState) Phase() Phase { return js.Job.Phases[js.PhaseIdx] }
 
 // --- the cluster simulation ---
 
@@ -400,8 +191,8 @@ type Sim struct {
 	jobs  []*Job
 
 	started  bool
-	active   map[int]*JobState
-	finished []*JobState
+	active   map[int]*jobState
+	finished []*jobState
 	effNum   float64
 	effDen   float64
 
@@ -464,7 +255,7 @@ func NewSim(nodes int, sched Scheduler, jobs []*Job) (*Sim, error) {
 	}
 	return &Sim{
 		nodes: nodes, sched: sched, q: eventq.New(), jobs: jobs,
-		active: make(map[int]*JobState), capNow: nodes, schedCap: nodes,
+		active: make(map[int]*jobState), capNow: nodes, schedCap: nodes,
 	}, nil
 }
 
@@ -778,7 +569,7 @@ func (s *Sim) capacityIntegral(end eventq.Time) float64 {
 
 func (s *Sim) arrive(j *Job) {
 	s.pendingArrivals--
-	js := &JobState{Job: j, Remaining: j.Phases[0].Work, started: s.q.Now().Seconds(), last: s.q.Now(), firstStart: -1}
+	js := &jobState{Job: j, Remaining: j.Phases[0].Work, started: s.q.Now().Seconds(), last: s.q.Now(), firstStart: -1}
 	s.active[j.ID] = js
 	s.lastJobEvent = s.q.Now()
 	s.reallocate()
@@ -827,7 +618,7 @@ func (s *Sim) reallocate() {
 	// preserve running allocations (rigid, moldable) then see the evicted
 	// jobs as waiting and re-admit them FCFS when space returns.
 	if total > s.schedCap {
-		victims := make([]*JobState, 0, len(ids))
+		victims := make([]*jobState, 0, len(ids))
 		for _, id := range ids {
 			if s.active[id].Alloc > 0 {
 				victims = append(victims, s.active[id])
@@ -847,7 +638,15 @@ func (s *Sim) reallocate() {
 			v.Alloc = 0
 		}
 	}
-	st := State{Nodes: s.schedCap, Active: s.activeList()}
+	// The scheduler sees snapshots, not the live bookkeeping: a policy
+	// can never corrupt simulator state, and the views pin exactly the
+	// fields the allocation contract names.
+	views := make([]*sched.JobState, len(ids))
+	for i, id := range ids {
+		js := s.active[id]
+		views[i] = &sched.JobState{Job: js.Job, PhaseIdx: js.PhaseIdx, Remaining: js.Remaining, Alloc: js.Alloc}
+	}
+	st := sched.State{Nodes: s.schedCap, Now: now.Seconds(), Active: views}
 	alloc := s.sched.Allocate(st)
 	total = 0
 	for _, a := range alloc {
@@ -923,7 +722,7 @@ func (s *Sim) reallocate() {
 // progressStart is the instant from which a job has been progressing at
 // its current rate: its last settlement, deferred past any redistribution
 // pause still in force (never beyond now).
-func progressStart(js *JobState, now eventq.Time) eventq.Time {
+func progressStart(js *jobState, now eventq.Time) eventq.Time {
 	from := js.last
 	if js.pausedUntil > from {
 		if js.pausedUntil < now {
@@ -935,7 +734,7 @@ func progressStart(js *JobState, now eventq.Time) eventq.Time {
 	return from
 }
 
-func (s *Sim) phaseDone(js *JobState) {
+func (s *Sim) phaseDone(js *jobState) {
 	js.Remaining = 0
 	// Credit the completed slice.
 	now := s.q.Now()
@@ -957,19 +756,6 @@ func (s *Sim) phaseDone(js *JobState) {
 	}
 	s.reallocate()
 	s.maybeSuspendCapacity()
-}
-
-func (s *Sim) activeList() []*JobState {
-	out := make([]*JobState, 0, len(s.active))
-	ids := make([]int, 0, len(s.active))
-	for id := range s.active {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		out = append(out, s.active[id])
-	}
-	return out
 }
 
 // PoissonWorkload generates a reproducible stream of LU-profile jobs with
@@ -1025,50 +811,62 @@ type IterLike struct {
 	Efficiency    float64
 }
 
-// Schedulers returns one instance of every built-in scheduler, in the
-// canonical comparison order.
-func Schedulers() []Scheduler {
-	return []Scheduler{Rigid{}, Moldable{}, Equipartition{}, EfficiencyGreedy{}}
-}
-
-// SchedulerNames lists the built-in scheduler names in canonical order —
-// the valid values for scenario files and CLI flags.
-func SchedulerNames() []string {
-	scheds := Schedulers()
-	names := make([]string, len(scheds))
-	for i, s := range scheds {
-		names[i] = s.Name()
-	}
-	return names
-}
-
-// SchedulerByName resolves a scheduler from its Name() string (the form
-// used in scenario files and CLI flags), case-insensitively.
-func SchedulerByName(name string) (Scheduler, bool) {
-	for _, s := range Schedulers() {
-		if strings.EqualFold(s.Name(), name) {
-			return s, true
-		}
-	}
-	return nil, false
-}
-
-// Compare runs the same workload under every scheduler.
+// Compare runs the same workload under every registered scheduling
+// policy (default parameters), in sched.Names() order.
 func Compare(nodes int, jobs []*Job) ([]Result, error) {
 	var out []Result
-	for _, sched := range Schedulers() {
-		// Deep-copy jobs: the sim mutates MaxNodes normalization only,
-		// but fresh copies keep runs independent.
+	for _, name := range sched.Names() {
+		policy, err := sched.New(name, nil)
+		if err != nil {
+			return nil, err
+		}
+		// Deep-copy jobs, phases included: the sim normalizes MaxNodes,
+		// and a shared Phases backing array would let one run's state
+		// alias another's — runs must be fully independent.
 		cp := make([]*Job, len(jobs))
 		for i, j := range jobs {
 			jc := *j
+			jc.Phases = append([]Phase(nil), j.Phases...)
 			cp[i] = &jc
 		}
-		sim, err := NewSim(nodes, sched, cp)
+		sim, err := NewSim(nodes, policy, cp)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, sim.Run())
 	}
 	return out, nil
+}
+
+// InvariantRunner adapts the cluster simulator to sched.CheckInvariants:
+// it runs the policy over the given workload and capacity timeline with
+// a non-zero reconfiguration cost (so the lost-work and redistribution
+// paths are exercised too) and fingerprints the full Result.
+func InvariantRunner(policy sched.Scheduler, nodes int, jobs []*sched.Job, changes []sched.CapacityChange) (out sched.Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: simulation panicked: %v", r)
+		}
+	}()
+	sim, err := NewSim(nodes, policy, jobs)
+	if err != nil {
+		return sched.Outcome{}, err
+	}
+	av := make([]availability.Change, len(changes))
+	for i, c := range changes {
+		av[i] = availability.Change{At: c.At, Capacity: c.Capacity, NoticeS: c.NoticeS}
+	}
+	if err := sim.SetCapacityChanges(av); err != nil {
+		return sched.Outcome{}, err
+	}
+	if err := sim.SetReconfigCost(ReconfigCost{RedistributionSPerNode: 0.2, LostWorkS: 2}); err != nil {
+		return sched.Outcome{}, err
+	}
+	res := sim.Run()
+	return sched.Outcome{
+		Fingerprint: fmt.Sprintf("%+v", res),
+		Jobs:        len(jobs),
+		Finished:    len(res.PerJob),
+		Unfinished:  res.Unfinished,
+	}, nil
 }

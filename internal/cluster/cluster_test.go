@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"dpsim/internal/lu"
+	"dpsim/internal/sched"
 )
 
 func TestPhaseEfficiency(t *testing.T) {
@@ -51,7 +52,7 @@ func singleJob(work float64, phases, maxNodes int) *Job {
 
 func TestSingleJobPerfectSpeedup(t *testing.T) {
 	job := singleJob(40, 4, 4)
-	sim, err := NewSim(4, Equipartition{}, []*Job{job})
+	sim, err := NewSim(4, sched.Equipartition{}, []*Job{job})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestRigidQueuesJobs(t *testing.T) {
 	j1 := singleJob(40, 2, 4)
 	j2 := singleJob(40, 2, 4)
 	j2.ID = 1
-	sim, err := NewSim(4, Rigid{}, []*Job{j1, j2})
+	sim, err := NewSim(4, sched.Rigid{}, []*Job{j1, j2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestEquipartitionSharesNodes(t *testing.T) {
 	j1 := singleJob(20, 2, 4)
 	j2 := singleJob(20, 2, 4)
 	j2.ID = 1
-	sim, err := NewSim(4, Equipartition{}, []*Job{j1, j2})
+	sim, err := NewSim(4, sched.Equipartition{}, []*Job{j1, j2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,12 +106,12 @@ func TestEfficiencyGreedyPrefersEfficientJob(t *testing.T) {
 	// Job A parallelizes perfectly; job B saturates quickly.
 	a := &Job{ID: 0, Phases: []Phase{{Work: 30, Comm: 0}}, MaxNodes: 8}
 	b := &Job{ID: 1, Phases: []Phase{{Work: 30, Comm: 0.8}}, MaxNodes: 8}
-	sim, err := NewSim(8, EfficiencyGreedy{}, []*Job{a, b})
+	sim, err := NewSim(8, sched.EfficiencyGreedy{}, []*Job{a, b})
 	if err != nil {
 		t.Fatal(err)
 	}
 	res := sim.Run()
-	eq, err := NewSim(8, Equipartition{}, []*Job{{ID: 0, Phases: []Phase{{Work: 30, Comm: 0}}, MaxNodes: 8}, {ID: 1, Phases: []Phase{{Work: 30, Comm: 0.8}}, MaxNodes: 8}})
+	eq, err := NewSim(8, sched.Equipartition{}, []*Job{{ID: 0, Phases: []Phase{{Work: 30, Comm: 0}}, MaxNodes: 8}, {ID: 1, Phases: []Phase{{Work: 30, Comm: 0.8}}, MaxNodes: 8}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestDynamicReallocationOnDeparture(t *testing.T) {
 	long := singleJob(40, 4, 4)
 	short := singleJob(8, 2, 4)
 	short.ID = 1
-	sim, err := NewSim(4, Equipartition{}, []*Job{long, short})
+	sim, err := NewSim(4, sched.Equipartition{}, []*Job{long, short})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,8 +146,8 @@ func TestCompareOrdersSchedulers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("results = %d, want 4 schedulers", len(results))
+	if len(results) != len(sched.Names()) {
+		t.Fatalf("results = %d, want %d schedulers", len(results), len(sched.Names()))
 	}
 	byName := map[string]Result{}
 	for _, r := range results {
@@ -197,33 +198,14 @@ func TestAllJobsFinishProperty(t *testing.T) {
 	}
 }
 
-func TestSchedulerNeverOverAllocates(t *testing.T) {
-	st := State{Nodes: 5}
-	for i := 0; i < 9; i++ {
-		st.Active = append(st.Active, &JobState{
-			Job: &Job{ID: i, Phases: []Phase{{Work: 1, Comm: 0.1}}, MaxNodes: 3},
-		})
-	}
-	for _, sched := range []Scheduler{Rigid{}, Equipartition{}, EfficiencyGreedy{}} {
-		alloc := sched.Allocate(st)
-		total := 0
-		for _, a := range alloc {
-			total += a
-		}
-		if total > st.Nodes {
-			t.Fatalf("%s allocated %d of %d", sched.Name(), total, st.Nodes)
-		}
-	}
-}
-
 func TestNewSimValidation(t *testing.T) {
-	if _, err := NewSim(0, Rigid{}, nil); err == nil {
+	if _, err := NewSim(0, sched.Rigid{}, nil); err == nil {
 		t.Fatal("zero nodes accepted")
 	}
 	if _, err := NewSim(4, nil, nil); err == nil {
 		t.Fatal("nil scheduler accepted")
 	}
-	if _, err := NewSim(4, Rigid{}, []*Job{{ID: 0}}); err == nil {
+	if _, err := NewSim(4, sched.Rigid{}, []*Job{{ID: 0}}); err == nil {
 		t.Fatal("phaseless job accepted")
 	}
 }
@@ -237,26 +219,9 @@ func BenchmarkClusterServer(b *testing.B) {
 	}
 }
 
-func TestMoldablePicksEfficientAllocation(t *testing.T) {
-	// A job that saturates quickly must get a small start allocation.
-	st := State{Nodes: 16, Active: []*JobState{
-		{Job: &Job{ID: 0, Arrival: 0, Phases: []Phase{{Work: 10, Comm: 0.5}}, MaxNodes: 16}},
-		{Job: &Job{ID: 1, Arrival: 1, Phases: []Phase{{Work: 10, Comm: 0}}, MaxNodes: 8}},
-	}}
-	alloc := Moldable{}.Allocate(st)
-	// comm=0.5: eff(2)=1/1.5=0.67, eff(3)=0.5, eff(4)=0.4 → picks 3.
-	if alloc[0] != 3 {
-		t.Fatalf("saturating job got %d nodes, want 3", alloc[0])
-	}
-	// perfectly parallel job takes its full request
-	if alloc[1] != 8 {
-		t.Fatalf("parallel job got %d nodes, want 8", alloc[1])
-	}
-}
-
 func TestMoldableHoldsAllocation(t *testing.T) {
 	job := &Job{ID: 0, Phases: SyntheticProfile(3, 30, 0.2), MaxNodes: 8}
-	sim, err := NewSim(8, Moldable{}, []*Job{job})
+	sim, err := NewSim(8, sched.Moldable{}, []*Job{job})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,8 +237,8 @@ func TestCompareIncludesMoldable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("results = %d, want 4 schedulers", len(results))
+	if len(results) != len(sched.Names()) {
+		t.Fatalf("results = %d, want %d schedulers", len(results), len(sched.Names()))
 	}
 	names := map[string]bool{}
 	for _, r := range results {

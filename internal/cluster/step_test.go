@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dpsim/internal/eventq"
+	"dpsim/internal/sched"
 )
 
 // TestPoissonWorkloadDeterminism: the same seed must yield a bit-identical
@@ -37,40 +38,6 @@ func TestPoissonWorkloadDeterminism(t *testing.T) {
 	}
 }
 
-// TestSchedulerAllocationInvariants: for random states, every scheduler's
-// allocations are non-negative, per-job ≤ MaxNodes, and sum ≤ nodes.
-func TestSchedulerAllocationInvariants(t *testing.T) {
-	for seed := uint64(0); seed < 20; seed++ {
-		wl := PoissonWorkload(9, 11, 3, seed)
-		st := State{Nodes: 7}
-		for i, j := range wl {
-			js := &JobState{Job: j}
-			if i%3 == 0 {
-				js.Alloc = 1 + i%2 // some already-running jobs
-			}
-			st.Active = append(st.Active, js)
-		}
-		for _, sched := range Schedulers() {
-			alloc := sched.Allocate(st)
-			total := 0
-			for id, a := range alloc {
-				if a < 0 {
-					t.Fatalf("%s: negative allocation %d for job %d (seed %d)", sched.Name(), a, id, seed)
-				}
-				total += a
-			}
-			if total > st.Nodes {
-				t.Fatalf("%s: allocated %d of %d nodes (seed %d)", sched.Name(), total, st.Nodes, seed)
-			}
-			for _, js := range st.Active {
-				if a := alloc[js.Job.ID]; a > js.Job.MaxNodes && js.Alloc == 0 {
-					t.Fatalf("%s: job %d got %d > MaxNodes %d", sched.Name(), js.Job.ID, a, js.Job.MaxNodes)
-				}
-			}
-		}
-	}
-}
-
 // stepRun drives a Sim through the step primitives only and returns the
 // summary — the open-loop path with nothing injected.
 func stepRun(s *Sim) Result {
@@ -86,21 +53,30 @@ func stepRun(s *Sim) Result {
 // TestStepPrimitivesReproduceRun: the stepped event loop must produce the
 // exact Result that the monolithic Run produces for the same workload.
 func TestStepPrimitivesReproduceRun(t *testing.T) {
-	for _, sched := range Schedulers() {
-		wl1 := PoissonWorkload(25, 12, 6, 7)
-		wl2 := PoissonWorkload(25, 12, 6, 7)
-		s1, err := NewSim(12, sched, wl1)
+	for _, name := range sched.Names() {
+		// Fresh policy instances per sim: policies may hold per-run state.
+		p1, err := sched.New(name, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		s2, err := NewSim(12, sched, wl2)
+		p2, err := sched.New(name, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl1 := PoissonWorkload(25, 12, 6, 7)
+		wl2 := PoissonWorkload(25, 12, 6, 7)
+		s1, err := NewSim(12, p1, wl1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := NewSim(12, p2, wl2)
 		if err != nil {
 			t.Fatal(err)
 		}
 		r1 := s1.Run()
 		r2 := stepRun(s2)
 		if !reflect.DeepEqual(r1, r2) {
-			t.Fatalf("%s: stepped result differs from Run:\n%+v\nvs\n%+v", sched.Name(), r1, r2)
+			t.Fatalf("%s: stepped result differs from Run:\n%+v\nvs\n%+v", name, r1, r2)
 		}
 	}
 }
@@ -111,13 +87,13 @@ func TestInjectMatchesClosedRun(t *testing.T) {
 	closedJobs := PoissonWorkload(20, 8, 5, 11)
 	openJobs := PoissonWorkload(20, 8, 5, 11)
 
-	cs, err := NewSim(8, EfficiencyGreedy{}, closedJobs)
+	cs, err := NewSim(8, sched.EfficiencyGreedy{}, closedJobs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := cs.Run()
 
-	os, err := NewSim(8, EfficiencyGreedy{}, nil)
+	os, err := NewSim(8, sched.EfficiencyGreedy{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,13 +146,13 @@ func TestInjectTieBreak(t *testing.T) {
 		return []*Job{a, b}
 	}
 
-	closed, err := NewSim(8, Equipartition{}, mkJobs())
+	closed, err := NewSim(8, sched.Equipartition{}, mkJobs())
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := closed.Run()
 
-	open, err := NewSim(8, Equipartition{}, nil)
+	open, err := NewSim(8, sched.Equipartition{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +192,7 @@ func TestInjectTieBreak(t *testing.T) {
 // not a silent causality violation.
 func TestInjectRejectsPastArrival(t *testing.T) {
 	j1 := singleJob(10, 2, 4)
-	sim, err := NewSim(4, Equipartition{}, []*Job{j1})
+	sim, err := NewSim(4, sched.Equipartition{}, []*Job{j1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +208,7 @@ func TestInjectRejectsPastArrival(t *testing.T) {
 
 // TestInjectValidation mirrors NewSim's checks for open arrivals.
 func TestInjectValidation(t *testing.T) {
-	sim, err := NewSim(4, Rigid{}, nil)
+	sim, err := NewSim(4, sched.Rigid{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -214,8 +214,8 @@ func (st *JobStream) Next() (*cluster.Job, bool) {
 		}
 		// Per-job fork: the body sampler may consume a variable number of
 		// draws without perturbing any other job's randomness.
-		phases, maxNodes := st.spec.sampleBody(st.bodyRng.Fork(), st.nodes)
-		job = &cluster.Job{Arrival: at, Phases: phases, MaxNodes: maxNodes}
+		phases, maxNodes, weight := st.spec.sampleBody(st.bodyRng.Fork(), st.nodes)
+		job = &cluster.Job{Arrival: at, Phases: phases, MaxNodes: maxNodes, Weight: weight}
 	}
 	if st.horizon > 0 && job.Arrival > st.horizon {
 		st.count = 0

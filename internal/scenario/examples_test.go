@@ -30,7 +30,7 @@ func TestExampleScenarios(t *testing.T) {
 			availIdx = len(spec.Availability) - 1 // the most dynamic axis entry
 		}
 		run, err := spec.RunCell(CellParams{
-			Nodes: spec.Nodes[0], Load: spec.Loads[0], Scheduler: spec.Schedulers[0],
+			Nodes: spec.Nodes[0], Load: spec.Loads[0], Scheduler: spec.Schedulers[0].Label(),
 			ArrivalIdx: 0, AvailIdx: availIdx, Seed: spec.Seed,
 		})
 		if err != nil {

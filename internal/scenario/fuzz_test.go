@@ -1,0 +1,42 @@
+package scenario
+
+import "testing"
+
+// FuzzParse: arbitrary bytes fed to the scenario decoder must either
+// parse into a validated Spec or return an error — never panic. The
+// decoder is the trust boundary for user-supplied scenario files, so
+// malformed numbers, truncated JSON, wrong-typed fields, and hostile
+// scheduler/availability blocks all land here.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{"name":"min","nodes":[4],"seed":1,"jobs":2,` +
+		`"mix":[{"kind":"synthetic","phases":1,"work_s":1}],` +
+		`"arrivals":{"process":"closed"}}`))
+	f.Add([]byte(`{"nodes":[8],"seed":3,"jobs":4,` +
+		`"schedulers":["equipartition",{"name":"malleable-hysteresis","params":{"epoch_s":45,"min_delta":2}}],` +
+		`"mix":[{"kind":"lu","job_weight":2}],` +
+		`"arrivals":{"process":"poisson","mean_interarrival_s":5}}`))
+	f.Add([]byte(`{"nodes":[0]}`))
+	f.Add([]byte(`{"nodes":[4],"jobs":1,"mix":[{"kind":"lu","n":100,"r":33}],"arrivals":{"process":"closed"}}`))
+	f.Add([]byte(`{"nodes":[4],"arrivals":{"process":"diurnal","mean_interarrival_s":1e308,"period_s":-1}}`))
+	f.Add([]byte(`[`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// A spec that validated must support the cheap derived
+		// operations without panicking either.
+		for i := range spec.Schedulers {
+			if spec.Schedulers[i].Label() == "" {
+				t.Fatalf("validated scheduler %d has empty label", i)
+			}
+			if _, err := spec.Schedulers[i].New(); err != nil {
+				t.Fatalf("validated scheduler %d does not construct: %v", i, err)
+			}
+		}
+		for i := range spec.Arrivals {
+			_ = spec.Arrivals[i].Label()
+		}
+	})
+}

@@ -5,7 +5,10 @@ import "testing"
 // Golden values produced by the scenario layer BEFORE the availability
 // subsystem existed (PR 1 state), %.17g. A scenario with no availability
 // block and no reconfig block must reproduce them bit-for-bit through
-// RunCell — the whole declarative path, not just the simulator core.
+// RunCell — the whole declarative path, not just the simulator core —
+// and the extraction of the policies into internal/sched (PR 3) must be
+// bit-invisible too, which is why every scheduler is resolved by name
+// through the registry here.
 var goldenCells = []struct {
 	scheduler                      string
 	makespan, meanResp             float64
@@ -15,29 +18,34 @@ var goldenCells = []struct {
 	{"moldable", 285.36779609600001, 77.375887942163857, 0.57642658842675942, 0.73956272677890744, 64.245563099193717},
 	{"equipartition", 252.60591229600001, 69.772806487774972, 0.65118659993091987, 0.9007664729149254, 46.859591713070238},
 	{"efficiency-greedy", 249.90429024100001, 62.876720903330515, 0.65822633533761199, 0.86746014198780474, 41.32079512033517},
+
+	// The four policies below shipped with the sched extraction (PR 3);
+	// their goldens pin the implementations at introduction.
+	{"easy-backfill", 328.32044223999998, 84.774951596830519, 0.5010153617855958, 0.73313404224908763, 53.589689830105023},
+	{"sjf-moldable", 313.53699291599997, 85.307720673719416, 0.52463852389676402, 0.73956272677890744, 71.399594236921828},
+	{"fair-share", 249.90429024100001, 62.791820086830526, 0.65822633533761199, 0.86450787791252592, 40.553466956245387},
+	{"malleable-hysteresis", 324.79856625100001, 81.823073533163864, 0.50644800267794876, 0.89137308450724162, 53.18770764183401},
 }
 
+const goldenSpec = `{
+	"name": "golden",
+	"nodes": [16],
+	"seed": 99,
+	"jobs": 18,
+	"mix": [
+		{"kind": "lu", "weight": 1},
+		{"kind": "synthetic", "phases": 5, "work_s": 180, "comm": 0.04, "cv": 0.3, "weight": 2}
+	],
+	"arrivals": {"process": "poisson", "mean_interarrival_s": 8}
+}`
+
 func TestGoldenScenarioBackwardCompat(t *testing.T) {
-	spec, err := Parse([]byte(`{
-		"name": "golden",
-		"nodes": [16],
-		"seed": 99,
-		"jobs": 18,
-		"mix": [
-			{"kind": "lu", "weight": 1},
-			{"kind": "synthetic", "phases": 5, "work_s": 180, "comm": 0.04, "cv": 0.3, "weight": 2}
-		],
-		"arrivals": {"process": "poisson", "mean_interarrival_s": 8}
-	}`))
+	spec, err := Parse([]byte(goldenSpec))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, sched := range spec.Schedulers {
-		want := goldenCells[i]
-		if sched != want.scheduler {
-			t.Fatalf("scheduler order changed: %s vs golden %s", sched, want.scheduler)
-		}
-		run, err := spec.RunCell(CellParams{Nodes: 16, Load: 1, Scheduler: sched, ArrivalIdx: 0, Seed: spec.Seed})
+	for _, want := range goldenCells {
+		run, err := spec.RunCell(CellParams{Nodes: 16, Load: 1, Scheduler: want.scheduler, ArrivalIdx: 0, Seed: spec.Seed})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -47,19 +55,19 @@ func TestGoldenScenarioBackwardCompat(t *testing.T) {
 			sd += s
 		}
 		if r.Makespan != want.makespan {
-			t.Errorf("%s: makespan %.17g, golden %.17g", sched, r.Makespan, want.makespan)
+			t.Errorf("%s: makespan %.17g, golden %.17g", want.scheduler, r.Makespan, want.makespan)
 		}
 		if r.MeanResponse != want.meanResp {
-			t.Errorf("%s: mean response %.17g, golden %.17g", sched, r.MeanResponse, want.meanResp)
+			t.Errorf("%s: mean response %.17g, golden %.17g", want.scheduler, r.MeanResponse, want.meanResp)
 		}
 		if r.Utilization != want.utilization {
-			t.Errorf("%s: utilization %.17g, golden %.17g", sched, r.Utilization, want.utilization)
+			t.Errorf("%s: utilization %.17g, golden %.17g", want.scheduler, r.Utilization, want.utilization)
 		}
 		if r.MeanAllocEfficiency != want.meanEff {
-			t.Errorf("%s: mean efficiency %.17g, golden %.17g", sched, r.MeanAllocEfficiency, want.meanEff)
+			t.Errorf("%s: mean efficiency %.17g, golden %.17g", want.scheduler, r.MeanAllocEfficiency, want.meanEff)
 		}
 		if sd != want.slowdown {
-			t.Errorf("%s: slowdown sum %.17g, golden %.17g", sched, sd, want.slowdown)
+			t.Errorf("%s: slowdown sum %.17g, golden %.17g", want.scheduler, sd, want.slowdown)
 		}
 	}
 }

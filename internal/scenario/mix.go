@@ -12,9 +12,9 @@ var luSizes = []struct{ n, r int }{
 	{1296, 162}, {1296, 108}, {648, 81}, {2592, 324},
 }
 
-// sampleBody draws one job body (phases + node cap) from the weighted mix
-// using only the passed per-job stream.
-func (s *Spec) sampleBody(r *rng.Source, nodes int) ([]cluster.Phase, int) {
+// sampleBody draws one job body (phases + node cap + fair-share weight)
+// from the weighted mix using only the passed per-job stream.
+func (s *Spec) sampleBody(r *rng.Source, nodes int) ([]cluster.Phase, int, float64) {
 	var total float64
 	for _, m := range s.Mix {
 		total += m.Weight
@@ -39,7 +39,7 @@ func (s *Spec) sampleBody(r *rng.Source, nodes int) ([]cluster.Phase, int) {
 	if maxNodes > nodes {
 		maxNodes = nodes
 	}
-	return m.phases(r, maxNodes), maxNodes
+	return m.phases(r, maxNodes), maxNodes, m.JobWeight
 }
 
 func (m MixSpec) phases(r *rng.Source, maxNodes int) []cluster.Phase {

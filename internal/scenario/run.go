@@ -2,20 +2,25 @@ package scenario
 
 import (
 	"fmt"
-	"strings"
 
 	"dpsim/internal/cluster"
 	"dpsim/internal/eventq"
 	"dpsim/internal/rng"
+	"dpsim/internal/sched"
 )
 
 // CellParams identifies one point of the experiment grid plus the seed of
 // one replication.
 type CellParams struct {
-	Nodes      int
-	Load       float64
-	Scheduler  string
-	ArrivalIdx int
+	Nodes int
+	Load  float64
+	// Scheduler selects the policy as a spec string — a bare name or
+	// "name(key=value,...)", e.g. a SchedulerSpec.Label(). When empty,
+	// SchedulerIdx indexes Spec.Schedulers instead — like ArrivalIdx,
+	// its zero value selects the first axis entry.
+	Scheduler    string
+	SchedulerIdx int
+	ArrivalIdx   int
 	// AvailIdx indexes Spec.Availability; any value is the fixed pool
 	// when the spec lists no availability processes, and -1 forces it.
 	AvailIdx int
@@ -35,16 +40,28 @@ type CellRun struct {
 // the cluster simulator's step primitives, injecting each arrival as the
 // shared clock reaches it — the open-system event loop.
 func (s *Spec) RunCell(p CellParams) (*CellRun, error) {
-	sched, ok := cluster.SchedulerByName(p.Scheduler)
-	if !ok {
-		return nil, fmt.Errorf("scenario: unknown scheduler %q (valid: %s)",
-			p.Scheduler, strings.Join(cluster.SchedulerNames(), ", "))
+	var schedSpec SchedulerSpec
+	switch {
+	case p.Scheduler != "":
+		name, params, err := sched.ParseSpec(p.Scheduler)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		schedSpec = SchedulerSpec{Name: name, Params: params}
+	case p.SchedulerIdx >= 0 && p.SchedulerIdx < len(s.Schedulers):
+		schedSpec = s.Schedulers[p.SchedulerIdx]
+	default:
+		return nil, fmt.Errorf("scenario: scheduler index %d out of range", p.SchedulerIdx)
+	}
+	policy, err := schedSpec.New()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	stream, err := s.Stream(p.ArrivalIdx, p.Nodes, p.Load, p.Seed)
 	if err != nil {
 		return nil, err
 	}
-	sim, err := cluster.NewSim(p.Nodes, sched, nil)
+	sim, err := cluster.NewSim(p.Nodes, policy, nil)
 	if err != nil {
 		return nil, err
 	}

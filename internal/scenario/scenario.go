@@ -36,7 +36,7 @@ import (
 	"strings"
 
 	"dpsim/internal/availability"
-	"dpsim/internal/cluster"
+	"dpsim/internal/sched"
 )
 
 // Spec is a declarative scenario: the experiment grid and its workload.
@@ -49,9 +49,13 @@ type Spec struct {
 	// (default {1}). Load 2 halves mean inter-arrival times; for trace
 	// replay it compresses the trace's time axis by the same factor.
 	Loads []float64 `json:"loads,omitempty"`
-	// Schedulers lists cluster scheduler names (cluster.SchedulerByName);
-	// empty means all built-in schedulers.
-	Schedulers []string `json:"schedulers,omitempty"`
+	// Schedulers lists the scheduling policies of the grid. Each entry is
+	// either a bare policy name ("equipartition") or an object with
+	// construction parameters ({"name": "malleable-hysteresis",
+	// "params": {"epoch_s": 45, "min_delta": 2}}); valid names are
+	// sched.Names(). Empty means every registered policy with default
+	// parameters.
+	Schedulers SchedulerList `json:"schedulers,omitempty"`
 	// Seed is the master seed; every cell and replication derives its own
 	// independent stream from it.
 	Seed uint64 `json:"seed"`
@@ -82,6 +86,124 @@ type Spec struct {
 	// dir is the directory of the scenario file, for resolving relative
 	// trace paths; empty for in-memory specs.
 	dir string
+}
+
+// SchedulerSpec selects one scheduling policy of the grid: a registered
+// policy name (sched.Names(), case-insensitive) plus optional
+// construction parameters. In scenario JSON an entry may be a bare
+// string or a {"name": ..., "params": {...}} object.
+type SchedulerSpec struct {
+	Name   string       `json:"name"`
+	Params sched.Params `json:"params,omitempty"`
+}
+
+// UnmarshalJSON implements json.Unmarshaler: a bare string is a policy
+// name with default parameters.
+func (sp *SchedulerSpec) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err == nil {
+		*sp = SchedulerSpec{Name: name}
+		return nil
+	}
+	type plain SchedulerSpec
+	var p plain
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	*sp = SchedulerSpec(p)
+	return nil
+}
+
+// Label names the policy for reports and CSV columns, parameters
+// included: "malleable-hysteresis(epoch_s=45,min_delta=2)". The label is
+// itself a valid scheduler spec (sched.ParseSpec round-trips it), so an
+// exported grid row fully identifies its policy.
+func (sp SchedulerSpec) Label() string { return sched.FormatSpec(sp.Name, sp.Params) }
+
+// New constructs a fresh policy instance (policies may hold per-run
+// state, so every simulation must construct its own).
+func (sp SchedulerSpec) New() (sched.Scheduler, error) { return sched.New(sp.Name, sp.Params) }
+
+// validate resolves the policy once, failing fast on unknown names or
+// parameters, and canonicalizes the name for stable labels.
+func (sp *SchedulerSpec) validate() error {
+	s, err := sp.New()
+	if err != nil {
+		return err
+	}
+	sp.Name = s.Name()
+	return nil
+}
+
+// SchedulerList unmarshals from a single entry or an array of entries,
+// like ArrivalList.
+type SchedulerList []SchedulerSpec
+
+// ParseSchedulerList splits a comma-separated CLI scheduler list into
+// specs. Commas inside a parameter list — "a(x=1,y=2),b" — belong to
+// the spec, so splitting tracks parenthesis depth. Entries are not yet
+// validated; Spec.Validate resolves them.
+func ParseSchedulerList(arg string) (SchedulerList, error) {
+	var list SchedulerList
+	depth, start := 0, 0
+	flush := func(tok string) error {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			return fmt.Errorf("scenario: empty scheduler spec in %q", arg)
+		}
+		name, params, err := sched.ParseSpec(tok)
+		if err != nil {
+			return err
+		}
+		list = append(list, SchedulerSpec{Name: name, Params: params})
+		return nil
+	}
+	for i := 0; i < len(arg); i++ {
+		switch arg[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				if err := flush(arg[start:i]); err != nil {
+					return nil, err
+				}
+				start = i + 1
+			}
+		}
+	}
+	if err := flush(arg[start:]); err != nil {
+		return nil, err
+	}
+	return list, nil
+}
+
+// ApplySchedulerOverride replaces the spec's scheduler axis with a
+// CLI-provided comma-separated list and re-validates the spec — the
+// shared implementation of both CLIs' -schedulers flags.
+func (s *Spec) ApplySchedulerOverride(arg string) error {
+	list, err := ParseSchedulerList(arg)
+	if err != nil {
+		return err
+	}
+	s.Schedulers = list
+	return s.Validate()
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (l *SchedulerList) UnmarshalJSON(data []byte) error {
+	var many []SchedulerSpec
+	if err := json.Unmarshal(data, &many); err == nil {
+		*l = many
+		return nil
+	}
+	var one SchedulerSpec
+	if err := json.Unmarshal(data, &one); err != nil {
+		return err
+	}
+	*l = SchedulerList{one}
+	return nil
 }
 
 // ReconfigSpec is the JSON form of cluster.ReconfigCost.
@@ -122,6 +244,11 @@ type MixSpec struct {
 	// MaxNodes caps the job's allocation; 0 draws uniformly from
 	// [2, nodes] (or the full cluster when it has ≤ 2 nodes).
 	MaxNodes int `json:"max_nodes,omitempty"`
+	// JobWeight is the fair-share weight carried by jobs drawn from this
+	// mix component (default 1): proportional-share policies grant a
+	// weight-2 job twice the share of a weight-1 job. Policies that are
+	// not share-based ignore it.
+	JobWeight float64 `json:"job_weight,omitempty"`
 
 	// lu: matrix size N and block size R (R must divide N). Zero N picks
 	// randomly from the paper's standard sizes.
@@ -245,14 +372,13 @@ func (s *Spec) Validate() error {
 		}
 	}
 	if len(s.Schedulers) == 0 {
-		for _, sched := range cluster.Schedulers() {
-			s.Schedulers = append(s.Schedulers, sched.Name())
+		for _, name := range sched.Names() {
+			s.Schedulers = append(s.Schedulers, SchedulerSpec{Name: name})
 		}
 	}
-	for _, name := range s.Schedulers {
-		if _, ok := cluster.SchedulerByName(name); !ok {
-			return fmt.Errorf("unknown scheduler %q (valid: %s)",
-				name, strings.Join(cluster.SchedulerNames(), ", "))
+	for i := range s.Schedulers {
+		if err := s.Schedulers[i].validate(); err != nil {
+			return fmt.Errorf("schedulers[%d]: %w", i, err)
 		}
 	}
 	if len(s.Arrivals) == 0 {
@@ -349,6 +475,12 @@ func (m *MixSpec) validate() error {
 	}
 	if m.MaxNodes < 0 {
 		return fmt.Errorf("negative max_nodes")
+	}
+	if m.JobWeight < 0 {
+		return fmt.Errorf("negative job_weight")
+	}
+	if m.JobWeight == 0 {
+		m.JobWeight = 1
 	}
 	switch m.Kind {
 	case "lu":

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"dpsim/internal/cluster"
+	"dpsim/internal/sched"
 	"dpsim/internal/trace"
 )
 
@@ -16,7 +17,7 @@ func baseSpec() *Spec {
 	return &Spec{
 		Name:       "test",
 		Nodes:      []int{8},
-		Schedulers: []string{"equipartition"},
+		Schedulers: SchedulerList{{Name: "equipartition"}},
 		Seed:       1,
 		Jobs:       12,
 		Mix: []MixSpec{
@@ -45,7 +46,7 @@ func TestParseSingleArrivalObject(t *testing.T) {
 	if !reflect.DeepEqual(spec.Loads, []float64{1}) {
 		t.Fatalf("loads = %v", spec.Loads)
 	}
-	if len(spec.Schedulers) != len(cluster.Schedulers()) {
+	if len(spec.Schedulers) != len(sched.Names()) {
 		t.Fatalf("schedulers = %v", spec.Schedulers)
 	}
 }
@@ -55,7 +56,7 @@ func TestValidateRejections(t *testing.T) {
 		"no nodes":          func(s *Spec) { s.Nodes = nil },
 		"bad node":          func(s *Spec) { s.Nodes = []int{0} },
 		"bad load":          func(s *Spec) { s.Loads = []float64{-1} },
-		"bad scheduler":     func(s *Spec) { s.Schedulers = []string{"nope"} },
+		"bad scheduler":     func(s *Spec) { s.Schedulers = SchedulerList{{Name: "nope"}} },
 		"no arrivals":       func(s *Spec) { s.Arrivals = nil },
 		"bad process":       func(s *Spec) { s.Arrivals[0].Process = "weird" },
 		"poisson no mean":   func(s *Spec) { s.Arrivals[0].MeanInterarrivalS = 0 },
@@ -282,7 +283,7 @@ func TestRunCellMatchesClosedSim(t *testing.T) {
 		t.Fatal(err)
 	}
 	jobs := streamJobs(t, spec, 0, 3)
-	sim, err := cluster.NewSim(8, cluster.Equipartition{}, jobs)
+	sim, err := cluster.NewSim(8, sched.Equipartition{}, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"math"
+	"sort"
+)
+
+func init() {
+	Register("easy-backfill", func(p Params) (Scheduler, error) {
+		if err := p.check("easy-backfill"); err != nil {
+			return nil, err
+		}
+		return EasyBackfill{}, nil
+	})
+}
+
+// EasyBackfill is FCFS over rigid-width requests with EASY (aggressive)
+// backfilling: the queue head gets a reservation at the earliest instant
+// enough nodes free up, and later jobs may jump it only if their
+// estimated runtime does not delay that reservation. Runtime estimates
+// come from the jobs' per-phase work profiles (EstRemaining) — exactly
+// the prediction the DPS simulator supplies — so unlike user-supplied
+// wall-time estimates they are never wildly pessimistic.
+type EasyBackfill struct{}
+
+// Name implements Scheduler.
+func (EasyBackfill) Name() string { return "easy-backfill" }
+
+// Allocate implements Scheduler.
+func (EasyBackfill) Allocate(st State) map[int]int {
+	out := make(map[int]int)
+	free := st.Nodes
+	// grant pairs a job with the width it holds in THIS allocation —
+	// js.Alloc for already-running jobs, the admitted width for jobs
+	// started in this very pass (whose snapshot Alloc is still 0).
+	// Reservations must see the granted widths or same-pass admissions
+	// would look like zero-node releases at +Inf and void the shadow.
+	type grant struct {
+		js    *JobState
+		width int
+	}
+	running := make([]grant, 0, len(st.Active))
+	for _, js := range st.Active {
+		if js.Alloc > 0 {
+			out[js.Job.ID] = js.Alloc
+			free -= js.Alloc
+			running = append(running, grant{js, js.Alloc})
+		}
+	}
+	waiting := waitingFCFS(st)
+	// Admit from the front while the head fits: plain FCFS.
+	for len(waiting) > 0 && waiting[0].Job.MaxNodes <= free {
+		js := waiting[0]
+		out[js.Job.ID] = js.Job.MaxNodes
+		free -= js.Job.MaxNodes
+		running = append(running, grant{js, js.Job.MaxNodes})
+		waiting = waiting[1:]
+	}
+	if len(waiting) <= 1 {
+		return out
+	}
+	// The head is blocked: reserve for it. Its shadow time is the
+	// earliest instant the estimated releases of the running jobs free
+	// enough nodes; extra is what remains beyond the head's request at
+	// that instant (nodes a backfilled job may hold across the shadow).
+	head := waiting[0]
+	rel := make([]release, 0, len(running))
+	for _, g := range running {
+		rel = append(rel, release{at: g.js.EstRemaining(g.width), nodes: g.width})
+	}
+	shadow, extra := reservation(rel, free, head.Job.MaxNodes)
+	for _, js := range waiting[1:] {
+		want := js.Job.MaxNodes
+		if want > free {
+			continue
+		}
+		if est := js.EstRemaining(want); est <= shadow || want <= extra {
+			out[js.Job.ID] = want
+			free -= want
+			if want <= extra {
+				extra -= want
+			}
+		}
+	}
+	return out
+}
+
+// release is one running job's estimated node hand-back.
+type release struct {
+	at    float64
+	nodes int
+}
+
+// reservation computes the head job's shadow time — how far from now the
+// estimated releases free enough nodes for a request of want on top of
+// free — and the node surplus at that instant. An unreachable request
+// (capacity shrunk below the width) yields an infinite shadow: every
+// fitting job may backfill.
+func reservation(releases []release, free, want int) (shadow float64, extra int) {
+	rel := append([]release(nil), releases...)
+	sort.SliceStable(rel, func(i, j int) bool { return rel[i].at < rel[j].at })
+	avail := free
+	for _, r := range rel {
+		avail += r.nodes
+		if avail >= want {
+			return r.at, avail - want
+		}
+	}
+	return math.Inf(1), math.MaxInt32
+}

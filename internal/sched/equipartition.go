@@ -1,0 +1,42 @@
+package sched
+
+import "sort"
+
+func init() {
+	Register("equipartition", func(p Params) (Scheduler, error) {
+		if err := p.check("equipartition"); err != nil {
+			return nil, err
+		}
+		return Equipartition{}, nil
+	})
+}
+
+// Equipartition divides the nodes evenly among active jobs (classic
+// malleable scheduling, Cirne/Berman-style moldability taken to runtime).
+type Equipartition struct{}
+
+// Name implements Scheduler.
+func (Equipartition) Name() string { return "equipartition" }
+
+// Allocate implements Scheduler.
+func (Equipartition) Allocate(st State) map[int]int {
+	out := make(map[int]int)
+	if len(st.Active) == 0 {
+		return out
+	}
+	jobs := append([]*JobState(nil), st.Active...)
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Job.ID < jobs[j].Job.ID })
+	share := st.Nodes / len(jobs)
+	extra := st.Nodes % len(jobs)
+	for i, js := range jobs {
+		a := share
+		if i < extra {
+			a++
+		}
+		if a > js.Job.MaxNodes {
+			a = js.Job.MaxNodes
+		}
+		out[js.Job.ID] = a
+	}
+	return out
+}

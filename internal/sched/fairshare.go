@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"math"
+	"sort"
+)
+
+func init() {
+	Register("fair-share", func(p Params) (Scheduler, error) {
+		if err := p.check("fair-share"); err != nil {
+			return nil, err
+		}
+		return FairShare{}, nil
+	})
+}
+
+// FairShare is weighted equipartition: each active job is entitled to a
+// share of the pool proportional to its Weight (default 1), apportioned
+// by the largest-remainder method, capped at MaxNodes, with capped jobs'
+// surplus redistributed to the rest. With uniform weights it behaves
+// like Equipartition up to rounding order.
+type FairShare struct{}
+
+// Name implements Scheduler.
+func (FairShare) Name() string { return "fair-share" }
+
+// Allocate implements Scheduler.
+func (FairShare) Allocate(st State) map[int]int {
+	out := make(map[int]int)
+	if len(st.Active) == 0 {
+		return out
+	}
+	jobs := append([]*JobState(nil), st.Active...)
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Job.ID < jobs[j].Job.ID })
+	var totalW float64
+	for _, js := range jobs {
+		totalW += jobWeight(js.Job)
+	}
+	// Largest-remainder apportionment of quota = Nodes·w/W, each share
+	// capped at the job's MaxNodes.
+	alloc := make([]int, len(jobs))
+	frac := make([]float64, len(jobs))
+	used := 0
+	for i, js := range jobs {
+		quota := float64(st.Nodes) * jobWeight(js.Job) / totalW
+		alloc[i] = int(math.Floor(quota))
+		frac[i] = quota - float64(alloc[i])
+		if alloc[i] > js.Job.MaxNodes {
+			alloc[i] = js.Job.MaxNodes
+			frac[i] = 0
+		}
+		used += alloc[i]
+	}
+	// Hand the rounding leftover to the largest fractional remainders
+	// (ties: lower ID), then cycle any cap surplus over uncapped jobs.
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return frac[order[a]] > frac[order[b]] })
+	for _, i := range order {
+		if used >= st.Nodes {
+			break
+		}
+		if alloc[i] < jobs[i].Job.MaxNodes && frac[i] > 0 {
+			alloc[i]++
+			used++
+		}
+	}
+	for used < st.Nodes {
+		grew := false
+		for i, js := range jobs {
+			if used >= st.Nodes {
+				break
+			}
+			if alloc[i] < js.Job.MaxNodes {
+				alloc[i]++
+				used++
+				grew = true
+			}
+		}
+		if !grew {
+			break // every job at its cap: the surplus idles
+		}
+	}
+	for i, js := range jobs {
+		out[js.Job.ID] = alloc[i]
+	}
+	return out
+}
+
+// jobWeight is the job's fair-share weight, defaulting to 1 for jobs
+// that never set one (including non-positive values).
+func jobWeight(j *Job) float64 {
+	if j.Weight <= 0 {
+		return 1
+	}
+	return j.Weight
+}

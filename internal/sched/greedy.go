@@ -1,0 +1,52 @@
+package sched
+
+import "sort"
+
+func init() {
+	Register("efficiency-greedy", func(p Params) (Scheduler, error) {
+		if err := p.check("efficiency-greedy"); err != nil {
+			return nil, err
+		}
+		return EfficiencyGreedy{}, nil
+	})
+}
+
+// EfficiencyGreedy assigns nodes one at a time to the job with the largest
+// marginal rate gain under its current phase's efficiency curve — the
+// dynamic-efficiency-aware policy the paper's simulator enables.
+type EfficiencyGreedy struct{}
+
+// Name implements Scheduler.
+func (EfficiencyGreedy) Name() string { return "efficiency-greedy" }
+
+// Allocate implements Scheduler.
+func (EfficiencyGreedy) Allocate(st State) map[int]int {
+	out := make(map[int]int)
+	if len(st.Active) == 0 {
+		return out
+	}
+	jobs := append([]*JobState(nil), st.Active...)
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Job.ID < jobs[j].Job.ID })
+	alloc := make([]int, len(jobs))
+	for n := 0; n < st.Nodes; n++ {
+		best, bestGain := -1, 0.0
+		for i, js := range jobs {
+			if alloc[i] >= js.Job.MaxNodes {
+				continue
+			}
+			ph := js.Phase()
+			gain := ph.Rate(alloc[i]+1) - ph.Rate(alloc[i])
+			if gain > bestGain {
+				bestGain, best = gain, i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		alloc[best]++
+	}
+	for i, js := range jobs {
+		out[js.Job.ID] = alloc[i]
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+func init() {
+	Register("malleable-hysteresis", func(p Params) (Scheduler, error) {
+		if err := p.check("malleable-hysteresis", "epoch_s", "min_delta"); err != nil {
+			return nil, err
+		}
+		m := NewMalleableHysteresis(p.Float("epoch_s", 30), p.Float("min_delta", 2))
+		if m.EpochS < 0 || m.MinDelta < 1 {
+			return nil, fmt.Errorf("sched: malleable-hysteresis: epoch_s must be >= 0 and min_delta >= 1")
+		}
+		return m, nil
+	})
+}
+
+// MalleableHysteresis is equipartition with a reallocation throttle: a
+// running job's allocation moves toward its equipartition target only
+// when the move is at least MinDelta nodes AND the job's last resize is
+// at least EpochS seconds old. The throttle bounds reallocation churn —
+// and with it the redistribution pauses the reconfiguration-cost model
+// charges — at the price of transiently uneven shares. Admissions
+// (waiting → running) and capacity pressure are never throttled: a job
+// must start as soon as its target says so, and the policy must always
+// fit inside the usable pool.
+//
+// The policy is stateful (per-job resize clocks): construct a fresh
+// instance per simulation.
+type MalleableHysteresis struct {
+	// EpochS is the minimum time between two resizes of one job.
+	EpochS float64
+	// MinDelta is the minimum allocation change worth acting on.
+	MinDelta int
+
+	lastResize map[int]float64
+}
+
+// NewMalleableHysteresis constructs the policy; minDelta is rounded to
+// the nearest node.
+func NewMalleableHysteresis(epochS, minDelta float64) *MalleableHysteresis {
+	return &MalleableHysteresis{
+		EpochS:     epochS,
+		MinDelta:   int(math.Round(minDelta)),
+		lastResize: make(map[int]float64),
+	}
+}
+
+// Name implements Scheduler.
+func (*MalleableHysteresis) Name() string { return "malleable-hysteresis" }
+
+// Allocate implements Scheduler.
+func (m *MalleableHysteresis) Allocate(st State) map[int]int {
+	if m.lastResize == nil {
+		m.lastResize = make(map[int]float64)
+	}
+	target := Equipartition{}.Allocate(st)
+	out := make(map[int]int)
+	if len(st.Active) == 0 {
+		m.lastResize = make(map[int]float64)
+		return out
+	}
+	jobs := append([]*JobState(nil), st.Active...)
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Job.ID < jobs[j].Job.ID })
+	// Forget departed jobs so the clock map cannot grow without bound.
+	present := make(map[int]bool, len(jobs))
+	for _, js := range jobs {
+		present[js.Job.ID] = true
+	}
+	for id := range m.lastResize {
+		if !present[id] {
+			delete(m.lastResize, id)
+		}
+	}
+	total := 0
+	for _, js := range jobs {
+		id := js.Job.ID
+		cur, want := js.Alloc, target[id]
+		a := cur
+		switch {
+		case cur == want:
+			// nothing to do; the clock only ticks on actual resizes.
+		case cur == 0:
+			// Admission: never delay a waiting job's first nodes.
+			a = want
+			m.lastResize[id] = st.Now
+		case abs(want-cur) < m.MinDelta:
+			// Too small a move to pay a redistribution for.
+		case st.Now-m.resizeClock(id) < m.EpochS:
+			// Within the epoch: hold.
+		default:
+			a = want
+			m.lastResize[id] = st.Now
+		}
+		out[id] = a
+		total += a
+	}
+	// Capacity repair: held allocations can exceed a shrunken pool (or
+	// crowd out an admission). Pressure overrides hysteresis — shrink the
+	// jobs holding most above target, largest overshoot first (ties:
+	// lower ID), until the allocation fits. Targets always sum within
+	// Nodes, so one pass suffices.
+	if total > st.Nodes {
+		order := make([]*JobState, len(jobs))
+		copy(order, jobs)
+		sort.SliceStable(order, func(i, j int) bool {
+			oi := out[order[i].Job.ID] - target[order[i].Job.ID]
+			oj := out[order[j].Job.ID] - target[order[j].Job.ID]
+			if oi != oj {
+				return oi > oj
+			}
+			return order[i].Job.ID < order[j].Job.ID
+		})
+		for _, js := range order {
+			if total <= st.Nodes {
+				break
+			}
+			id := js.Job.ID
+			give := out[id] - target[id]
+			if give <= 0 {
+				continue
+			}
+			if excess := total - st.Nodes; give > excess {
+				give = excess
+			}
+			out[id] -= give
+			total -= give
+			m.lastResize[id] = st.Now
+		}
+	}
+	return out
+}
+
+// resizeClock is the instant of the job's last resize; a job never yet
+// resized is free to move immediately.
+func (m *MalleableHysteresis) resizeClock(id int) float64 {
+	if at, ok := m.lastResize[id]; ok {
+		return at
+	}
+	return math.Inf(-1)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

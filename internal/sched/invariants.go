@@ -1,0 +1,206 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"dpsim/internal/rng"
+)
+
+// CapacityChange is one step of a node-availability timeline, mirrored
+// here so the harness can randomize capacity without importing the
+// simulator stack (the runner converts it to its own representation).
+type CapacityChange struct {
+	At       float64 // seconds
+	Capacity int     // absolute usable nodes from At on
+	NoticeS  float64 // advance reclaim notice; 0 = abrupt
+}
+
+// Outcome is the simulation summary CheckInvariants inspects.
+type Outcome struct {
+	// Fingerprint must render the full result (per-job outcomes
+	// included) so that two same-seed runs compare bit-for-bit.
+	Fingerprint string
+	// Jobs is the number of jobs submitted; Finished and Unfinished must
+	// partition it for a terminating simulation.
+	Jobs       int
+	Finished   int
+	Unfinished int
+}
+
+// Runner executes one complete simulation of the scheduler over the
+// given workload and capacity timeline. internal/cluster provides the
+// canonical implementation (cluster.InvariantRunner); the indirection
+// keeps sched free of a dependency on the simulator it certifies.
+type Runner func(s Scheduler, nodes int, jobs []*Job, changes []CapacityChange) (Outcome, error)
+
+// CheckConfig tunes CheckInvariants.
+type CheckConfig struct {
+	// Runner drives the simulations (required).
+	Runner Runner
+	// Factory overrides name resolution; nil resolves New(name, nil).
+	// Every call must return a fresh instance (policies may be stateful).
+	Factory func() (Scheduler, error)
+	// Seed roots the randomized workloads and timelines (default 1).
+	Seed uint64
+	// Rounds is the number of randomized (workload, timeline) pairs
+	// (default 16); each pair runs twice to check determinism.
+	Rounds int
+	// MaxNodes bounds the random cluster size (default 24).
+	MaxNodes int
+	// MaxJobs bounds the random workload size (default 16).
+	MaxJobs int
+}
+
+// CheckInvariants certifies a scheduling policy against the simulator's
+// core invariants under randomized workloads and randomized
+// node-availability timelines:
+//
+//  1. the summed allocation never exceeds the capacity offered,
+//  2. no job ever receives more than its MaxNodes, a negative count, or
+//     an allocation while absent from the state,
+//  3. identical seeds produce identical Results, and
+//  4. every submitted job either finishes or is counted in Unfinished.
+//
+// Any registered policy — including future ones — is certified by name;
+// the invariant suite runs it for every name in Names().
+func CheckInvariants(name string, cfg CheckConfig) error {
+	if cfg.Runner == nil {
+		return fmt.Errorf("sched: CheckInvariants(%s): no Runner", name)
+	}
+	newPolicy := cfg.Factory
+	if newPolicy == nil {
+		newPolicy = func() (Scheduler, error) { return New(name, nil) }
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = 16
+	}
+	maxNodes := cfg.MaxNodes
+	if maxNodes < 2 {
+		maxNodes = 24
+	}
+	maxJobs := cfg.MaxJobs
+	if maxJobs < 1 {
+		maxJobs = 16
+	}
+	for round := 0; round < rounds; round++ {
+		roundSeed := rng.New(seed ^ (uint64(round+1) * 0x9e3779b97f4a7c15)).Uint64()
+		var fingerprints [2]string
+		for rerun := 0; rerun < 2; rerun++ {
+			// Regenerate the identical workload and timeline from the
+			// round seed: determinism (invariant 3) is checked on the
+			// whole pipeline, not just the policy.
+			nodes, jobs, changes := randomCase(roundSeed, maxNodes, maxJobs)
+			policy, err := newPolicy()
+			if err != nil {
+				return fmt.Errorf("sched: CheckInvariants(%s): %w", name, err)
+			}
+			v := &validator{inner: policy}
+			out, err := cfg.Runner(v, nodes, jobs, changes)
+			if len(v.violations) > 0 {
+				return fmt.Errorf("sched: CheckInvariants(%s): round %d: %s",
+					name, round, strings.Join(v.violations, "; "))
+			}
+			if err != nil {
+				return fmt.Errorf("sched: CheckInvariants(%s): round %d: %w", name, round, err)
+			}
+			if out.Finished+out.Unfinished != out.Jobs {
+				return fmt.Errorf("sched: CheckInvariants(%s): round %d: %d finished + %d unfinished != %d jobs",
+					name, round, out.Finished, out.Unfinished, out.Jobs)
+			}
+			fingerprints[rerun] = out.Fingerprint
+		}
+		if fingerprints[0] != fingerprints[1] {
+			return fmt.Errorf("sched: CheckInvariants(%s): round %d: identical seeds diverged:\n  %s\n  %s",
+				name, round, fingerprints[0], fingerprints[1])
+		}
+	}
+	return nil
+}
+
+// randomCase expands a seed into one randomized test case: a cluster
+// size, an open workload with varied phase profiles and weights, and a
+// sorted capacity timeline mixing abrupt drops, noticed reclaims, full
+// outages and restorations.
+func randomCase(seed uint64, maxNodes, maxJobs int) (int, []*Job, []CapacityChange) {
+	src := rng.New(seed)
+	nodes := 2 + src.Intn(maxNodes-1)
+	njobs := 1 + src.Intn(maxJobs)
+	jobs := make([]*Job, njobs)
+	t := 0.0
+	for i := range jobs {
+		t += src.Exp(8)
+		phases := make([]Phase, 1+src.Intn(4))
+		for k := range phases {
+			phases[k] = Phase{Work: src.Uniform(0.5, 40), Comm: src.Uniform(0, 0.4)}
+		}
+		jobs[i] = &Job{
+			ID:       i,
+			Arrival:  t,
+			Phases:   phases,
+			MaxNodes: 1 + src.Intn(nodes),
+			Weight:   src.Uniform(0.5, 3),
+		}
+	}
+	var changes []CapacityChange
+	ct := 0.0
+	for i, n := 0, src.Intn(9); i < n; i++ {
+		ct += src.Exp(30)
+		c := CapacityChange{At: ct, Capacity: src.Intn(nodes + 1)}
+		if src.Float64() < 0.4 {
+			c.NoticeS = src.Uniform(1, 15)
+		}
+		changes = append(changes, c)
+	}
+	return nodes, jobs, changes
+}
+
+// validator wraps a policy and records every violation of the
+// allocation contract observed across the run.
+type validator struct {
+	inner      Scheduler
+	violations []string
+}
+
+const maxViolations = 5
+
+func (v *validator) Name() string { return v.inner.Name() }
+
+func (v *validator) Allocate(st State) map[int]int {
+	out := v.inner.Allocate(st)
+	active := make(map[int]*JobState, len(st.Active))
+	for _, js := range st.Active {
+		active[js.Job.ID] = js
+	}
+	total := 0
+	for id, a := range out {
+		js, ok := active[id]
+		switch {
+		case !ok:
+			v.record("t=%g: allocated %d nodes to absent job %d", st.Now, a, id)
+			continue
+		case a < 0:
+			v.record("t=%g: job %d allocated %d nodes", st.Now, id, a)
+		case a > js.Job.MaxNodes:
+			v.record("t=%g: job %d allocated %d > MaxNodes %d", st.Now, id, a, js.Job.MaxNodes)
+		}
+		if a > 0 {
+			total += a
+		}
+	}
+	if total > st.Nodes {
+		v.record("t=%g: allocated %d of %d usable nodes", st.Now, total, st.Nodes)
+	}
+	return out
+}
+
+func (v *validator) record(format string, args ...interface{}) {
+	if len(v.violations) < maxViolations {
+		v.violations = append(v.violations, fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,89 @@
+package sched_test
+
+import (
+	"strings"
+	"testing"
+
+	"dpsim/internal/cluster"
+	"dpsim/internal/sched"
+)
+
+// TestCheckInvariantsAllPolicies certifies every registered policy —
+// present and future, since the loop is over Names() — against the
+// simulator's invariants under randomized workloads and randomized
+// availability timelines.
+func TestCheckInvariantsAllPolicies(t *testing.T) {
+	for _, name := range sched.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			err := sched.CheckInvariants(name, sched.CheckConfig{
+				Runner: cluster.InvariantRunner,
+				Seed:   0xD05, // keep the suite's seed stable across runs
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// overAllocator violates invariant 1 on purpose: it hands every job its
+// MaxNodes regardless of capacity.
+type overAllocator struct{}
+
+func (overAllocator) Name() string { return "test-over-allocator" }
+func (overAllocator) Allocate(st sched.State) map[int]int {
+	out := make(map[int]int)
+	for _, js := range st.Active {
+		out[js.Job.ID] = js.Job.MaxNodes
+	}
+	return out
+}
+
+// greedyBeyondMax violates invariant 2: one node too many for the first
+// job.
+type greedyBeyondMax struct{}
+
+func (greedyBeyondMax) Name() string { return "test-beyond-max" }
+func (greedyBeyondMax) Allocate(st sched.State) map[int]int {
+	out := make(map[int]int)
+	if len(st.Active) > 0 {
+		js := st.Active[0]
+		if js.Job.MaxNodes < st.Nodes {
+			out[js.Job.ID] = js.Job.MaxNodes + 1
+		}
+	}
+	return out
+}
+
+// TestCheckInvariantsCatchesViolations: the harness must reject broken
+// policies, not just bless working ones.
+func TestCheckInvariantsCatchesViolations(t *testing.T) {
+	cases := []struct {
+		policy sched.Scheduler
+		want   string
+	}{
+		{overAllocator{}, "usable nodes"},
+		{greedyBeyondMax{}, "MaxNodes"},
+	}
+	for _, c := range cases {
+		err := sched.CheckInvariants(c.policy.Name(), sched.CheckConfig{
+			Runner:  cluster.InvariantRunner,
+			Factory: func() (sched.Scheduler, error) { return c.policy, nil },
+		})
+		if err == nil {
+			t.Fatalf("%s passed the invariant suite", c.policy.Name())
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not mention %q", c.policy.Name(), err, c.want)
+		}
+	}
+}
+
+// TestCheckInvariantsNeedsRunner: the config must demand its injection
+// point.
+func TestCheckInvariantsNeedsRunner(t *testing.T) {
+	if err := sched.CheckInvariants("equipartition", sched.CheckConfig{}); err == nil {
+		t.Fatal("missing Runner accepted")
+	}
+}

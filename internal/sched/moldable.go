@@ -1,0 +1,79 @@
+package sched
+
+import "fmt"
+
+func init() {
+	Register("moldable", func(p Params) (Scheduler, error) {
+		minEff, err := minEfficiencyParam("moldable", p)
+		if err != nil {
+			return nil, err
+		}
+		return Moldable{MinEfficiency: minEff}, nil
+	})
+}
+
+// minEfficiencyParam validates the shared min_efficiency parameter: an
+// explicit value must be a usable threshold in (0, 1]; absence leaves
+// the policy's documented default in force.
+func minEfficiencyParam(policy string, p Params) (float64, error) {
+	if err := p.check(policy, "min_efficiency"); err != nil {
+		return 0, err
+	}
+	v, ok := p["min_efficiency"]
+	if !ok {
+		return 0, nil
+	}
+	if v <= 0 || v > 1 {
+		return 0, fmt.Errorf("sched: %s: min_efficiency %g outside (0, 1]", policy, v)
+	}
+	return v, nil
+}
+
+// Moldable chooses each job's allocation once, at start, to maximize its
+// own efficiency×speedup trade-off (the moldable-job model of Cirne &
+// Berman, the paper's ref [5]); the allocation never changes afterwards.
+// It captures what is possible *without* runtime reallocation.
+type Moldable struct {
+	// MinEfficiency is the lowest acceptable first-phase efficiency when
+	// picking the start allocation (default 0.5).
+	MinEfficiency float64
+}
+
+// Name implements Scheduler.
+func (Moldable) Name() string { return "moldable" }
+
+// Allocate implements Scheduler.
+func (m Moldable) Allocate(st State) map[int]int {
+	minEff := m.MinEfficiency
+	if minEff <= 0 {
+		minEff = 0.5
+	}
+	out := make(map[int]int)
+	free := st.Nodes
+	for _, js := range st.Active {
+		if js.Alloc > 0 {
+			out[js.Job.ID] = js.Alloc
+			free -= js.Alloc
+		}
+	}
+	for _, js := range waitingFCFS(st) {
+		if want := moldWidth(js, minEff); want <= free {
+			out[js.Job.ID] = want
+			free -= want
+		}
+	}
+	return out
+}
+
+// moldWidth is the largest allocation whose first-phase efficiency stays
+// above the threshold, bounded by the job's request.
+func moldWidth(js *JobState, minEff float64) int {
+	ph := js.Job.Phases[0]
+	want := 1
+	for p := 2; p <= js.Job.MaxNodes; p++ {
+		if ph.Efficiency(p) >= minEff {
+			want = p
+		}
+	}
+	return want
+}

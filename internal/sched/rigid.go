@@ -1,0 +1,59 @@
+package sched
+
+import "sort"
+
+func init() {
+	Register("rigid-fcfs", func(p Params) (Scheduler, error) {
+		if err := p.check("rigid-fcfs"); err != nil {
+			return nil, err
+		}
+		return Rigid{}, nil
+	})
+}
+
+// Rigid allocates each job its MaxNodes, FCFS, holding until completion
+// (the conventional space-sharing baseline).
+type Rigid struct{}
+
+// Name implements Scheduler.
+func (Rigid) Name() string { return "rigid-fcfs" }
+
+// Allocate implements Scheduler. Running jobs keep their nodes; waiting
+// jobs are admitted FCFS into whatever remains (a running job admitted by
+// backfilling must never be evicted by an older waiter).
+func (Rigid) Allocate(st State) map[int]int {
+	out := make(map[int]int)
+	free := st.Nodes
+	for _, js := range st.Active {
+		if js.Alloc > 0 {
+			out[js.Job.ID] = js.Alloc
+			free -= js.Alloc
+		}
+	}
+	for _, js := range waitingFCFS(st) {
+		if want := js.Job.MaxNodes; want <= free {
+			out[js.Job.ID] = want
+			free -= want
+		}
+	}
+	return out
+}
+
+// waitingFCFS returns the jobs with no allocation, ordered by arrival
+// (stable by ID) — the shared admission order of the FCFS-family
+// policies.
+func waitingFCFS(st State) []*JobState {
+	waiting := make([]*JobState, 0, len(st.Active))
+	for _, js := range st.Active {
+		if js.Alloc == 0 {
+			waiting = append(waiting, js)
+		}
+	}
+	sort.SliceStable(waiting, func(i, j int) bool {
+		if waiting[i].Job.Arrival != waiting[j].Job.Arrival {
+			return waiting[i].Job.Arrival < waiting[j].Job.Arrival
+		}
+		return waiting[i].Job.ID < waiting[j].Job.ID
+	})
+	return waiting
+}

@@ -1,0 +1,134 @@
+// Package sched is the scheduling-policy subsystem of the malleable
+// cluster simulator: the Scheduler interface, the scheduler-visible views
+// of cluster state, and a self-registering policy registry.
+//
+// The cluster simulator (internal/cluster) invokes a Scheduler at every
+// arrival, phase boundary, departure and capacity change; the policy sees
+// a State snapshot — the usable node count, the current virtual instant
+// and one JobState view per active job — and returns a per-job allocation.
+// Policies never mutate simulator state, so any policy that respects the
+// allocation contract (see Scheduler) can be dropped into the simulator,
+// the scenario layer and the sweep grid without touching them.
+//
+// Built-in policies, by rigidity class:
+//
+//   - rigid-fcfs, easy-backfill — rigid: each job runs at its requested
+//     width (MaxNodes) from admission to completion.
+//   - moldable, sjf-moldable — moldable: the width is chosen once, at
+//     admission, and then held.
+//   - equipartition, fair-share, efficiency-greedy,
+//     malleable-hysteresis — malleable: allocations are recomputed at
+//     every scheduling event.
+//
+// New policies self-register via Register (typically from an init
+// function) and are then resolvable by name everywhere — scenario JSON,
+// CLI flags, sweep grids — and certified against the simulator's
+// invariants by CheckInvariants for free.
+package sched
+
+import "math"
+
+// Phase is one stage of an application with roughly constant parallel
+// behavior (an LU iteration, a solver sweep, ...).
+type Phase struct {
+	// Work is the phase's serial execution time in seconds.
+	Work float64
+	// Comm is the communication/imbalance factor: efficiency on p nodes
+	// is 1/(1+Comm·(p-1)). Zero means perfectly parallel.
+	Comm float64
+}
+
+// Efficiency returns the dynamic efficiency of the phase on p nodes.
+func (ph Phase) Efficiency(p int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return 1 / (1 + ph.Comm*float64(p-1))
+}
+
+// Rate returns the phase's progress in work-seconds per second on p nodes.
+func (ph Phase) Rate(p int) float64 {
+	return float64(p) * ph.Efficiency(p)
+}
+
+// Job is one application submitted to the cluster.
+type Job struct {
+	ID      int
+	Arrival float64 // seconds
+	Phases  []Phase
+	// MaxNodes caps the allocation (rigid jobs always request MaxNodes).
+	MaxNodes int
+	// Weight biases proportional-share policies (fair-share): a job with
+	// Weight 2 is entitled to twice the share of a job with Weight 1.
+	// Zero means 1; policies that are not share-based ignore it.
+	Weight float64
+}
+
+// TotalWork returns the job's serial running time.
+func (j *Job) TotalWork() float64 {
+	var w float64
+	for _, ph := range j.Phases {
+		w += ph.Work
+	}
+	return w
+}
+
+// JobState is the scheduler-visible view of one active job: a snapshot
+// taken at the scheduling event. Alloc is the job's current allocation
+// after any capacity preemption (0 = waiting).
+type JobState struct {
+	Job       *Job
+	PhaseIdx  int
+	Remaining float64 // work-seconds left in the current phase
+	Alloc     int
+}
+
+// Phase returns the job's current phase.
+func (js *JobState) Phase() Phase { return js.Job.Phases[js.PhaseIdx] }
+
+// RemainingWork returns the job's serial work left: the current phase's
+// remainder plus every later phase.
+func (js *JobState) RemainingWork() float64 {
+	w := js.Remaining
+	for k := js.PhaseIdx + 1; k < len(js.Job.Phases); k++ {
+		w += js.Job.Phases[k].Work
+	}
+	return w
+}
+
+// EstRemaining estimates the job's remaining runtime on p nodes: the
+// current phase's remaining work plus every later phase, each at the
+// phase's own dynamic-efficiency rate. This is the runtime estimate
+// backfilling policies use — it comes straight from the per-phase work
+// profile the DPS simulator predicts.
+func (js *JobState) EstRemaining(p int) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	t := js.Remaining / js.Phase().Rate(p)
+	for k := js.PhaseIdx + 1; k < len(js.Job.Phases); k++ {
+		t += js.Job.Phases[k].Work / js.Job.Phases[k].Rate(p)
+	}
+	return t
+}
+
+// State is the scheduler-visible cluster state at one scheduling event.
+type State struct {
+	// Nodes is the capacity usable right now: the current pool, already
+	// shrunk by any outstanding reclaim notice.
+	Nodes int
+	// Now is the current virtual instant in seconds, for policies with
+	// time-based throttles (epoch hysteresis).
+	Now float64
+	// Active lists the active jobs in ascending job-ID order.
+	Active []*JobState
+}
+
+// Scheduler decides allocations. Allocate must return a per-job node
+// count whose sum does not exceed state.Nodes, with every job's count in
+// [0, MaxNodes]; jobs not in the map get 0. Policies may keep per-run
+// state (hysteresis clocks) — resolve a fresh instance per simulation.
+type Scheduler interface {
+	Name() string
+	Allocate(st State) map[int]int
+}

@@ -1,0 +1,67 @@
+package sched
+
+import "sort"
+
+func init() {
+	Register("sjf-moldable", func(p Params) (Scheduler, error) {
+		minEff, err := minEfficiencyParam("sjf-moldable", p)
+		if err != nil {
+			return nil, err
+		}
+		return SJFMoldable{MinEfficiency: minEff}, nil
+	})
+}
+
+// SJFMoldable admits waiting jobs shortest-serial-work-first, each at a
+// moldable width chosen once at admission (the same efficiency-threshold
+// width rule as Moldable) and held to completion. Trading FCFS fairness
+// for mean response time: short jobs never queue behind long ones.
+type SJFMoldable struct {
+	// MinEfficiency is the lowest acceptable first-phase efficiency when
+	// picking the start allocation (default 0.5).
+	MinEfficiency float64
+}
+
+// Name implements Scheduler.
+func (SJFMoldable) Name() string { return "sjf-moldable" }
+
+// Allocate implements Scheduler.
+func (m SJFMoldable) Allocate(st State) map[int]int {
+	minEff := m.MinEfficiency
+	if minEff <= 0 {
+		minEff = 0.5
+	}
+	out := make(map[int]int)
+	free := st.Nodes
+	for _, js := range st.Active {
+		if js.Alloc > 0 {
+			out[js.Job.ID] = js.Alloc
+			free -= js.Alloc
+		}
+	}
+	waiting := make([]*JobState, 0, len(st.Active))
+	for _, js := range st.Active {
+		if js.Alloc == 0 {
+			waiting = append(waiting, js)
+		}
+	}
+	// Shortest remaining serial work first; ties FCFS, then by ID, so
+	// the order is total and deterministic.
+	sort.SliceStable(waiting, func(i, j int) bool {
+		wi, wj := waiting[i].RemainingWork(), waiting[j].RemainingWork()
+		if wi != wj {
+			return wi < wj
+		}
+		if waiting[i].Job.Arrival != waiting[j].Job.Arrival {
+			return waiting[i].Job.Arrival < waiting[j].Job.Arrival
+		}
+		return waiting[i].Job.ID < waiting[j].Job.ID
+	})
+	for _, js := range waiting {
+		if want := moldWidth(js, minEff); want <= free {
+			out[js.Job.ID] = want
+			free -= want
+		}
+	}
+	return out
+}

@@ -20,15 +20,18 @@ import (
 	"dpsim/internal/scenario"
 )
 
-// Cell is one point of the experiment grid.
+// Cell is one point of the experiment grid. Scheduler is the policy's
+// parameterized label (scenario.SchedulerSpec.Label()): a valid spec
+// string that fully identifies the policy, parameters included.
 type Cell struct {
-	Arrival    string  `json:"arrival"`
-	ArrivalIdx int     `json:"-"`
-	Avail      string  `json:"availability"`
-	AvailIdx   int     `json:"-"`
-	Nodes      int     `json:"nodes"`
-	Load       float64 `json:"load"`
-	Scheduler  string  `json:"scheduler"`
+	Arrival      string  `json:"arrival"`
+	ArrivalIdx   int     `json:"-"`
+	Avail        string  `json:"availability"`
+	AvailIdx     int     `json:"-"`
+	Nodes        int     `json:"nodes"`
+	Load         float64 `json:"load"`
+	Scheduler    string  `json:"scheduler"`
+	SchedulerIdx int     `json:"-"`
 }
 
 // CellStats aggregates a cell's replications.
@@ -60,11 +63,13 @@ type CellStats struct {
 	// MeanSlowdown averages the pooled bounded slowdowns.
 	MeanSlowdown float64 `json:"mean_slowdown"`
 	// Availability dynamics, per-replication means: scheduler allocation
-	// changes, applied capacity changes, and work-seconds rolled back by
-	// abrupt reclaims.
+	// changes, applied capacity changes, work-seconds rolled back by
+	// abrupt reclaims, and seconds of redistribution pause charged on
+	// allocation deltas (the churn a hysteresis policy bounds).
 	MeanReallocations  float64 `json:"mean_reallocations"`
 	MeanCapacityEvents float64 `json:"mean_capacity_events"`
 	MeanLostWork       float64 `json:"mean_lost_work_s"`
+	MeanRedistribution float64 `json:"mean_redistribution_s"`
 }
 
 // Options tunes a sweep run.
@@ -110,11 +115,12 @@ func Cells(spec *scenario.Spec) []Cell {
 		for _, v := range avail {
 			for _, n := range spec.Nodes {
 				for _, l := range spec.Loads {
-					for _, sched := range spec.Schedulers {
+					for si := range spec.Schedulers {
 						out = append(out, Cell{
 							Arrival: a.Label(), ArrivalIdx: ai,
 							Avail: v.label, AvailIdx: v.idx,
-							Nodes: n, Load: l, Scheduler: sched,
+							Nodes: n, Load: l,
+							Scheduler: spec.Schedulers[si].Label(), SchedulerIdx: si,
 						})
 					}
 				}
@@ -168,12 +174,12 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 				ci, rep := idx/reps, idx%reps
 				c := cells[ci]
 				run, err := spec.RunCell(scenario.CellParams{
-					Nodes:      c.Nodes,
-					Load:       c.Load,
-					Scheduler:  c.Scheduler,
-					ArrivalIdx: c.ArrivalIdx,
-					AvailIdx:   c.AvailIdx,
-					Seed:       runSeed(spec.Seed, ci, rep),
+					Nodes:        c.Nodes,
+					Load:         c.Load,
+					SchedulerIdx: c.SchedulerIdx,
+					ArrivalIdx:   c.ArrivalIdx,
+					AvailIdx:     c.AvailIdx,
+					Seed:         runSeed(spec.Seed, ci, rep),
 				})
 				mu.Lock()
 				if err != nil && firstErr == nil {
@@ -205,7 +211,7 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 	for ci, c := range cells {
 		st := CellStats{Cell: c, Replications: reps}
 		var responses, waits, slowdowns []float64
-		var makespan, util, availUtil, reallocs, capEvents, lostWork float64
+		var makespan, util, availUtil, reallocs, capEvents, lostWork, redistS float64
 		for rep := 0; rep < reps; rep++ {
 			run := runs[ci*reps+rep]
 			for _, j := range run.Result.PerJob {
@@ -220,6 +226,7 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 			reallocs += float64(run.Result.Reallocations)
 			capEvents += float64(run.Result.CapacityEvents)
 			lostWork += run.Result.LostWorkS
+			redistS += run.Result.RedistributionS
 		}
 		st.Jobs = len(responses)
 		st.MeanResponse = metrics.Mean(responses)
@@ -235,6 +242,7 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 		st.MeanReallocations = reallocs / float64(reps)
 		st.MeanCapacityEvents = capEvents / float64(reps)
 		st.MeanLostWork = lostWork / float64(reps)
+		st.MeanRedistribution = redistS / float64(reps)
 		out[ci] = st
 	}
 	return out, nil

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -56,7 +57,10 @@ func ReadCapacity(r io.Reader) ([]CapacityPoint, error) {
 	for n, row := range rows[1:] {
 		line := n + 2
 		t, err := strconv.ParseFloat(row[0], 64)
-		if err != nil || t < 0 {
+		// ParseFloat accepts "NaN" and "Inf", and NaN passes every <
+		// comparison below — reject non-finite times explicitly or a
+		// corrupt trace sails through into the simulator's event queue.
+		if err != nil || t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
 			return nil, fmt.Errorf("trace: line %d: bad t_s %q", line, row[0])
 		}
 		if t < prev {

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCapacity: arbitrary bytes fed to the capacity-trace reader
+// must either parse into a sane timeline or return an error — never
+// panic. Availability traces are hand-exported from real systems, so
+// ragged rows, bad numbers, unsorted times and header corruption are
+// all expected inputs.
+func FuzzReadCapacity(f *testing.F) {
+	f.Add([]byte("t_s,capacity\n0,4\n10,2\n60.5,8\n"))
+	f.Add([]byte("t_s,capacity\n"))
+	f.Add([]byte("wrong,header\n0,4\n"))
+	f.Add([]byte("t_s,capacity\n10,2\n0,4\n")) // unsorted
+	f.Add([]byte("t_s,capacity\n0,-3\n"))      // negative capacity
+	f.Add([]byte("t_s,capacity\nNaN,1\n"))     // bad float
+	f.Add([]byte("t_s,capacity\n0,4,5\n"))     // ragged row
+	f.Add([]byte("t_s,capacity\n\"0,4\n"))     // broken quoting
+	f.Add([]byte{0xff, 0xfe, 0x00})            // binary garbage
+	f.Fuzz(func(t *testing.T, data []byte) {
+		points, err := ReadCapacity(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted timelines must honor the documented guarantees.
+		prev := 0.0
+		for i, p := range points {
+			if !(p.T >= prev) { // also catches NaN
+				t.Fatalf("point %d: t %g before %g in accepted trace", i, p.T, prev)
+			}
+			prev = p.T
+			if p.Capacity < 0 {
+				t.Fatalf("point %d: negative capacity %d in accepted trace", i, p.Capacity)
+			}
+		}
+		if len(points) == 0 {
+			t.Fatal("accepted trace with zero points")
+		}
+	})
+}
