@@ -1,0 +1,147 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON document suitable for archiving as a CI artifact —
+// the repository's performance trajectory. Repeated runs of the same
+// benchmark (-count=N) are aggregated into min/mean/max so the artifact
+// stays one row per benchmark.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -count=3 ./internal/cluster | benchjson > BENCH.json
+//
+// Recognized per-line fields are the standard benchmark metrics
+// (ns/op, B/op, allocs/op) plus any custom b.ReportMetric units, which
+// land in the metrics map verbatim.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed benchmark line.
+type sample struct {
+	metrics map[string]float64
+}
+
+// Result is one benchmark's aggregated JSON row.
+type Result struct {
+	Name string `json:"name"`
+	Runs int    `json:"runs"`
+	// Metrics maps unit → {min, mean, max} over the runs.
+	Metrics map[string]Stat `json:"metrics"`
+}
+
+// Stat summarizes one metric across repeated runs.
+type Stat struct {
+	Min  float64 `json:"min"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// Report is the artifact envelope.
+type Report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     []string `json:"packages,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{}
+	samples := make(map[string][]sample)
+	var order []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = append(rep.Pkg, strings.TrimSpace(strings.TrimPrefix(line, "pkg:")))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		// fields[1] is the iteration count; a failed parse means a
+		// benchmark name line without results, not a data row.
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue
+		}
+		s := sample{metrics: make(map[string]float64)}
+		// The remainder alternates value/unit: "1234 ns/op 56 B/op ...".
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			s.metrics[fields[i+1]] = v
+		}
+		name := fields[0]
+		if _, seen := samples[name]; !seen {
+			order = append(order, name)
+		}
+		samples[name] = append(samples[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, name := range order {
+		runs := samples[name]
+		res := Result{Name: name, Runs: len(runs), Metrics: make(map[string]Stat)}
+		units := make(map[string][]float64)
+		for _, s := range runs {
+			for unit, v := range s.metrics {
+				units[unit] = append(units[unit], v)
+			}
+		}
+		unitNames := make([]string, 0, len(units))
+		for u := range units {
+			unitNames = append(unitNames, u)
+		}
+		sort.Strings(unitNames)
+		for _, u := range unitNames {
+			vs := units[u]
+			st := Stat{Min: vs[0], Max: vs[0]}
+			var sum float64
+			for _, v := range vs {
+				if v < st.Min {
+					st.Min = v
+				}
+				if v > st.Max {
+					st.Max = v
+				}
+				sum += v
+			}
+			st.Mean = sum / float64(len(vs))
+			res.Metrics[u] = st
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}

@@ -8,6 +8,12 @@
 //	dpssweep -scenario examples/scenarios/openload.json [-replications 20]
 //	         [-workers N] [-csv out.csv] [-json out.json]
 //	         [-schedulers "equipartition,malleable-hysteresis(epoch_s=45)"]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -cpuprofile and -memprofile write pprof profiles of the sweep (the CPU
+// profile covers the grid run; the heap profile is captured after it),
+// so hot-path regressions can be diagnosed with `go tool pprof` without
+// editing code.
 //
 // The aggregate table always prints to stdout; -csv and -json additionally
 // export machine-readable results ("-" writes to stdout instead of a
@@ -27,6 +33,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"dpsim/internal/scenario"
@@ -36,7 +43,7 @@ import (
 
 func usage() {
 	fmt.Fprintf(flag.CommandLine.Output(),
-		"usage: dpssweep -scenario FILE [-replications N] [-workers N] [-schedulers LIST] [-csv FILE] [-json FILE]\n")
+		"usage: dpssweep -scenario FILE [-replications N] [-workers N] [-schedulers LIST] [-csv FILE] [-json FILE] [-cpuprofile FILE] [-memprofile FILE]\n")
 	flag.PrintDefaults()
 }
 
@@ -49,6 +56,8 @@ func main() {
 			"(overrides the scenario's list; valid names: "+strings.Join(sched.Names(), ", ")+")")
 	csvPath := flag.String("csv", "", "write aggregate CSV to this file (\"-\" for stdout)")
 	jsonPath := flag.String("json", "", "write aggregate JSON to this file (\"-\" for stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (captured after the sweep) to this file")
 	quiet := flag.Bool("q", false, "suppress the progress line and table")
 	flag.Usage = usage
 	flag.Parse()
@@ -94,10 +103,39 @@ func main() {
 			}
 		}
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpssweep: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dpssweep: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
 	stats, err := sweep.Run(spec, opt)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dpssweep: %v\n", err)
 		os.Exit(1)
+	}
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr == nil {
+			runtime.GC() // settle the heap so the profile shows retained memory
+			ferr = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "dpssweep: memprofile: %v\n", ferr)
+			os.Exit(1)
+		}
 	}
 
 	if !*quiet {

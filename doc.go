@@ -38,6 +38,12 @@
 //     efficiency-greedy, malleable-hysteresis), and the CheckInvariants
 //     harness certifying any registered policy against the simulator's
 //     invariants under randomized workloads and availability timelines.
+//     The allocation contract is buffer-reuse based: Allocate writes
+//     into a caller-provided slice indexed like the value-typed
+//     State.Active snapshot, and policies keep per-instance scratch
+//     buffers, which makes the simulator's scheduler-invocation hot
+//     path allocation-free in steady state (asserted by
+//     testing.AllocsPerRun regression tests in both packages).
 //   - internal/availability — node-availability dynamics: deterministic
 //     generators for maintenance windows, exponential/Weibull
 //     failure/repair processes, spot-style preemption with reclaim

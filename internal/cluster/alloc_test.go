@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"testing"
+
+	"dpsim/internal/sched"
+)
+
+// steadyJobs builds a workload whose steady state is long and uneventful:
+// every job is present from t=0 and carries many equal phases, so after
+// the arrivals drain, each event is a phase completion that leaves the
+// active set unchanged — the pure scheduler-invocation hot path.
+func steadyJobs(jobs, phases, nodes int) []*Job {
+	out := make([]*Job, jobs)
+	for i := range out {
+		out[i] = &Job{
+			ID:       i,
+			Arrival:  0,
+			Phases:   SyntheticProfile(phases, float64(100+7*i), 0.02+0.01*float64(i%5)),
+			MaxNodes: 1 + (i % nodes),
+		}
+	}
+	return out
+}
+
+// steadySim builds a warmed-up simulation mid-flight: arrivals processed,
+// scratch buffers sized, every remaining event a phase completion.
+func steadySim(tb testing.TB, policyName string) *Sim {
+	tb.Helper()
+	policy, err := sched.New(policyName, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sim, err := NewSim(32, policy, steadyJobs(24, 400, 32))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// Warm up past every arrival plus a few phase boundaries so the heap
+	// and the scratch buffers have reached their steady capacity.
+	for i := 0; i < 64; i++ {
+		if !sim.ProcessNextEvent() {
+			tb.Fatal("workload drained during warm-up")
+		}
+	}
+	return sim
+}
+
+// TestProcessNextEventZeroAllocSteadyState is the allocation regression
+// gate of the zero-allocation core: once warmed up, processing a
+// steady-state event — settle progress, invoke the scheduler, recycle
+// the phase-completion events — must not allocate at all, for every
+// registered policy. A failure here means a scratch buffer, sort, map or
+// closure crept back into the hot path.
+func TestProcessNextEventZeroAllocSteadyState(t *testing.T) {
+	for _, name := range sched.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sim := steadySim(t, name)
+			allocs := testing.AllocsPerRun(200, func() {
+				if !sim.ProcessNextEvent() {
+					t.Fatal("workload drained mid-measurement")
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s: %v allocations per steady-state event, want 0", name, allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulerInvoke measures the per-event cost of the
+// scheduler-invocation hot path for every registered policy: one op is
+// one steady-state event (settle + policy Allocate + event recycling)
+// over 24 active jobs on 32 nodes. allocs/op is the headline number —
+// the zero-allocation contract holds when it reports 0.
+func BenchmarkSchedulerInvoke(b *testing.B) {
+	for _, name := range sched.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			sim := steadySim(b, name)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !sim.ProcessNextEvent() {
+					b.StopTimer()
+					sim = steadySim(b, name)
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}

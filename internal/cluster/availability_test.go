@@ -58,7 +58,7 @@ func TestCapacitySlowdown(t *testing.T) {
 // outage, and be re-admitted when capacity returns.
 func TestCapacityDropPreemptsRigid(t *testing.T) {
 	job := singleJob(80, 1, 8) // 10s on 8 nodes
-	sim := avSim(t, 8, sched.Rigid{}, []*Job{job},
+	sim := avSim(t, 8, &sched.Rigid{}, []*Job{job},
 		[]availability.Change{{At: 4, Capacity: 4}, {At: 16, Capacity: 8}}, ReconfigCost{})
 	r := sim.Run()
 	// 4s of progress (32 work-seconds), evicted during [4, 16) (rigid
@@ -149,7 +149,7 @@ func TestWaitAndFirstStart(t *testing.T) {
 	a := singleJob(80, 1, 8) // runs [0, 10) on all 8 nodes
 	b := singleJob(40, 1, 8) // arrives at 2, admitted at 10, runs 5s
 	b.ID, b.Arrival = 1, 2
-	sim, err := NewSim(8, sched.Rigid{}, []*Job{a, b})
+	sim, err := NewSim(8, &sched.Rigid{}, []*Job{a, b})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestStrandedJobUtilization(t *testing.T) {
 	a := singleJob(2, 1, 1)    // runs [0, 2] on 1 node
 	b := singleJob(1000, 1, 8) // admitted at t=2, stranded at t=2.5
 	b.ID = 1
-	sim := avSim(t, 8, sched.Rigid{}, []*Job{a, b},
+	sim := avSim(t, 8, &sched.Rigid{}, []*Job{a, b},
 		[]availability.Change{{At: 2.5, Capacity: 1}}, ReconfigCost{})
 	r := sim.Run()
 	if r.Unfinished != 1 || len(r.PerJob) != 1 {
@@ -312,7 +312,7 @@ func TestLostWorkBoundedByCapacityDelta(t *testing.T) {
 	b.ID, b.Arrival = 1, 1
 	// Rigid on 12 nodes: a holds 8, b holds 4. Abrupt drop to 11 evicts b
 	// entirely (shrink 4) but only 1 node left the pool.
-	sim := avSim(t, 12, sched.Rigid{}, []*Job{a, b},
+	sim := avSim(t, 12, &sched.Rigid{}, []*Job{a, b},
 		[]availability.Change{{At: 5, Capacity: 11}}, ReconfigCost{LostWorkS: 3})
 	r := sim.Run()
 	if r.LostWorkS != 3 { // 1 reclaimed node × 3, NOT 4 × 3

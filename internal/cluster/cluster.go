@@ -19,9 +19,11 @@
 package cluster
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"dpsim/internal/availability"
@@ -48,7 +50,9 @@ type (
 // LUProfile derives a job profile from the LU application's per-iteration
 // serial work (paper Fig. 11's baseline), with a communication factor that
 // grows as iterations shrink — matching the measured efficiency decay.
-func LUProfile(n, r int, costs lu.CostModel, maxNodes int) []Phase {
+// (Allocation bounds are a property of the Job, not the profile: set
+// Job.MaxNodes on the job carrying these phases.)
+func LUProfile(n, r int, costs lu.CostModel) []Phase {
 	blocks := n / r
 	phases := make([]Phase, blocks)
 	for k := 0; k < blocks; k++ {
@@ -59,7 +63,6 @@ func LUProfile(n, r int, costs lu.CostModel, maxNodes int) []Phase {
 		comm := 0.08 + 0.25/math.Max(rem, 1)
 		phases[k] = Phase{Work: work, Comm: comm}
 	}
-	_ = maxNodes
 	return phases
 }
 
@@ -84,7 +87,13 @@ type jobState struct {
 	finished  float64
 	rate      float64
 	last      eventq.Time
-	ev        *eventq.Event
+	// ev is the job's phase-completion event. Once fired or cancelled it
+	// is recycled through eventq.ReuseAfter, so rescheduling the phase
+	// completion at every scheduling event costs no allocation; phaseFn
+	// is the matching callback, bound once at arrival for the same
+	// reason.
+	ev      *eventq.Event
+	phaseFn func()
 	// pausedUntil blocks progress while the job redistributes its data
 	// after an allocation change (the reconfiguration-cost model).
 	pausedUntil eventq.Time
@@ -190,11 +199,25 @@ type Sim struct {
 	q     *eventq.Queue
 	jobs  []*Job
 
-	started  bool
-	active   map[int]*jobState
+	started bool
+	// actives holds the active jobs as a slice kept sorted by job ID —
+	// the scheduler-visible order — maintained incrementally on arrival
+	// and departure so reallocate never rebuilds or re-sorts it; point
+	// lookups binary-search it (findActive).
+	actives  []*jobState
 	finished []*jobState
 	effNum   float64
 	effDen   float64
+
+	// Scratch buffers owned by the scheduler-invocation hot path and
+	// reused across events: the value-typed snapshot arena handed to the
+	// policy, the allocation out-buffer it fills, the pre-event
+	// allocation snapshot, and the preemption victim list. After warm-up
+	// a steady-state scheduling event allocates nothing.
+	views    []sched.JobState
+	allocBuf []int
+	oldAlloc []int
+	victims  []*jobState
 
 	// Time-varying capacity (empty changes = the classic fixed pool).
 	changes  []availability.Change
@@ -255,7 +278,9 @@ func NewSim(nodes int, sched Scheduler, jobs []*Job) (*Sim, error) {
 	}
 	return &Sim{
 		nodes: nodes, sched: sched, q: eventq.New(), jobs: jobs,
-		active: make(map[int]*jobState), capNow: nodes, schedCap: nodes,
+		actives:  make([]*jobState, 0, len(jobs)),
+		finished: make([]*jobState, 0, len(jobs)),
+		capNow:   nodes, schedCap: nodes,
 	}, nil
 }
 
@@ -344,7 +369,7 @@ func (s *Sim) scheduleChanges(from int) {
 // outcome, and a long availability horizon (a day of failure events, say)
 // would otherwise keep churning the event loop long after the last job.
 func (s *Sim) maybeSuspendCapacity() {
-	if s.capStopped || len(s.active) > 0 || s.pendingArrivals > 0 {
+	if s.capStopped || len(s.actives) > 0 || s.pendingArrivals > 0 {
 		return
 	}
 	for _, e := range s.capEvs {
@@ -520,7 +545,7 @@ func (s *Sim) Result() Result {
 		case done[j.ID]:
 			work += j.TotalWork()
 		default:
-			if js, ok := s.active[j.ID]; ok {
+			if js := s.findActive(j.ID); js != nil {
 				completed := j.TotalWork() - js.Remaining
 				for k := js.PhaseIdx + 1; k < len(j.Phases); k++ {
 					completed -= j.Phases[k].Work
@@ -570,25 +595,77 @@ func (s *Sim) capacityIntegral(end eventq.Time) float64 {
 func (s *Sim) arrive(j *Job) {
 	s.pendingArrivals--
 	js := &jobState{Job: j, Remaining: j.Phases[0].Work, started: s.q.Now().Seconds(), last: s.q.Now(), firstStart: -1}
-	s.active[j.ID] = js
+	// Bind the phase-completion callback once: every later reschedule
+	// reuses it (and the recycled event object) allocation-free.
+	js.phaseFn = func() { s.phaseDone(js) }
+	s.insertActive(js)
 	s.lastJobEvent = s.q.Now()
 	s.reallocate()
 }
 
+// searchActive locates id in the ID-sorted active list.
+func (s *Sim) searchActive(id int) (int, bool) {
+	return slices.BinarySearchFunc(s.actives, id,
+		func(a *jobState, id int) int { return cmp.Compare(a.Job.ID, id) })
+}
+
+// findActive returns the active job with the given ID, nil if none.
+func (s *Sim) findActive(id int) *jobState {
+	if i, found := s.searchActive(id); found {
+		return s.actives[i]
+	}
+	return nil
+}
+
+// insertActive places js into the ID-sorted active list, replacing any
+// existing entry with the same (pathological, duplicate) job ID.
+func (s *Sim) insertActive(js *jobState) {
+	i, found := s.searchActive(js.Job.ID)
+	if found {
+		s.actives[i] = js
+		return
+	}
+	s.actives = append(s.actives, nil)
+	copy(s.actives[i+1:], s.actives[i:])
+	s.actives[i] = js
+}
+
+// removeActive drops the job with the given ID from the sorted list.
+func (s *Sim) removeActive(id int) {
+	i, found := s.searchActive(id)
+	if !found {
+		return
+	}
+	copy(s.actives[i:], s.actives[i+1:])
+	last := len(s.actives) - 1
+	s.actives[last] = nil
+	s.actives = s.actives[:last]
+}
+
+// grow returns buf resized to n, reusing its backing array when the
+// capacity suffices — the scratch-buffer idiom of the hot path.
+// Contents are unspecified; callers that need zeros must clear.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
 // reallocate settles progress, asks the scheduler, and reschedules phase
-// completions.
+// completions. It is the simulator's hot path — invoked at every
+// arrival, phase boundary, departure and capacity event — and runs
+// entirely on reused state: the ID-sorted active list is maintained
+// incrementally, the policy writes into a recycled buffer, and the phase
+// events are recycled objects with callbacks bound at arrival. In steady
+// state (no arrival, no completion) it performs zero heap allocations.
 func (s *Sim) reallocate() {
 	now := s.q.Now()
-	ids := make([]int, 0, len(s.active))
-	for id := range s.active {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
 	// Settle in ID order: the efficiency counters are float accumulators,
-	// and a map-order walk would make their last bits depend on iteration
-	// order, breaking bit-reproducibility across runs.
-	for _, id := range ids {
-		js := s.active[id]
+	// and any other walk order would make their last bits depend on
+	// iteration order, breaking bit-reproducibility across runs. The
+	// sorted active list IS that order.
+	for _, js := range s.actives {
 		dt := (now - progressStart(js, now)).Seconds()
 		if dt > 0 && js.rate > 0 {
 			done := js.rate * dt
@@ -606,11 +683,12 @@ func (s *Sim) reallocate() {
 	}
 	// Snapshot pre-event allocations: reconfiguration costs are charged on
 	// the net per-job delta across the preemption pass and the scheduler.
-	oldAlloc := make([]int, len(ids))
+	n := len(s.actives)
+	s.oldAlloc = grow(s.oldAlloc, n)
 	total := 0
-	for i, id := range ids {
-		oldAlloc[i] = s.active[id].Alloc
-		total += oldAlloc[i]
+	for i, js := range s.actives {
+		s.oldAlloc[i] = js.Alloc
+		total += js.Alloc
 	}
 	// Preemption pass: a capacity drop can leave more nodes allocated than
 	// remain usable. Evict whole jobs — latest arrival first, ties broken
@@ -618,19 +696,22 @@ func (s *Sim) reallocate() {
 	// preserve running allocations (rigid, moldable) then see the evicted
 	// jobs as waiting and re-admit them FCFS when space returns.
 	if total > s.schedCap {
-		victims := make([]*jobState, 0, len(ids))
-		for _, id := range ids {
-			if s.active[id].Alloc > 0 {
-				victims = append(victims, s.active[id])
+		s.victims = s.victims[:0]
+		for _, js := range s.actives {
+			if js.Alloc > 0 {
+				s.victims = append(s.victims, js)
 			}
 		}
-		sort.SliceStable(victims, func(i, j int) bool {
-			if victims[i].Job.Arrival != victims[j].Job.Arrival {
-				return victims[i].Job.Arrival > victims[j].Job.Arrival
+		slices.SortStableFunc(s.victims, func(a, b *jobState) int {
+			switch {
+			case a.Job.Arrival > b.Job.Arrival:
+				return -1
+			case a.Job.Arrival < b.Job.Arrival:
+				return 1
 			}
-			return victims[i].Job.ID > victims[j].Job.ID
+			return cmp.Compare(b.Job.ID, a.Job.ID)
 		})
-		for _, v := range victims {
+		for _, v := range s.victims {
 			if total <= s.schedCap {
 				break
 			}
@@ -638,35 +719,37 @@ func (s *Sim) reallocate() {
 			v.Alloc = 0
 		}
 	}
-	// The scheduler sees snapshots, not the live bookkeeping: a policy
-	// can never corrupt simulator state, and the views pin exactly the
-	// fields the allocation contract names.
-	views := make([]*sched.JobState, len(ids))
-	for i, id := range ids {
-		js := s.active[id]
-		views[i] = &sched.JobState{Job: js.Job, PhaseIdx: js.PhaseIdx, Remaining: js.Remaining, Alloc: js.Alloc}
+	// The scheduler sees value snapshots in a reused arena, not the live
+	// bookkeeping: a policy can never corrupt simulator state, the views
+	// pin exactly the fields the allocation contract names, and no
+	// per-event boxing occurs. The policy fills allocBuf (zeroed here)
+	// indexed like the views.
+	s.views = grow(s.views, n)
+	s.allocBuf = grow(s.allocBuf, n)
+	for i, js := range s.actives {
+		s.views[i] = sched.JobState{Job: js.Job, PhaseIdx: js.PhaseIdx, Remaining: js.Remaining, Alloc: js.Alloc}
+		s.allocBuf[i] = 0
 	}
-	st := sched.State{Nodes: s.schedCap, Now: now.Seconds(), Active: views}
-	alloc := s.sched.Allocate(st)
+	st := sched.State{Nodes: s.schedCap, Now: now.Seconds(), Active: s.views}
+	s.sched.Allocate(st, s.allocBuf)
 	total = 0
-	for _, a := range alloc {
+	for _, a := range s.allocBuf {
 		total += a
 	}
 	if total > s.schedCap {
 		panic(fmt.Sprintf("cluster: scheduler %s over-allocated %d of %d nodes", s.sched.Name(), total, s.schedCap))
 	}
-	for i, id := range ids {
-		js := s.active[id]
-		newA := alloc[id]
-		if newA != oldAlloc[i] {
+	for i, js := range s.actives {
+		newA := s.allocBuf[i]
+		if newA != s.oldAlloc[i] {
 			s.reallocs++
-			if s.abruptNodes > 0 && newA < oldAlloc[i] && s.cost.LostWorkS > 0 {
+			if s.abruptNodes > 0 && newA < s.oldAlloc[i] && s.cost.LostWorkS > 0 {
 				// Rollback: in-phase progress on the reclaimed nodes is
 				// gone; completed phases stay committed. Only the nodes
 				// the event actually reclaimed are charged — shrink that
 				// migrates allocation to another job is redistribution,
 				// not loss.
-				n := oldAlloc[i] - newA
+				n := s.oldAlloc[i] - newA
 				if n > s.abruptNodes {
 					n = s.abruptNodes
 				}
@@ -680,8 +763,8 @@ func (s *Sim) reallocate() {
 					s.lostWork += lost
 				}
 			}
-			if s.cost.RedistributionSPerNode > 0 && oldAlloc[i] > 0 && newA > 0 {
-				delta := newA - oldAlloc[i]
+			if s.cost.RedistributionSPerNode > 0 && s.oldAlloc[i] > 0 && newA > 0 {
+				delta := newA - s.oldAlloc[i]
 				if delta < 0 {
 					delta = -delta
 				}
@@ -704,17 +787,17 @@ func (s *Sim) reallocate() {
 			js.firstStart = now.Seconds()
 		}
 		js.rate = js.Phase().Rate(js.Alloc)
-		if js.ev != nil {
+		if js.ev != nil && js.ev.Scheduled() {
 			s.q.Cancel(js.ev)
-			js.ev = nil
 		}
 		if js.rate > 0 {
 			eta := eventq.DurationOf(js.Remaining / js.rate)
 			if js.pausedUntil > now {
 				eta += eventq.Duration(js.pausedUntil - now)
 			}
-			jj := js
-			js.ev = s.q.After(eta, func() { s.phaseDone(jj) })
+			// The fired/cancelled event object is recycled; phaseFn was
+			// bound at arrival. Zero allocations per reschedule.
+			js.ev = s.q.ReuseAfter(js.ev, eta, js.phaseFn)
 		}
 	}
 }
@@ -749,7 +832,7 @@ func (s *Sim) phaseDone(js *jobState) {
 	js.PhaseIdx++
 	if js.PhaseIdx >= len(js.Job.Phases) {
 		js.finished = now.Seconds()
-		delete(s.active, js.Job.ID)
+		s.removeActive(js.Job.ID)
 		s.finished = append(s.finished, js)
 	} else {
 		js.Remaining = js.Job.Phases[js.PhaseIdx].Work
@@ -775,7 +858,7 @@ func PoissonWorkload(jobs, nodes int, meanInterarrival float64, seed uint64) []*
 		out = append(out, &Job{
 			ID:       i,
 			Arrival:  t,
-			Phases:   LUProfile(sz.n, sz.r, costs, maxN),
+			Phases:   LUProfile(sz.n, sz.r, costs),
 			MaxNodes: maxN,
 		})
 	}

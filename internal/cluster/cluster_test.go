@@ -32,7 +32,7 @@ func TestPhaseEfficiency(t *testing.T) {
 }
 
 func TestLUProfileShape(t *testing.T) {
-	phases := LUProfile(2592, 324, lu.DefaultCostModel(), 8)
+	phases := LUProfile(2592, 324, lu.DefaultCostModel())
 	if len(phases) != 8 {
 		t.Fatalf("phases = %d", len(phases))
 	}
@@ -74,7 +74,7 @@ func TestRigidQueuesJobs(t *testing.T) {
 	j1 := singleJob(40, 2, 4)
 	j2 := singleJob(40, 2, 4)
 	j2.ID = 1
-	sim, err := NewSim(4, sched.Rigid{}, []*Job{j1, j2})
+	sim, err := NewSim(4, &sched.Rigid{}, []*Job{j1, j2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,13 +199,13 @@ func TestAllJobsFinishProperty(t *testing.T) {
 }
 
 func TestNewSimValidation(t *testing.T) {
-	if _, err := NewSim(0, sched.Rigid{}, nil); err == nil {
+	if _, err := NewSim(0, &sched.Rigid{}, nil); err == nil {
 		t.Fatal("zero nodes accepted")
 	}
 	if _, err := NewSim(4, nil, nil); err == nil {
 		t.Fatal("nil scheduler accepted")
 	}
-	if _, err := NewSim(4, sched.Rigid{}, []*Job{{ID: 0}}); err == nil {
+	if _, err := NewSim(4, &sched.Rigid{}, []*Job{{ID: 0}}); err == nil {
 		t.Fatal("phaseless job accepted")
 	}
 }
@@ -221,7 +221,7 @@ func BenchmarkClusterServer(b *testing.B) {
 
 func TestMoldableHoldsAllocation(t *testing.T) {
 	job := &Job{ID: 0, Phases: SyntheticProfile(3, 30, 0.2), MaxNodes: 8}
-	sim, err := NewSim(8, sched.Moldable{}, []*Job{job})
+	sim, err := NewSim(8, &sched.Moldable{}, []*Job{job})
 	if err != nil {
 		t.Fatal(err)
 	}

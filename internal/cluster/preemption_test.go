@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"testing"
+
+	"dpsim/internal/availability"
+	"dpsim/internal/sched"
+)
+
+// probeSnap records the scheduler-visible state of one invocation: the
+// preemption pass has already run, so the Alloc values show exactly what
+// the eviction logic left standing.
+type probeSnap struct {
+	now    float64
+	nodes  int
+	allocs []int // indexed like the (ID-sorted) active list
+}
+
+// preemptProbe wraps a policy and snapshots every state it is handed.
+type preemptProbe struct {
+	inner sched.Scheduler
+	snaps []probeSnap
+}
+
+func (p *preemptProbe) Name() string { return p.inner.Name() }
+
+func (p *preemptProbe) Allocate(st sched.State, out []int) {
+	snap := probeSnap{now: st.Now, nodes: st.Nodes, allocs: make([]int, len(st.Active))}
+	for i := range st.Active {
+		snap.allocs[i] = st.Active[i].Alloc
+	}
+	p.snaps = append(p.snaps, snap)
+	p.inner.Allocate(st, out)
+}
+
+// TestPreemptionEvictsHighestIDFirst pins the preemption pass's
+// tie-break: when a capacity drop forces evictions among jobs with EQUAL
+// arrival times, whole jobs are evicted highest-ID-first, and no
+// scheduler invocation ever sees more nodes allocated than the usable
+// pool offers.
+func TestPreemptionEvictsHighestIDFirst(t *testing.T) {
+	// Three rigid jobs, identical arrivals, 4 nodes each on a 12-node
+	// pool: all running from t=0. Abrupt drops to 8 and then 5 force one
+	// eviction each; the arrival tie must break toward the highest ID.
+	jobs := []*Job{
+		{ID: 0, Arrival: 0, Phases: SyntheticProfile(1, 400, 0), MaxNodes: 4},
+		{ID: 1, Arrival: 0, Phases: SyntheticProfile(1, 400, 0), MaxNodes: 4},
+		{ID: 2, Arrival: 0, Phases: SyntheticProfile(1, 400, 0), MaxNodes: 4},
+	}
+	probe := &preemptProbe{inner: &sched.Rigid{}}
+	sim, err := NewSim(12, probe, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sim.SetCapacityChanges([]availability.Change{
+		{At: 1, Capacity: 8},
+		{At: 2, Capacity: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+
+	var at1, at2 *probeSnap
+	for i := range probe.snaps {
+		s := &probe.snaps[i]
+		total := 0
+		for _, a := range s.allocs {
+			total += a
+		}
+		if total > s.nodes {
+			t.Fatalf("t=%g: scheduler saw %d nodes allocated of %d usable", s.now, total, s.nodes)
+		}
+		switch s.now {
+		case 1:
+			at1 = s
+		case 2:
+			at2 = s
+		}
+	}
+	// Drop to 8: exactly one eviction needed; it must be job 2, the
+	// highest ID among the equal-arrival victims — jobs 0 and 1 keep
+	// their nodes.
+	if at1 == nil || len(at1.allocs) != 3 {
+		t.Fatalf("no 3-job snapshot at the t=1 capacity drop: %+v", probe.snaps)
+	}
+	if at1.allocs[0] != 4 || at1.allocs[1] != 4 || at1.allocs[2] != 0 {
+		t.Fatalf("t=1 evictions = %v, want [4 4 0] (highest ID first)", at1.allocs)
+	}
+	// Drop to 5: among the survivors (jobs 0 and 1) the higher ID goes.
+	if at2 == nil || len(at2.allocs) != 3 {
+		t.Fatalf("no 3-job snapshot at the t=2 capacity drop: %+v", probe.snaps)
+	}
+	if at2.allocs[0] != 4 || at2.allocs[1] != 0 || at2.allocs[2] != 0 {
+		t.Fatalf("t=2 evictions = %v, want [4 0 0] (highest ID first)", at2.allocs)
+	}
+}

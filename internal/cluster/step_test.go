@@ -208,7 +208,7 @@ func TestInjectRejectsPastArrival(t *testing.T) {
 
 // TestInjectValidation mirrors NewSim's checks for open arrivals.
 func TestInjectValidation(t *testing.T) {
-	sim, err := NewSim(4, sched.Rigid{}, nil)
+	sim, err := NewSim(4, &sched.Rigid{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

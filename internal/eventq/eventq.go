@@ -152,6 +152,36 @@ func (q *Queue) After(d Duration, fn func()) *Event {
 	return q.At(q.now.Add(d), fn)
 }
 
+// ReuseAtTier schedules fn like AtTier, but recycles the caller-owned
+// Event e instead of allocating when e has already fired or been
+// cancelled. A nil e (or one still pending — recycling it would corrupt
+// the heap) allocates a fresh Event. The returned event is the one
+// actually queued; callers that hold exactly one pending event per
+// entity (a job's next phase completion, a flow's next drain) can loop
+// `e = q.ReuseAtTier(e, ...)` forever with zero steady-state
+// allocations. Never pass an event owned by another holder: recycling is
+// only safe because the owner knows no one else will Cancel it.
+func (q *Queue) ReuseAtTier(e *Event, when Time, tier int8, fn func()) *Event {
+	if when < q.now {
+		panic(fmt.Sprintf("eventq: scheduling at %v before now %v", when, q.now))
+	}
+	if e == nil || e.Scheduled() {
+		e = &Event{}
+	}
+	*e = Event{when: when, tier: tier, seq: q.nextSq, index: -1, fn: fn}
+	q.nextSq++
+	q.push(e)
+	return e
+}
+
+// ReuseAfter is After with ReuseAtTier's recycling (default tier 0).
+func (q *Queue) ReuseAfter(e *Event, d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return q.ReuseAtTier(e, q.now.Add(d), 0, fn)
+}
+
 // Cancel removes a pending event. Cancelling an already-fired or
 // already-cancelled event is a no-op; Cancel reports whether the event
 // was actually removed.

@@ -378,3 +378,77 @@ func TestNextTime(t *testing.T) {
 		t.Fatal("cancelled event still visible")
 	}
 }
+
+// TestReuseRecyclesFiredAndCancelled: ReuseAtTier must recycle an event
+// the owner knows is out of the heap, refuse to recycle a pending one,
+// and preserve the FIFO tie-break (a recycled event takes a fresh seq).
+func TestReuseRecyclesFiredAndCancelled(t *testing.T) {
+	q := New()
+	var order []int
+	e := q.At(10, func() { order = append(order, 0) })
+	q.Step()
+	if e.Scheduled() {
+		t.Fatal("fired event still scheduled")
+	}
+	// Recycling a fired event must reuse the same object.
+	e2 := q.ReuseAtTier(e, 20, 0, func() { order = append(order, 1) })
+	if e2 != e {
+		t.Fatal("fired event not recycled")
+	}
+	// Recycling a still-pending event must allocate a fresh one.
+	e3 := q.ReuseAtTier(e2, 30, 0, func() { order = append(order, 2) })
+	if e3 == e2 {
+		t.Fatal("pending event recycled out from under the heap")
+	}
+	// A cancelled event is recyclable too, and the recycled event must
+	// order FIFO after an event scheduled for the same instant earlier.
+	q.Cancel(e3)
+	q.At(20, func() { order = append(order, 3) })
+	e4 := q.ReuseAtTier(e3, 20, 0, func() { order = append(order, 4) })
+	if e4 != e3 {
+		t.Fatal("cancelled event not recycled")
+	}
+	q.Run(0)
+	want := []int{0, 1, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("firing order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("firing order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestReuseAfterZeroAlloc: the steady-state reschedule loop — fire, then
+// recycle the same event — must not allocate.
+func TestReuseAfterZeroAlloc(t *testing.T) {
+	q := New()
+	var e *Event
+	fn := func() {}
+	e = q.After(1, fn)
+	q.Step()
+	// Warm up: the first reuse after a cap change may grow the heap.
+	e = q.ReuseAfter(e, 1, fn)
+	q.Step()
+	allocs := testing.AllocsPerRun(200, func() {
+		e = q.ReuseAfter(e, 1, fn)
+		q.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("reuse loop allocates %v per event, want 0", allocs)
+	}
+}
+
+// TestReuseAtTierPastPanics mirrors AtTier's causality guard.
+func TestReuseAtTierPastPanics(t *testing.T) {
+	q := New()
+	q.At(10, func() {})
+	q.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on scheduling in the past")
+		}
+	}()
+	q.ReuseAtTier(nil, 5, 0, func() {})
+}

@@ -251,6 +251,10 @@ func Median(v []float64) float64 {
 // Percentile returns the p-quantile of v for p in [0, 1], using linear
 // interpolation between order statistics (the common "type 7" estimator).
 // It returns 0 for empty input, NaN for NaN p, and clamps p to [0, 1].
+// The input is never modified: a copy is sorted. Callers that need
+// several quantiles of the same data should sort once themselves and use
+// PercentileSorted, which avoids the per-call copy (and therefore sorts
+// nothing — its input must already be sorted ascending).
 func Percentile(v []float64, p float64) float64 {
 	s := append([]float64(nil), v...)
 	sort.Float64s(s)

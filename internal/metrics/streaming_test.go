@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWelfordMatchesTwoPass: the streaming mean/stddev must agree with
+// the two-pass Mean/Stddev helpers to floating-point accuracy.
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{3.5},
+		{1, 2, 3, 4, 5},
+		{1e9, 1e9 + 1, 1e9 + 2}, // catastrophic for naive sum-of-squares
+		{-4, 7, 0.25, 1e-9, 12345.678},
+	}
+	for _, vs := range cases {
+		var w Welford
+		for _, x := range vs {
+			w.Add(x)
+		}
+		if w.N() != len(vs) {
+			t.Fatalf("N = %d, want %d", w.N(), len(vs))
+		}
+		if got, want := w.Mean(), Mean(vs); math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Errorf("%v: mean %g, want %g", vs, got, want)
+		}
+		if got, want := w.Stddev(), Stddev(vs); math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("%v: stddev %g, want %g", vs, got, want)
+		}
+	}
+}
+
+// TestWelfordCI95: the half-width is 1.96·s/√n, and degenerate streams
+// report 0 instead of NaN.
+func TestWelfordCI95(t *testing.T) {
+	var w Welford
+	if w.CI95() != 0 {
+		t.Fatal("empty CI95 != 0")
+	}
+	w.Add(5)
+	if w.CI95() != 0 {
+		t.Fatal("single-sample CI95 != 0")
+	}
+	w.Add(7)
+	w.Add(9)
+	want := 1.96 * Stddev([]float64{5, 7, 9}) / math.Sqrt(3)
+	if got := w.CI95(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CI95 = %g, want %g", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var m MinMax
+	if m.Min() != 0 || m.Max() != 0 || m.N() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for _, x := range []float64{3, -1, 7, 2} {
+		m.Add(x)
+	}
+	if m.Min() != -1 || m.Max() != 7 || m.N() != 4 {
+		t.Fatalf("min/max/n = %g/%g/%d", m.Min(), m.Max(), m.N())
+	}
+	// A stream never crossing zero must not report a phantom 0 extreme.
+	var neg MinMax
+	neg.Add(-5)
+	neg.Add(-2)
+	if neg.Min() != -5 || neg.Max() != -2 {
+		t.Fatalf("negative stream min/max = %g/%g", neg.Min(), neg.Max())
+	}
+}
+
+// TestPercentileNonMutating: Percentile must leave its input untouched
+// (it sorts a copy), and PercentileSorted documents the sorted-input
+// contract instead.
+func TestPercentileNonMutating(t *testing.T) {
+	v := []float64{9, 1, 5, 3}
+	_ = Percentile(v, 0.5)
+	if v[0] != 9 || v[1] != 1 || v[2] != 5 || v[3] != 3 {
+		t.Fatalf("input mutated: %v", v)
+	}
+}
+
+// TestPercentileEdges pins the type-7 interpolation at the boundaries.
+func TestPercentileEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		v    []float64
+		p    float64
+		want float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"empty p=0", []float64{}, 0, 0},
+		{"single p=0", []float64{42}, 0, 42},
+		{"single p=0.5", []float64{42}, 0.5, 42},
+		{"single p=1", []float64{42}, 1, 42},
+		{"p=0 is min", []float64{7, 1, 5}, 0, 1},
+		{"p=1 is max", []float64{7, 1, 5}, 1, 7},
+		{"p<0 clamps to min", []float64{7, 1, 5}, -3, 1},
+		{"p>1 clamps to max", []float64{7, 1, 5}, 2, 7},
+		{"midpoint interpolates", []float64{10, 20}, 0.5, 15},
+		{"type-7 quartile", []float64{1, 2, 3, 4}, 0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Percentile(c.v, c.p); got != c.want {
+			t.Errorf("%s: Percentile(%v, %g) = %g, want %g", c.name, c.v, c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{1, 2}, math.NaN()); !math.IsNaN(got) {
+		t.Errorf("NaN p = %g, want NaN", got)
+	}
+}

@@ -39,10 +39,10 @@ func (s *Spec) sampleBody(r *rng.Source, nodes int) ([]cluster.Phase, int, float
 	if maxNodes > nodes {
 		maxNodes = nodes
 	}
-	return m.phases(r, maxNodes), maxNodes, m.JobWeight
+	return m.phases(r), maxNodes, m.JobWeight
 }
 
-func (m MixSpec) phases(r *rng.Source, maxNodes int) []cluster.Phase {
+func (m MixSpec) phases(r *rng.Source) []cluster.Phase {
 	switch m.Kind {
 	case "lu":
 		n, rr := m.N, m.R
@@ -50,7 +50,7 @@ func (m MixSpec) phases(r *rng.Source, maxNodes int) []cluster.Phase {
 			sz := luSizes[r.Intn(len(luSizes))]
 			n, rr = sz.n, sz.r
 		}
-		return cluster.LUProfile(n, rr, lu.DefaultCostModel(), maxNodes)
+		return cluster.LUProfile(n, rr, lu.DefaultCostModel())
 	case "synthetic":
 		work := m.WorkS * r.LogNormal(m.CV)
 		return cluster.SyntheticProfile(m.Phases, work, m.Comm)

@@ -1,7 +1,5 @@
 package sched
 
-import "sort"
-
 func init() {
 	Register("equipartition", func(p Params) (Scheduler, error) {
 		if err := p.check("equipartition"); err != nil {
@@ -18,25 +16,23 @@ type Equipartition struct{}
 // Name implements Scheduler.
 func (Equipartition) Name() string { return "equipartition" }
 
-// Allocate implements Scheduler.
-func (Equipartition) Allocate(st State) map[int]int {
-	out := make(map[int]int)
+// Allocate implements Scheduler. Active arrives in ascending job-ID
+// order — exactly the order the even split hands out its remainder — so
+// the policy needs no working storage at all.
+func (Equipartition) Allocate(st State, out []int) {
 	if len(st.Active) == 0 {
-		return out
+		return
 	}
-	jobs := append([]*JobState(nil), st.Active...)
-	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Job.ID < jobs[j].Job.ID })
-	share := st.Nodes / len(jobs)
-	extra := st.Nodes % len(jobs)
-	for i, js := range jobs {
+	share := st.Nodes / len(st.Active)
+	extra := st.Nodes % len(st.Active)
+	for i := range st.Active {
 		a := share
 		if i < extra {
 			a++
 		}
-		if a > js.Job.MaxNodes {
-			a = js.Job.MaxNodes
+		if m := st.Active[i].Job.MaxNodes; a > m {
+			a = m
 		}
-		out[js.Job.ID] = a
+		out[i] = a
 	}
-	return out
 }

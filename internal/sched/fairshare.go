@@ -2,7 +2,7 @@ package sched
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 func init() {
@@ -10,7 +10,7 @@ func init() {
 		if err := p.check("fair-share"); err != nil {
 			return nil, err
 		}
-		return FairShare{}, nil
+		return &FairShare{}, nil
 	})
 }
 
@@ -18,63 +18,74 @@ func init() {
 // share of the pool proportional to its Weight (default 1), apportioned
 // by the largest-remainder method, capped at MaxNodes, with capped jobs'
 // surplus redistributed to the rest. With uniform weights it behaves
-// like Equipartition up to rounding order.
-type FairShare struct{}
+// like Equipartition up to rounding order. The struct carries reusable
+// apportionment scratch buffers: construct one instance per simulation.
+type FairShare struct {
+	frac  []float64
+	order []int
+}
 
 // Name implements Scheduler.
-func (FairShare) Name() string { return "fair-share" }
+func (*FairShare) Name() string { return "fair-share" }
 
-// Allocate implements Scheduler.
-func (FairShare) Allocate(st State) map[int]int {
-	out := make(map[int]int)
+// Allocate implements Scheduler. The out buffer doubles as the working
+// allocation array; Active is ID-sorted, so index order is the ID order
+// the apportionment ties break toward.
+func (f *FairShare) Allocate(st State, out []int) {
 	if len(st.Active) == 0 {
-		return out
+		return
 	}
-	jobs := append([]*JobState(nil), st.Active...)
-	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Job.ID < jobs[j].Job.ID })
 	var totalW float64
-	for _, js := range jobs {
-		totalW += jobWeight(js.Job)
+	for i := range st.Active {
+		totalW += jobWeight(st.Active[i].Job)
 	}
 	// Largest-remainder apportionment of quota = Nodes·w/W, each share
 	// capped at the job's MaxNodes.
-	alloc := make([]int, len(jobs))
-	frac := make([]float64, len(jobs))
+	f.frac = grow(f.frac, len(st.Active))
 	used := 0
-	for i, js := range jobs {
+	for i := range st.Active {
+		js := &st.Active[i]
 		quota := float64(st.Nodes) * jobWeight(js.Job) / totalW
-		alloc[i] = int(math.Floor(quota))
-		frac[i] = quota - float64(alloc[i])
-		if alloc[i] > js.Job.MaxNodes {
-			alloc[i] = js.Job.MaxNodes
-			frac[i] = 0
+		out[i] = int(math.Floor(quota))
+		f.frac[i] = quota - float64(out[i])
+		if out[i] > js.Job.MaxNodes {
+			out[i] = js.Job.MaxNodes
+			f.frac[i] = 0
 		}
-		used += alloc[i]
+		used += out[i]
 	}
 	// Hand the rounding leftover to the largest fractional remainders
 	// (ties: lower ID), then cycle any cap surplus over uncapped jobs.
-	order := make([]int, len(jobs))
-	for i := range order {
-		order[i] = i
+	f.order = grow(f.order, len(st.Active))
+	for i := range f.order {
+		f.order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return frac[order[a]] > frac[order[b]] })
-	for _, i := range order {
+	slices.SortStableFunc(f.order, func(a, b int) int {
+		switch {
+		case f.frac[a] > f.frac[b]:
+			return -1
+		case f.frac[a] < f.frac[b]:
+			return 1
+		}
+		return 0
+	})
+	for _, i := range f.order {
 		if used >= st.Nodes {
 			break
 		}
-		if alloc[i] < jobs[i].Job.MaxNodes && frac[i] > 0 {
-			alloc[i]++
+		if out[i] < st.Active[i].Job.MaxNodes && f.frac[i] > 0 {
+			out[i]++
 			used++
 		}
 	}
 	for used < st.Nodes {
 		grew := false
-		for i, js := range jobs {
+		for i := range st.Active {
 			if used >= st.Nodes {
 				break
 			}
-			if alloc[i] < js.Job.MaxNodes {
-				alloc[i]++
+			if out[i] < st.Active[i].Job.MaxNodes {
+				out[i]++
 				used++
 				grew = true
 			}
@@ -83,10 +94,6 @@ func (FairShare) Allocate(st State) map[int]int {
 			break // every job at its cap: the surplus idles
 		}
 	}
-	for i, js := range jobs {
-		out[js.Job.ID] = alloc[i]
-	}
-	return out
 }
 
 // jobWeight is the job's fair-share weight, defaulting to 1 for jobs

@@ -1,7 +1,5 @@
 package sched
 
-import "sort"
-
 func init() {
 	Register("efficiency-greedy", func(p Params) (Scheduler, error) {
 		if err := p.check("efficiency-greedy"); err != nil {
@@ -19,23 +17,23 @@ type EfficiencyGreedy struct{}
 // Name implements Scheduler.
 func (EfficiencyGreedy) Name() string { return "efficiency-greedy" }
 
-// Allocate implements Scheduler.
-func (EfficiencyGreedy) Allocate(st State) map[int]int {
-	out := make(map[int]int)
+// Allocate implements Scheduler. The out buffer doubles as the working
+// allocation array (it arrives zeroed), so the greedy loop needs no
+// storage of its own; ties in marginal gain resolve to the lowest index,
+// i.e. the lowest job ID, as Active is ID-sorted.
+func (EfficiencyGreedy) Allocate(st State, out []int) {
 	if len(st.Active) == 0 {
-		return out
+		return
 	}
-	jobs := append([]*JobState(nil), st.Active...)
-	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Job.ID < jobs[j].Job.ID })
-	alloc := make([]int, len(jobs))
 	for n := 0; n < st.Nodes; n++ {
 		best, bestGain := -1, 0.0
-		for i, js := range jobs {
-			if alloc[i] >= js.Job.MaxNodes {
+		for i := range st.Active {
+			js := &st.Active[i]
+			if out[i] >= js.Job.MaxNodes {
 				continue
 			}
 			ph := js.Phase()
-			gain := ph.Rate(alloc[i]+1) - ph.Rate(alloc[i])
+			gain := ph.Rate(out[i]+1) - ph.Rate(out[i])
 			if gain > bestGain {
 				bestGain, best = gain, i
 			}
@@ -43,10 +41,6 @@ func (EfficiencyGreedy) Allocate(st State) map[int]int {
 		if best < 0 {
 			break
 		}
-		alloc[best]++
+		out[best]++
 	}
-	for i, js := range jobs {
-		out[js.Job.ID] = alloc[i]
-	}
-	return out
 }

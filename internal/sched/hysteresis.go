@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -29,8 +30,8 @@ func init() {
 // must start as soon as its target says so, and the policy must always
 // fit inside the usable pool.
 //
-// The policy is stateful (per-job resize clocks): construct a fresh
-// instance per simulation.
+// The policy is stateful (per-job resize clocks plus reusable scratch
+// buffers): construct a fresh instance per simulation.
 type MalleableHysteresis struct {
 	// EpochS is the minimum time between two resizes of one job.
 	EpochS float64
@@ -38,6 +39,8 @@ type MalleableHysteresis struct {
 	MinDelta int
 
 	lastResize map[int]float64
+	target     []int
+	order      []int
 }
 
 // NewMalleableHysteresis constructs the policy; minDelta is rounded to
@@ -54,32 +57,32 @@ func NewMalleableHysteresis(epochS, minDelta float64) *MalleableHysteresis {
 func (*MalleableHysteresis) Name() string { return "malleable-hysteresis" }
 
 // Allocate implements Scheduler.
-func (m *MalleableHysteresis) Allocate(st State) map[int]int {
+func (m *MalleableHysteresis) Allocate(st State, out []int) {
 	if m.lastResize == nil {
 		m.lastResize = make(map[int]float64)
 	}
-	target := Equipartition{}.Allocate(st)
-	out := make(map[int]int)
 	if len(st.Active) == 0 {
-		m.lastResize = make(map[int]float64)
-		return out
+		clear(m.lastResize)
+		return
 	}
-	jobs := append([]*JobState(nil), st.Active...)
-	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Job.ID < jobs[j].Job.ID })
-	// Forget departed jobs so the clock map cannot grow without bound.
-	present := make(map[int]bool, len(jobs))
-	for _, js := range jobs {
-		present[js.Job.ID] = true
+	m.target = grow(m.target, len(st.Active))
+	for i := range m.target {
+		m.target[i] = 0
 	}
+	Equipartition{}.Allocate(st, m.target)
+	// Forget departed jobs so the clock map cannot grow without bound;
+	// Active is ID-sorted, so membership is a binary search away.
 	for id := range m.lastResize {
-		if !present[id] {
+		k := sort.Search(len(st.Active), func(i int) bool { return st.Active[i].Job.ID >= id })
+		if k == len(st.Active) || st.Active[k].Job.ID != id {
 			delete(m.lastResize, id)
 		}
 	}
 	total := 0
-	for _, js := range jobs {
+	for i := range st.Active {
+		js := &st.Active[i]
 		id := js.Job.ID
-		cur, want := js.Alloc, target[id]
+		cur, want := js.Alloc, m.target[i]
 		a := cur
 		switch {
 		case cur == want:
@@ -96,43 +99,46 @@ func (m *MalleableHysteresis) Allocate(st State) map[int]int {
 			a = want
 			m.lastResize[id] = st.Now
 		}
-		out[id] = a
+		out[i] = a
 		total += a
 	}
 	// Capacity repair: held allocations can exceed a shrunken pool (or
 	// crowd out an admission). Pressure overrides hysteresis — shrink the
 	// jobs holding most above target, largest overshoot first (ties:
-	// lower ID), until the allocation fits. Targets always sum within
-	// Nodes, so one pass suffices.
+	// lower ID, i.e. lower index), until the allocation fits. Targets
+	// always sum within Nodes, so one pass suffices.
 	if total > st.Nodes {
-		order := make([]*JobState, len(jobs))
-		copy(order, jobs)
-		sort.SliceStable(order, func(i, j int) bool {
-			oi := out[order[i].Job.ID] - target[order[i].Job.ID]
-			oj := out[order[j].Job.ID] - target[order[j].Job.ID]
-			if oi != oj {
-				return oi > oj
+		m.order = grow(m.order, len(st.Active))
+		for i := range m.order {
+			m.order[i] = i
+		}
+		slices.SortStableFunc(m.order, func(a, b int) int {
+			oa := out[a] - m.target[a]
+			ob := out[b] - m.target[b]
+			switch {
+			case oa > ob:
+				return -1
+			case oa < ob:
+				return 1
 			}
-			return order[i].Job.ID < order[j].Job.ID
+			return 0
 		})
-		for _, js := range order {
+		for _, i := range m.order {
 			if total <= st.Nodes {
 				break
 			}
-			id := js.Job.ID
-			give := out[id] - target[id]
+			give := out[i] - m.target[i]
 			if give <= 0 {
 				continue
 			}
 			if excess := total - st.Nodes; give > excess {
 				give = excess
 			}
-			out[id] -= give
+			out[i] -= give
 			total -= give
-			m.lastResize[id] = st.Now
+			m.lastResize[st.Active[i].Job.ID] = st.Now
 		}
 	}
-	return out
 }
 
 // resizeClock is the instant of the job's last resize; a job never yet

@@ -32,12 +32,10 @@ func TestCheckInvariantsAllPolicies(t *testing.T) {
 type overAllocator struct{}
 
 func (overAllocator) Name() string { return "test-over-allocator" }
-func (overAllocator) Allocate(st sched.State) map[int]int {
-	out := make(map[int]int)
-	for _, js := range st.Active {
-		out[js.Job.ID] = js.Job.MaxNodes
+func (overAllocator) Allocate(st sched.State, out []int) {
+	for i := range st.Active {
+		out[i] = st.Active[i].Job.MaxNodes
 	}
-	return out
 }
 
 // greedyBeyondMax violates invariant 2: one node too many for the first
@@ -45,15 +43,13 @@ func (overAllocator) Allocate(st sched.State) map[int]int {
 type greedyBeyondMax struct{}
 
 func (greedyBeyondMax) Name() string { return "test-beyond-max" }
-func (greedyBeyondMax) Allocate(st sched.State) map[int]int {
-	out := make(map[int]int)
+func (greedyBeyondMax) Allocate(st sched.State, out []int) {
 	if len(st.Active) > 0 {
 		js := st.Active[0]
 		if js.Job.MaxNodes < st.Nodes {
-			out[js.Job.ID] = js.Job.MaxNodes + 1
+			out[0] = js.Job.MaxNodes + 1
 		}
 	}
-	return out
 }
 
 // TestCheckInvariantsCatchesViolations: the harness must reject broken

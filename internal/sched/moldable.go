@@ -8,7 +8,7 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		return Moldable{MinEfficiency: minEff}, nil
+		return &Moldable{MinEfficiency: minEff}, nil
 	})
 }
 
@@ -32,42 +32,45 @@ func minEfficiencyParam(policy string, p Params) (float64, error) {
 // Moldable chooses each job's allocation once, at start, to maximize its
 // own efficiency×speedup trade-off (the moldable-job model of Cirne &
 // Berman, the paper's ref [5]); the allocation never changes afterwards.
-// It captures what is possible *without* runtime reallocation.
+// It captures what is possible *without* runtime reallocation. The
+// struct carries a reusable admission-order scratch buffer: construct
+// one instance per simulation.
 type Moldable struct {
 	// MinEfficiency is the lowest acceptable first-phase efficiency when
 	// picking the start allocation (default 0.5).
 	MinEfficiency float64
+
+	waiting []int
 }
 
 // Name implements Scheduler.
-func (Moldable) Name() string { return "moldable" }
+func (*Moldable) Name() string { return "moldable" }
 
 // Allocate implements Scheduler.
-func (m Moldable) Allocate(st State) map[int]int {
+func (m *Moldable) Allocate(st State, out []int) {
 	minEff := m.MinEfficiency
 	if minEff <= 0 {
 		minEff = 0.5
 	}
-	out := make(map[int]int)
 	free := st.Nodes
-	for _, js := range st.Active {
-		if js.Alloc > 0 {
-			out[js.Job.ID] = js.Alloc
-			free -= js.Alloc
+	for i := range st.Active {
+		if a := st.Active[i].Alloc; a > 0 {
+			out[i] = a
+			free -= a
 		}
 	}
-	for _, js := range waitingFCFS(st) {
-		if want := moldWidth(js, minEff); want <= free {
-			out[js.Job.ID] = want
+	m.waiting = appendWaitingFCFS(st, m.waiting)
+	for _, i := range m.waiting {
+		if want := moldWidth(st.Active[i], minEff); want <= free {
+			out[i] = want
 			free -= want
 		}
 	}
-	return out
 }
 
 // moldWidth is the largest allocation whose first-phase efficiency stays
 // above the threshold, bounded by the job's request.
-func moldWidth(js *JobState, minEff float64) int {
+func moldWidth(js JobState, minEff float64) int {
 	ph := js.Job.Phases[0]
 	want := 1
 	for p := 2; p <= js.Job.MaxNodes; p++ {

@@ -25,9 +25,22 @@ func fresh(t *testing.T, name string) Scheduler {
 	return s
 }
 
+// allocate adapts the buffer contract for test readability: it runs one
+// Allocate pass into a fresh zeroed buffer and returns the result keyed
+// by job ID.
+func allocate(s Scheduler, st State) map[int]int {
+	out := make([]int, len(st.Active))
+	s.Allocate(st, out)
+	m := make(map[int]int, len(out))
+	for i, a := range out {
+		m[st.Active[i].Job.ID] = a
+	}
+	return m
+}
+
 // TestAllocationContractOnRandomStates: for random states, every
 // registered policy's allocations are non-negative, per-job ≤ MaxNodes,
-// never for absent jobs, and sum ≤ nodes.
+// and sum ≤ nodes.
 func TestAllocationContractOnRandomStates(t *testing.T) {
 	for seed := uint64(0); seed < 30; seed++ {
 		src := rng.New(seed)
@@ -35,7 +48,7 @@ func TestAllocationContractOnRandomStates(t *testing.T) {
 		st := State{Nodes: nodes, Now: src.Uniform(0, 100)}
 		njobs := 1 + src.Intn(9)
 		for i := 0; i < njobs; i++ {
-			js := &JobState{Job: mkJob(i, src.Uniform(0, 50), src.Uniform(1, 60), 1+src.Intn(4), 1+src.Intn(nodes), src.Uniform(0, 0.5))}
+			js := JobState{Job: mkJob(i, src.Uniform(0, 50), src.Uniform(1, 60), 1+src.Intn(4), 1+src.Intn(nodes), src.Uniform(0, 0.5))}
 			js.Job.Weight = src.Uniform(0.2, 4)
 			js.Remaining = js.Job.Phases[0].Work
 			if src.Float64() < 0.5 {
@@ -48,30 +61,24 @@ func TestAllocationContractOnRandomStates(t *testing.T) {
 		// handed a feasible state, so clamp like the simulator's
 		// preemption pass does.
 		total := 0
-		for _, js := range st.Active {
-			total += js.Alloc
+		for i := range st.Active {
+			total += st.Active[i].Alloc
 		}
 		for i := len(st.Active) - 1; i >= 0 && total > st.Nodes; i-- {
 			total -= st.Active[i].Alloc
 			st.Active[i].Alloc = 0
 		}
 		for _, name := range Names() {
-			alloc := fresh(t, name).Allocate(st)
+			out := make([]int, len(st.Active))
+			fresh(t, name).Allocate(st, out)
 			got := 0
-			byID := make(map[int]*JobState)
-			for _, js := range st.Active {
-				byID[js.Job.ID] = js
-			}
-			for id, a := range alloc {
-				js, ok := byID[id]
-				if !ok {
-					t.Fatalf("%s: allocated %d to absent job %d (seed %d)", name, a, id, seed)
-				}
+			for i, a := range out {
+				js := st.Active[i]
 				if a < 0 {
-					t.Fatalf("%s: negative allocation %d for job %d (seed %d)", name, a, id, seed)
+					t.Fatalf("%s: negative allocation %d for job %d (seed %d)", name, a, js.Job.ID, seed)
 				}
 				if a > js.Job.MaxNodes {
-					t.Fatalf("%s: job %d got %d > MaxNodes %d (seed %d)", name, id, a, js.Job.MaxNodes, seed)
+					t.Fatalf("%s: job %d got %d > MaxNodes %d (seed %d)", name, js.Job.ID, a, js.Job.MaxNodes, seed)
 				}
 				got += a
 			}
@@ -84,11 +91,11 @@ func TestAllocationContractOnRandomStates(t *testing.T) {
 
 func TestMoldablePicksEfficientAllocation(t *testing.T) {
 	// A job that saturates quickly must get a small start allocation.
-	st := State{Nodes: 16, Active: []*JobState{
+	st := State{Nodes: 16, Active: []JobState{
 		{Job: &Job{ID: 0, Arrival: 0, Phases: []Phase{{Work: 10, Comm: 0.5}}, MaxNodes: 16}},
 		{Job: &Job{ID: 1, Arrival: 1, Phases: []Phase{{Work: 10, Comm: 0}}, MaxNodes: 8}},
 	}}
-	alloc := Moldable{}.Allocate(st)
+	alloc := allocate(&Moldable{}, st)
 	// comm=0.5: eff(2)=1/1.5=0.67, eff(3)=0.5, eff(4)=0.4 → picks 3.
 	if alloc[0] != 3 {
 		t.Fatalf("saturating job got %d nodes, want 3", alloc[0])
@@ -104,14 +111,14 @@ func TestMoldablePicksEfficientAllocation(t *testing.T) {
 // queue head's reservation — the difference between EASY and the
 // unrestricted backfilling of rigid-fcfs.
 func TestEasyBackfillReservation(t *testing.T) {
-	running := &JobState{Job: mkJob(0, 0, 40, 1, 6, 0), PhaseIdx: 0, Remaining: 40, Alloc: 6}
+	running := JobState{Job: mkJob(0, 0, 40, 1, 6, 0), PhaseIdx: 0, Remaining: 40, Alloc: 6}
 	// Running on 6 of 10 nodes, perfectly parallel: finishes in 40/6 ≈ 6.7s.
-	head := &JobState{Job: mkJob(1, 1, 50, 1, 8, 0), Remaining: 50} // needs 8 > 4 free
-	long := &JobState{Job: mkJob(2, 2, 400, 1, 4, 0), Remaining: 400}
-	short := &JobState{Job: mkJob(3, 3, 4, 1, 4, 0), Remaining: 4}
-	st := State{Nodes: 10, Active: []*JobState{running, head, long, short}}
+	head := JobState{Job: mkJob(1, 1, 50, 1, 8, 0), Remaining: 50} // needs 8 > 4 free
+	long := JobState{Job: mkJob(2, 2, 400, 1, 4, 0), Remaining: 400}
+	short := JobState{Job: mkJob(3, 3, 4, 1, 4, 0), Remaining: 4}
+	st := State{Nodes: 10, Active: []JobState{running, head, long, short}}
 
-	alloc := EasyBackfill{}.Allocate(st)
+	alloc := allocate(&EasyBackfill{}, st)
 	if alloc[1] != 0 {
 		t.Fatalf("blocked head got %d nodes", alloc[1])
 	}
@@ -127,7 +134,7 @@ func TestEasyBackfillReservation(t *testing.T) {
 	}
 	// Rigid's unrestricted backfill admits long — proving EASY's
 	// reservation is what held it back.
-	rigid := Rigid{}.Allocate(st)
+	rigid := allocate(&Rigid{}, st)
 	if rigid[2] != 4 {
 		t.Fatalf("rigid admitted %d nodes for the long job, want 4", rigid[2])
 	}
@@ -142,11 +149,11 @@ func TestEasyBackfillSamePassAdmissionHoldsReservation(t *testing.T) {
 	// will release its 4 nodes at ~10s; head B (8 nodes) blocks; C (2
 	// nodes, 4000 work ⇒ 2000s) would sit on nodes B needs at the
 	// shadow, far past it.
-	a := &JobState{Job: mkJob(0, 0, 40, 1, 4, 0), Remaining: 40}
-	b := &JobState{Job: mkJob(1, 1, 50, 1, 8, 0), Remaining: 50}
-	c := &JobState{Job: mkJob(2, 2, 4000, 1, 2, 0), Remaining: 4000}
-	st := State{Nodes: 8, Active: []*JobState{a, b, c}}
-	alloc := EasyBackfill{}.Allocate(st)
+	a := JobState{Job: mkJob(0, 0, 40, 1, 4, 0), Remaining: 40}
+	b := JobState{Job: mkJob(1, 1, 50, 1, 8, 0), Remaining: 50}
+	c := JobState{Job: mkJob(2, 2, 4000, 1, 2, 0), Remaining: 4000}
+	st := State{Nodes: 8, Active: []JobState{a, b, c}}
+	alloc := allocate(&EasyBackfill{}, st)
 	if alloc[0] != 4 {
 		t.Fatalf("FCFS admission got %d nodes, want 4", alloc[0])
 	}
@@ -157,10 +164,10 @@ func TestEasyBackfillSamePassAdmissionHoldsReservation(t *testing.T) {
 		t.Fatalf("long job backfilled %d nodes across the head's reservation", alloc[2])
 	}
 	// A short job in C's place (finishes before the ~10s shadow) may
-	// backfill.
+	// backfill. The snapshot is value-typed: update the copy in Active.
 	c.Job.Phases[0].Work = 4
-	c.Remaining = 4
-	if got := (EasyBackfill{}).Allocate(st)[2]; got != 2 {
+	st.Active[2].Remaining = 4
+	if got := allocate(&EasyBackfill{}, st)[2]; got != 2 {
 		t.Fatalf("short candidate got %d nodes, want 2", got)
 	}
 }
@@ -168,12 +175,12 @@ func TestEasyBackfillSamePassAdmissionHoldsReservation(t *testing.T) {
 // TestEasyBackfillAdmitsFCFSWhenFree: with room for everyone the policy
 // is plain FCFS at full width.
 func TestEasyBackfillAdmitsFCFSWhenFree(t *testing.T) {
-	st := State{Nodes: 12, Active: []*JobState{
+	st := State{Nodes: 12, Active: []JobState{
 		{Job: mkJob(0, 0, 10, 1, 4, 0), Remaining: 10},
 		{Job: mkJob(1, 1, 10, 1, 4, 0), Remaining: 10},
 		{Job: mkJob(2, 2, 10, 1, 4, 0), Remaining: 10},
 	}}
-	alloc := EasyBackfill{}.Allocate(st)
+	alloc := allocate(&EasyBackfill{}, st)
 	for id := 0; id < 3; id++ {
 		if alloc[id] != 4 {
 			t.Fatalf("job %d got %d nodes, want 4", id, alloc[id])
@@ -184,10 +191,10 @@ func TestEasyBackfillAdmitsFCFSWhenFree(t *testing.T) {
 // TestSJFOrdersByRemainingWork: the short job is admitted ahead of a
 // longer job that arrived earlier.
 func TestSJFOrdersByRemainingWork(t *testing.T) {
-	long := &JobState{Job: mkJob(0, 0, 500, 1, 8, 0), Remaining: 500}
-	short := &JobState{Job: mkJob(1, 5, 5, 1, 8, 0), Remaining: 5}
-	st := State{Nodes: 8, Active: []*JobState{long, short}}
-	alloc := SJFMoldable{}.Allocate(st)
+	long := JobState{Job: mkJob(0, 0, 500, 1, 8, 0), Remaining: 500}
+	short := JobState{Job: mkJob(1, 5, 5, 1, 8, 0), Remaining: 5}
+	st := State{Nodes: 8, Active: []JobState{long, short}}
+	alloc := allocate(&SJFMoldable{}, st)
 	if alloc[1] == 0 {
 		t.Fatal("short job not admitted")
 	}
@@ -196,7 +203,7 @@ func TestSJFOrdersByRemainingWork(t *testing.T) {
 		t.Fatalf("over-allocated: %v", alloc)
 	}
 	// Moldable admits FCFS instead: the long job first.
-	fcfs := Moldable{}.Allocate(st)
+	fcfs := allocate(&Moldable{}, st)
 	if fcfs[0] == 0 {
 		t.Fatal("moldable skipped the FCFS head")
 	}
@@ -205,19 +212,19 @@ func TestSJFOrdersByRemainingWork(t *testing.T) {
 // TestFairShareWeights: a weight-2 job gets twice the nodes of weight-1
 // jobs, and surplus from capped jobs flows to the others.
 func TestFairShareWeights(t *testing.T) {
-	heavy := &JobState{Job: mkJob(0, 0, 100, 1, 12, 0), Remaining: 100}
+	heavy := JobState{Job: mkJob(0, 0, 100, 1, 12, 0), Remaining: 100}
 	heavy.Job.Weight = 2
-	light1 := &JobState{Job: mkJob(1, 0, 100, 1, 12, 0), Remaining: 100}
-	light2 := &JobState{Job: mkJob(2, 0, 100, 1, 12, 0), Remaining: 100}
-	st := State{Nodes: 12, Active: []*JobState{heavy, light1, light2}}
-	alloc := FairShare{}.Allocate(st)
+	light1 := JobState{Job: mkJob(1, 0, 100, 1, 12, 0), Remaining: 100}
+	light2 := JobState{Job: mkJob(2, 0, 100, 1, 12, 0), Remaining: 100}
+	st := State{Nodes: 12, Active: []JobState{heavy, light1, light2}}
+	alloc := allocate(&FairShare{}, st)
 	if alloc[0] != 6 || alloc[1] != 3 || alloc[2] != 3 {
 		t.Fatalf("weighted shares = %v, want 6/3/3", alloc)
 	}
 
 	// Cap the heavy job at 4: its surplus must flow to the others.
 	heavy.Job.MaxNodes = 4
-	alloc = FairShare{}.Allocate(st)
+	alloc = allocate(&FairShare{}, st)
 	if alloc[0] != 4 || alloc[0]+alloc[1]+alloc[2] != 12 {
 		t.Fatalf("cap redistribution = %v", alloc)
 	}
@@ -225,7 +232,7 @@ func TestFairShareWeights(t *testing.T) {
 	// Unweighted jobs split evenly, like equipartition.
 	heavy.Job.MaxNodes = 12
 	heavy.Job.Weight = 0
-	alloc = FairShare{}.Allocate(st)
+	alloc = allocate(&FairShare{}, st)
 	if alloc[0] != 4 || alloc[1] != 4 || alloc[2] != 4 {
 		t.Fatalf("uniform shares = %v, want 4/4/4", alloc)
 	}
@@ -235,9 +242,9 @@ func TestFairShareWeights(t *testing.T) {
 // the current allocation; admissions and capacity pressure do not wait.
 func TestHysteresisThrottlesResizes(t *testing.T) {
 	m := NewMalleableHysteresis(30, 2)
-	a := &JobState{Job: mkJob(0, 0, 100, 1, 16, 0), Remaining: 100}
-	st := State{Nodes: 16, Now: 0, Active: []*JobState{a}}
-	alloc := m.Allocate(st)
+	a := JobState{Job: mkJob(0, 0, 100, 1, 16, 0), Remaining: 100}
+	st := State{Nodes: 16, Now: 0, Active: []JobState{a}}
+	alloc := allocate(m, st)
 	if alloc[0] != 16 {
 		t.Fatalf("admission alloc = %d, want 16", alloc[0])
 	}
@@ -246,9 +253,9 @@ func TestHysteresisThrottlesResizes(t *testing.T) {
 	// A second job arrives at t=10: its admission happens immediately,
 	// and the incumbent is shrunk (capacity pressure overrides the
 	// epoch).
-	b := &JobState{Job: mkJob(1, 10, 100, 1, 16, 0), Remaining: 100}
-	st = State{Nodes: 16, Now: 10, Active: []*JobState{a, b}}
-	alloc = m.Allocate(st)
+	b := JobState{Job: mkJob(1, 10, 100, 1, 16, 0), Remaining: 100}
+	st = State{Nodes: 16, Now: 10, Active: []JobState{a, b}}
+	alloc = allocate(m, st)
 	if alloc[1] != 8 {
 		t.Fatalf("new job got %d nodes, want 8", alloc[1])
 	}
@@ -259,15 +266,15 @@ func TestHysteresisThrottlesResizes(t *testing.T) {
 
 	// b departs at t=20; a's target doubles, but its last resize was at
 	// t=10 < epoch 30: hold.
-	st = State{Nodes: 16, Now: 20, Active: []*JobState{a}}
-	alloc = m.Allocate(st)
+	st = State{Nodes: 16, Now: 20, Active: []JobState{a}}
+	alloc = allocate(m, st)
 	if alloc[0] != 8 {
 		t.Fatalf("resize inside epoch: got %d, want held 8", alloc[0])
 	}
 
 	// Past the epoch the held job finally grows.
-	st = State{Nodes: 16, Now: 41, Active: []*JobState{a}}
-	alloc = m.Allocate(st)
+	st = State{Nodes: 16, Now: 41, Active: []JobState{a}}
+	alloc = allocate(m, st)
 	if alloc[0] != 16 {
 		t.Fatalf("post-epoch resize: got %d, want 16", alloc[0])
 	}
@@ -276,8 +283,8 @@ func TestHysteresisThrottlesResizes(t *testing.T) {
 	// A one-node delta is below min_delta 2: held even past the epoch.
 	a.Job.MaxNodes = 15
 	a.Alloc = 16 // pretend the cap changed after allocation
-	st = State{Nodes: 17, Now: 100, Active: []*JobState{a}}
-	if got := m.Allocate(st)[0]; got != 16 {
+	st = State{Nodes: 17, Now: 100, Active: []JobState{a}}
+	if got := allocate(m, st)[0]; got != 16 {
 		t.Fatalf("sub-delta resize applied: %d", got)
 	}
 }
@@ -286,19 +293,19 @@ func TestHysteresisThrottlesResizes(t *testing.T) {
 // must shrink allocations immediately, epoch or not.
 func TestHysteresisCapacityRepair(t *testing.T) {
 	m := NewMalleableHysteresis(1000, 2)
-	a := &JobState{Job: mkJob(0, 0, 100, 1, 8, 0), Remaining: 100, Alloc: 8}
-	b := &JobState{Job: mkJob(1, 0, 100, 1, 8, 0), Remaining: 100, Alloc: 8}
+	a := JobState{Job: mkJob(0, 0, 100, 1, 8, 0), Remaining: 100, Alloc: 8}
+	b := JobState{Job: mkJob(1, 0, 100, 1, 8, 0), Remaining: 100, Alloc: 8}
 	m.lastResize[0] = 0
 	m.lastResize[1] = 0
-	st := State{Nodes: 10, Now: 1, Active: []*JobState{a, b}}
-	alloc := m.Allocate(st)
+	st := State{Nodes: 10, Now: 1, Active: []JobState{a, b}}
+	alloc := allocate(m, st)
 	if alloc[0]+alloc[1] > 10 {
 		t.Fatalf("over-allocation after capacity drop: %v", alloc)
 	}
 }
 
 func TestEstRemaining(t *testing.T) {
-	js := &JobState{Job: mkJob(0, 0, 60, 3, 8, 0), Remaining: 10} // phases of 20 each, 10 left in first
+	js := JobState{Job: mkJob(0, 0, 60, 3, 8, 0), Remaining: 10} // phases of 20 each, 10 left in first
 	// On 5 perfectly parallel nodes: (10+20+20)/5 = 10s.
 	if got := js.EstRemaining(5); got != 10 {
 		t.Fatalf("EstRemaining = %v, want 10", got)
@@ -312,3 +319,40 @@ func TestEstRemaining(t *testing.T) {
 }
 
 func isInf(f float64) bool { return f > 1e300 }
+
+// TestPoliciesZeroAllocSteadyState: with warm scratch buffers, no policy
+// allocates on a repeat Allocate pass over an unchanged state — the
+// per-policy half of the zero-allocation contract (the simulator-side
+// half is asserted in internal/cluster).
+func TestPoliciesZeroAllocSteadyState(t *testing.T) {
+	src := rng.New(7)
+	const nodes = 24
+	st := State{Nodes: nodes, Now: 50}
+	for i := 0; i < 12; i++ {
+		js := JobState{Job: mkJob(i, src.Uniform(0, 40), src.Uniform(10, 90), 1+src.Intn(3), 1+src.Intn(nodes), src.Uniform(0, 0.3))}
+		js.Remaining = js.Job.Phases[0].Work
+		st.Active = append(st.Active, js)
+	}
+	out := make([]int, len(st.Active))
+	for _, name := range Names() {
+		policy := fresh(t, name)
+		// Warm-up sizes the scratch buffers; give the state a feasible
+		// allocation so the steady pass resembles mid-run invocations.
+		for i := range out {
+			out[i] = 0
+		}
+		policy.Allocate(st, out)
+		for i, a := range out {
+			st.Active[i].Alloc = a
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			for i := range out {
+				out[i] = 0
+			}
+			policy.Allocate(st, out)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocations per steady-state Allocate, want 0", name, allocs)
+		}
+	}
+}

@@ -76,7 +76,7 @@ func TestRegisterRejectsDuplicates(t *testing.T) {
 			t.Fatal("duplicate registration did not panic")
 		}
 	}()
-	Register("rigid-fcfs", func(Params) (Scheduler, error) { return Rigid{}, nil })
+	Register("rigid-fcfs", func(Params) (Scheduler, error) { return &Rigid{}, nil })
 }
 
 func TestParseFormatSpecRoundTrip(t *testing.T) {

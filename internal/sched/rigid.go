@@ -1,59 +1,71 @@
 package sched
 
-import "sort"
+import "slices"
 
 func init() {
 	Register("rigid-fcfs", func(p Params) (Scheduler, error) {
 		if err := p.check("rigid-fcfs"); err != nil {
 			return nil, err
 		}
-		return Rigid{}, nil
+		return &Rigid{}, nil
 	})
 }
 
 // Rigid allocates each job its MaxNodes, FCFS, holding until completion
-// (the conventional space-sharing baseline).
-type Rigid struct{}
+// (the conventional space-sharing baseline). The struct carries a
+// reusable admission-order scratch buffer: construct one instance per
+// simulation.
+type Rigid struct {
+	waiting []int
+}
 
 // Name implements Scheduler.
-func (Rigid) Name() string { return "rigid-fcfs" }
+func (*Rigid) Name() string { return "rigid-fcfs" }
 
 // Allocate implements Scheduler. Running jobs keep their nodes; waiting
 // jobs are admitted FCFS into whatever remains (a running job admitted by
 // backfilling must never be evicted by an older waiter).
-func (Rigid) Allocate(st State) map[int]int {
-	out := make(map[int]int)
+func (r *Rigid) Allocate(st State, out []int) {
 	free := st.Nodes
-	for _, js := range st.Active {
-		if js.Alloc > 0 {
-			out[js.Job.ID] = js.Alloc
-			free -= js.Alloc
+	for i := range st.Active {
+		if a := st.Active[i].Alloc; a > 0 {
+			out[i] = a
+			free -= a
 		}
 	}
-	for _, js := range waitingFCFS(st) {
-		if want := js.Job.MaxNodes; want <= free {
-			out[js.Job.ID] = want
+	r.waiting = appendWaitingFCFS(st, r.waiting)
+	for _, i := range r.waiting {
+		if want := st.Active[i].Job.MaxNodes; want <= free {
+			out[i] = want
 			free -= want
 		}
 	}
-	return out
 }
 
-// waitingFCFS returns the jobs with no allocation, ordered by arrival
-// (stable by ID) — the shared admission order of the FCFS-family
-// policies.
-func waitingFCFS(st State) []*JobState {
-	waiting := make([]*JobState, 0, len(st.Active))
-	for _, js := range st.Active {
-		if js.Alloc == 0 {
-			waiting = append(waiting, js)
+// appendWaitingFCFS fills buf (reusing its capacity) with the indices of
+// the jobs holding no allocation, ordered by arrival then ID — the
+// shared admission order of the FCFS-family policies. (Arrival, ID) is a
+// total order over distinct jobs, so the sort is deterministic.
+func appendWaitingFCFS(st State, buf []int) []int {
+	buf = buf[:0]
+	for i := range st.Active {
+		if st.Active[i].Alloc == 0 {
+			buf = append(buf, i)
 		}
 	}
-	sort.SliceStable(waiting, func(i, j int) bool {
-		if waiting[i].Job.Arrival != waiting[j].Job.Arrival {
-			return waiting[i].Job.Arrival < waiting[j].Job.Arrival
+	slices.SortFunc(buf, func(a, b int) int {
+		ja, jb := st.Active[a].Job, st.Active[b].Job
+		switch {
+		case ja.Arrival < jb.Arrival:
+			return -1
+		case ja.Arrival > jb.Arrival:
+			return 1
+		case ja.ID < jb.ID:
+			return -1
+		case ja.ID > jb.ID:
+			return 1
 		}
-		return waiting[i].Job.ID < waiting[j].Job.ID
+		return 0
 	})
-	return waiting
+	return buf
 }

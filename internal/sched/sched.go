@@ -73,9 +73,9 @@ func (j *Job) TotalWork() float64 {
 	return w
 }
 
-// JobState is the scheduler-visible view of one active job: a snapshot
-// taken at the scheduling event. Alloc is the job's current allocation
-// after any capacity preemption (0 = waiting).
+// JobState is the scheduler-visible view of one active job: a
+// value-typed snapshot taken at the scheduling event. Alloc is the job's
+// current allocation after any capacity preemption (0 = waiting).
 type JobState struct {
 	Job       *Job
 	PhaseIdx  int
@@ -84,11 +84,11 @@ type JobState struct {
 }
 
 // Phase returns the job's current phase.
-func (js *JobState) Phase() Phase { return js.Job.Phases[js.PhaseIdx] }
+func (js JobState) Phase() Phase { return js.Job.Phases[js.PhaseIdx] }
 
 // RemainingWork returns the job's serial work left: the current phase's
 // remainder plus every later phase.
-func (js *JobState) RemainingWork() float64 {
+func (js JobState) RemainingWork() float64 {
 	w := js.Remaining
 	for k := js.PhaseIdx + 1; k < len(js.Job.Phases); k++ {
 		w += js.Job.Phases[k].Work
@@ -101,7 +101,7 @@ func (js *JobState) RemainingWork() float64 {
 // phase's own dynamic-efficiency rate. This is the runtime estimate
 // backfilling policies use — it comes straight from the per-phase work
 // profile the DPS simulator predicts.
-func (js *JobState) EstRemaining(p int) float64 {
+func (js JobState) EstRemaining(p int) float64 {
 	if p <= 0 {
 		return math.Inf(1)
 	}
@@ -113,6 +113,9 @@ func (js *JobState) EstRemaining(p int) float64 {
 }
 
 // State is the scheduler-visible cluster state at one scheduling event.
+// Active (and the out buffer paired with it) is owned by the caller and
+// valid only for the duration of the Allocate call: the simulator reuses
+// the backing array between events, so policies must not retain it.
 type State struct {
 	// Nodes is the capacity usable right now: the current pool, already
 	// shrunk by any outstanding reclaim notice.
@@ -121,14 +124,33 @@ type State struct {
 	// time-based throttles (epoch hysteresis).
 	Now float64
 	// Active lists the active jobs in ascending job-ID order.
-	Active []*JobState
+	Active []JobState
 }
 
-// Scheduler decides allocations. Allocate must return a per-job node
-// count whose sum does not exceed state.Nodes, with every job's count in
-// [0, MaxNodes]; jobs not in the map get 0. Policies may keep per-run
-// state (hysteresis clocks) — resolve a fresh instance per simulation.
+// Scheduler decides allocations. Allocate writes st.Active[i]'s node
+// count into out[i]; the caller provides out with len(st.Active),
+// zeroed, so a policy that grants a job nothing may simply skip it. On
+// return the counts must each lie in [0, MaxNodes] and sum to at most
+// st.Nodes.
+//
+// The buffer-reuse contract is what keeps the simulator's event loop
+// allocation-free: the caller owns st.Active and out and recycles both
+// across scheduling events, and policies are expected to keep their own
+// working storage in reusable scratch buffers (constructed once per
+// instance) rather than allocating per call. Policies may keep per-run
+// state (hysteresis clocks, scratch buffers) — resolve a fresh instance
+// per simulation.
 type Scheduler interface {
 	Name() string
-	Allocate(st State) map[int]int
+	Allocate(st State, out []int)
+}
+
+// grow returns buf resized to n, reusing its backing array when the
+// capacity suffices — the shared scratch-buffer idiom of the policies.
+// Contents are unspecified; callers that need zeros must clear.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
 }

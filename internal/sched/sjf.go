@@ -1,6 +1,6 @@
 package sched
 
-import "sort"
+import "slices"
 
 func init() {
 	Register("sjf-moldable", func(p Params) (Scheduler, error) {
@@ -8,60 +8,68 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		return SJFMoldable{MinEfficiency: minEff}, nil
+		return &SJFMoldable{MinEfficiency: minEff}, nil
 	})
 }
 
 // SJFMoldable admits waiting jobs shortest-serial-work-first, each at a
 // moldable width chosen once at admission (the same efficiency-threshold
 // width rule as Moldable) and held to completion. Trading FCFS fairness
-// for mean response time: short jobs never queue behind long ones.
+// for mean response time: short jobs never queue behind long ones. The
+// struct carries a reusable admission-order scratch buffer: construct
+// one instance per simulation.
 type SJFMoldable struct {
 	// MinEfficiency is the lowest acceptable first-phase efficiency when
 	// picking the start allocation (default 0.5).
 	MinEfficiency float64
+
+	waiting []int
 }
 
 // Name implements Scheduler.
-func (SJFMoldable) Name() string { return "sjf-moldable" }
+func (*SJFMoldable) Name() string { return "sjf-moldable" }
 
 // Allocate implements Scheduler.
-func (m SJFMoldable) Allocate(st State) map[int]int {
+func (m *SJFMoldable) Allocate(st State, out []int) {
 	minEff := m.MinEfficiency
 	if minEff <= 0 {
 		minEff = 0.5
 	}
-	out := make(map[int]int)
 	free := st.Nodes
-	for _, js := range st.Active {
-		if js.Alloc > 0 {
-			out[js.Job.ID] = js.Alloc
-			free -= js.Alloc
-		}
-	}
-	waiting := make([]*JobState, 0, len(st.Active))
-	for _, js := range st.Active {
-		if js.Alloc == 0 {
-			waiting = append(waiting, js)
+	m.waiting = m.waiting[:0]
+	for i := range st.Active {
+		if a := st.Active[i].Alloc; a > 0 {
+			out[i] = a
+			free -= a
+		} else {
+			m.waiting = append(m.waiting, i)
 		}
 	}
 	// Shortest remaining serial work first; ties FCFS, then by ID, so
 	// the order is total and deterministic.
-	sort.SliceStable(waiting, func(i, j int) bool {
-		wi, wj := waiting[i].RemainingWork(), waiting[j].RemainingWork()
-		if wi != wj {
-			return wi < wj
+	slices.SortFunc(m.waiting, func(a, b int) int {
+		ja, jb := st.Active[a], st.Active[b]
+		wa, wb := ja.RemainingWork(), jb.RemainingWork()
+		switch {
+		case wa < wb:
+			return -1
+		case wa > wb:
+			return 1
+		case ja.Job.Arrival < jb.Job.Arrival:
+			return -1
+		case ja.Job.Arrival > jb.Job.Arrival:
+			return 1
+		case ja.Job.ID < jb.Job.ID:
+			return -1
+		case ja.Job.ID > jb.Job.ID:
+			return 1
 		}
-		if waiting[i].Job.Arrival != waiting[j].Job.Arrival {
-			return waiting[i].Job.Arrival < waiting[j].Job.Arrival
-		}
-		return waiting[i].Job.ID < waiting[j].Job.ID
+		return 0
 	})
-	for _, js := range waiting {
-		if want := moldWidth(js, minEff); want <= free {
-			out[js.Job.ID] = want
+	for _, i := range m.waiting {
+		if want := moldWidth(st.Active[i], minEff); want <= free {
+			out[i] = want
 			free -= want
 		}
 	}
-	return out
 }

@@ -12,7 +12,8 @@ import (
 const csvHeader = "scenario,arrival,availability,nodes,load,scheduler,replications,jobs,unfinished," +
 	"mean_response_s,p50_response_s,p95_response_s,p99_response_s,mean_wait_s," +
 	"mean_makespan_s,mean_utilization,mean_avail_utilization,mean_slowdown," +
-	"mean_reallocations,mean_capacity_events,mean_lost_work_s,mean_redistribution_s"
+	"mean_reallocations,mean_capacity_events,mean_lost_work_s,mean_redistribution_s," +
+	"ci95_response_s,ci95_makespan_s,min_response_s,max_response_s"
 
 // WriteCSV renders the aggregates as CSV, one row per cell in grid order.
 // Fields are RFC 4180-quoted when needed (scenario names and trace labels
@@ -36,6 +37,8 @@ func WriteCSV(w io.Writer, scenarioName string, stats []CellStats) error {
 			fmt.Sprintf("%g", st.MeanAvailUtilization), fmt.Sprintf("%g", st.MeanSlowdown),
 			fmt.Sprintf("%g", st.MeanReallocations), fmt.Sprintf("%g", st.MeanCapacityEvents),
 			fmt.Sprintf("%g", st.MeanLostWork), fmt.Sprintf("%g", st.MeanRedistribution),
+			fmt.Sprintf("%g", st.CI95Response), fmt.Sprintf("%g", st.CI95Makespan),
+			fmt.Sprintf("%g", st.MinResponse), fmt.Sprintf("%g", st.MaxResponse),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

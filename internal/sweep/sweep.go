@@ -70,6 +70,92 @@ type CellStats struct {
 	MeanCapacityEvents float64 `json:"mean_capacity_events"`
 	MeanLostWork       float64 `json:"mean_lost_work_s"`
 	MeanRedistribution float64 `json:"mean_redistribution_s"`
+	// 95% confidence half-widths (normal approximation, Welford
+	// variance): CI95Response over the pooled per-job responses,
+	// CI95Makespan over the per-replication makespans. Zero when fewer
+	// than two observations exist.
+	CI95Response float64 `json:"ci95_response_s"`
+	CI95Makespan float64 `json:"ci95_makespan_s"`
+	// Extremes of the pooled per-job responses (streamed, exact).
+	MinResponse float64 `json:"min_response_s"`
+	MaxResponse float64 `json:"max_response_s"`
+}
+
+// cellAccum streams one cell's replications into running aggregates as
+// they complete. Means that must stay bit-identical to the historical
+// pooled computation are kept as running sums folded in replication
+// order (the addition order matches the old pooled-slice walk exactly);
+// only the response quantiles still pool values, since an exact
+// percentile needs the full sample.
+type cellAccum struct {
+	unfinished int
+	respSum    float64
+	waitSum    float64
+	slowSum    float64
+	slowN      int
+	responses  []float64 // pooled for P50/P95/P99 only
+	makespan   float64
+	util       float64
+	availUtil  float64
+	reallocs   float64
+	capEvents  float64
+	lostWork   float64
+	redistS    float64
+	respW      metrics.Welford
+	makespanW  metrics.Welford
+	respMM     metrics.MinMax
+}
+
+// fold absorbs one completed replication.
+func (a *cellAccum) fold(run *scenario.CellRun) {
+	for _, j := range run.Result.PerJob {
+		a.respSum += j.Response
+		a.waitSum += j.Wait
+		a.responses = append(a.responses, j.Response)
+		a.respW.Add(j.Response)
+		a.respMM.Add(j.Response)
+	}
+	for _, s := range run.Slowdowns {
+		a.slowSum += s
+		a.slowN++
+	}
+	a.unfinished += run.Result.Unfinished
+	a.makespan += run.Result.Makespan
+	a.util += run.Result.Utilization
+	a.availUtil += run.Result.AvailWeightedUtilization
+	a.reallocs += float64(run.Result.Reallocations)
+	a.capEvents += float64(run.Result.CapacityEvents)
+	a.lostWork += run.Result.LostWorkS
+	a.redistS += run.Result.RedistributionS
+	a.makespanW.Add(run.Result.Makespan)
+}
+
+// stats finalizes the accumulator into the exported aggregate.
+func (a *cellAccum) stats(c Cell, reps int) CellStats {
+	st := CellStats{Cell: c, Replications: reps, Jobs: len(a.responses), Unfinished: a.unfinished}
+	if n := len(a.responses); n > 0 {
+		st.MeanResponse = a.respSum / float64(n)
+		st.MeanWait = a.waitSum / float64(n)
+	}
+	sort.Float64s(a.responses) // cell-local; sort once for all quantiles
+	st.P50Response = metrics.PercentileSorted(a.responses, 0.50)
+	st.P95Response = metrics.PercentileSorted(a.responses, 0.95)
+	st.P99Response = metrics.PercentileSorted(a.responses, 0.99)
+	st.MeanMakespan = a.makespan / float64(reps)
+	st.MeanUtilization = a.util / float64(reps)
+	st.MeanAvailUtilization = a.availUtil / float64(reps)
+	if a.slowN > 0 {
+		st.MeanSlowdown = a.slowSum / float64(a.slowN)
+	}
+	st.MeanReallocations = a.reallocs / float64(reps)
+	st.MeanCapacityEvents = a.capEvents / float64(reps)
+	st.MeanLostWork = a.lostWork / float64(reps)
+	st.MeanRedistribution = a.redistS / float64(reps)
+	st.CI95Response = a.respW.CI95()
+	st.CI95Makespan = a.makespanW.CI95()
+	st.MinResponse = a.respMM.Min()
+	st.MaxResponse = a.respMM.Max()
+	return st
 }
 
 // Options tunes a sweep run.
@@ -158,7 +244,17 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 		workers = total
 	}
 
-	runs := make([]*scenario.CellRun, total)
+	// Completed replications fold into per-cell streaming accumulators as
+	// soon as the fold frontier reaches them: runs must fold in index
+	// order (the float sums are order-sensitive and the exports are
+	// pinned bit-for-bit across worker counts), so out-of-order
+	// completions park in the pending buffer until the frontier catches
+	// up — memory stays bounded by the in-flight spread instead of the
+	// whole grid's per-job data.
+	pending := make([]*scenario.CellRun, total)
+	folded := make([]bool, total)
+	accums := make([]cellAccum, len(cells))
+	foldNext := 0
 	jobs := make(chan int)
 	var (
 		wg       sync.WaitGroup
@@ -186,7 +282,18 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 					firstErr = fmt.Errorf("sweep: cell %s/%s/%d nodes/load %g/%s rep %d: %w",
 						c.Arrival, c.Avail, c.Nodes, c.Load, c.Scheduler, rep, err)
 				}
-				runs[idx] = run
+				pending[idx] = run
+				folded[idx] = true
+				// Advance the fold frontier over every contiguous
+				// completed run, releasing each run's per-job data as it
+				// is absorbed.
+				for foldNext < total && folded[foldNext] {
+					if r := pending[foldNext]; r != nil {
+						accums[foldNext/reps].fold(r)
+						pending[foldNext] = nil
+					}
+					foldNext++
+				}
 				done++
 				if opt.Progress != nil {
 					// Under the lock so counts reach the callback in order
@@ -209,41 +316,7 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 
 	out := make([]CellStats, len(cells))
 	for ci, c := range cells {
-		st := CellStats{Cell: c, Replications: reps}
-		var responses, waits, slowdowns []float64
-		var makespan, util, availUtil, reallocs, capEvents, lostWork, redistS float64
-		for rep := 0; rep < reps; rep++ {
-			run := runs[ci*reps+rep]
-			for _, j := range run.Result.PerJob {
-				responses = append(responses, j.Response)
-				waits = append(waits, j.Wait)
-			}
-			slowdowns = append(slowdowns, run.Slowdowns...)
-			st.Unfinished += run.Result.Unfinished
-			makespan += run.Result.Makespan
-			util += run.Result.Utilization
-			availUtil += run.Result.AvailWeightedUtilization
-			reallocs += float64(run.Result.Reallocations)
-			capEvents += float64(run.Result.CapacityEvents)
-			lostWork += run.Result.LostWorkS
-			redistS += run.Result.RedistributionS
-		}
-		st.Jobs = len(responses)
-		st.MeanResponse = metrics.Mean(responses)
-		st.MeanWait = metrics.Mean(waits)
-		sort.Float64s(responses) // responses is cell-local; sort once for all quantiles
-		st.P50Response = metrics.PercentileSorted(responses, 0.50)
-		st.P95Response = metrics.PercentileSorted(responses, 0.95)
-		st.P99Response = metrics.PercentileSorted(responses, 0.99)
-		st.MeanMakespan = makespan / float64(reps)
-		st.MeanUtilization = util / float64(reps)
-		st.MeanAvailUtilization = availUtil / float64(reps)
-		st.MeanSlowdown = metrics.Mean(slowdowns)
-		st.MeanReallocations = reallocs / float64(reps)
-		st.MeanCapacityEvents = capEvents / float64(reps)
-		st.MeanLostWork = lostWork / float64(reps)
-		st.MeanRedistribution = redistS / float64(reps)
-		out[ci] = st
+		out[ci] = accums[ci].stats(c, reps)
 	}
 	return out, nil
 }

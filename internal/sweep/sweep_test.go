@@ -247,6 +247,12 @@ func TestRunAggregates(t *testing.T) {
 		if st.P50Response > st.P95Response || st.P95Response > st.P99Response {
 			t.Fatalf("percentiles out of order: %+v", st)
 		}
+		if st.MinResponse > st.P50Response || st.P99Response > st.MaxResponse {
+			t.Fatalf("streamed extremes disagree with percentiles: %+v", st)
+		}
+		if st.CI95Response <= 0 {
+			t.Fatalf("ci95_response_s = %v with %d pooled jobs", st.CI95Response, st.Jobs)
+		}
 		if st.MeanUtilization <= 0 || st.MeanUtilization > 1+1e-9 {
 			t.Fatalf("utilization = %v", st.MeanUtilization)
 		}
