@@ -19,6 +19,11 @@
 // list of scheduler specs — a registered name, optionally with
 // parameters as "name(key=value,...)". Valid names come from the policy
 // registry (internal/sched) and are listed in the flag's help text.
+//
+// -appmodels overrides the scenario's application performance-model
+// axis (internal/appmodel registry; "mix" = the mix's native models).
+// Like the availability axis, only the first grid point runs here — run
+// cmd/dpssweep to cover a multi-model grid.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"os"
 	"strings"
 
+	"dpsim/internal/appmodel"
 	"dpsim/internal/cluster"
 	"dpsim/internal/scenario"
 	"dpsim/internal/sched"
@@ -48,6 +54,10 @@ func main() {
 	schedulers := flag.String("schedulers", "",
 		"comma-separated scheduler specs to compare, each NAME or NAME(k=v,...)\n"+
 			"(overrides the scenario's list; valid names: "+strings.Join(sched.Names(), ", ")+")")
+	appmodels := flag.String("appmodels", "",
+		"comma-separated application performance-model specs, each NAME or NAME(k=v,...)\n"+
+			"(overrides the scenario's list; the first entry runs here; valid names:\n"+
+			"mix, "+strings.Join(appmodel.Names(), ", ")+")")
 	jsonOut := flag.Bool("json", false, "print machine-readable JSON results")
 	flag.Usage = usage
 	flag.Parse()
@@ -89,6 +99,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *appmodels != "" {
+		if err := spec.ApplyAppModelOverride(*appmodels); err != nil {
+			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	n := spec.Nodes[0]
 	load := spec.Loads[0]
@@ -99,7 +115,8 @@ func main() {
 		// The first grid point throughout, including the first
 		// availability process when the scenario declares any.
 		run, err := spec.RunCell(scenario.CellParams{
-			Nodes: n, Load: load, SchedulerIdx: i, ArrivalIdx: 0, AvailIdx: 0, Seed: spec.Seed,
+			Nodes: n, Load: load, SchedulerIdx: i, ArrivalIdx: 0, AvailIdx: 0, AppModelIdx: 0,
+			Seed: spec.Seed,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
@@ -134,8 +151,12 @@ func main() {
 	if len(spec.Availability) > 0 {
 		availLabel = spec.Availability[0].Label() + " availability"
 	}
-	fmt.Printf("scenario %q: cluster of %d nodes, %s arrivals, %s\n\n",
-		spec.Name, n, spec.Arrivals[0].Label(), availLabel)
+	modelLabel := "mix"
+	if len(spec.AppModels) > 0 {
+		modelLabel = spec.AppModels[0].Label()
+	}
+	fmt.Printf("scenario %q: cluster of %d nodes, %s arrivals, %s, app model %s\n\n",
+		spec.Name, n, spec.Arrivals[0].Label(), availLabel, modelLabel)
 	width := len("scheduler")
 	for _, l := range labels {
 		if len(l) > width {

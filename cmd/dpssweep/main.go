@@ -8,6 +8,7 @@
 //	dpssweep -scenario examples/scenarios/openload.json [-replications 20]
 //	         [-workers N] [-csv out.csv] [-json out.json]
 //	         [-schedulers "equipartition,malleable-hysteresis(epoch_s=45)"]
+//	         [-appmodels "mix,amdahl(f=0.1),roofline(sat=8)"]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -cpuprofile and -memprofile write pprof profiles of the sweep (the CPU
@@ -25,6 +26,11 @@
 // optionally parameterized as "name(key=value,...)"; valid names come
 // from the policy registry (internal/sched) and are listed in the
 // flag's help text.
+//
+// -appmodels overrides the scenario's application performance-model axis
+// the same way: a comma-separated list of model specs from the appmodel
+// registry (internal/appmodel), plus the sentinel "mix" for each mix
+// component's native model.
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"dpsim/internal/appmodel"
 	"dpsim/internal/scenario"
 	"dpsim/internal/sched"
 	"dpsim/internal/sweep"
@@ -43,7 +50,7 @@ import (
 
 func usage() {
 	fmt.Fprintf(flag.CommandLine.Output(),
-		"usage: dpssweep -scenario FILE [-replications N] [-workers N] [-schedulers LIST] [-csv FILE] [-json FILE] [-cpuprofile FILE] [-memprofile FILE]\n")
+		"usage: dpssweep -scenario FILE [-replications N] [-workers N] [-schedulers LIST] [-appmodels LIST] [-csv FILE] [-json FILE] [-cpuprofile FILE] [-memprofile FILE]\n")
 	flag.PrintDefaults()
 }
 
@@ -54,6 +61,10 @@ func main() {
 	schedulers := flag.String("schedulers", "",
 		"comma-separated scheduler specs forming the grid axis, each NAME or NAME(k=v,...)\n"+
 			"(overrides the scenario's list; valid names: "+strings.Join(sched.Names(), ", ")+")")
+	appmodels := flag.String("appmodels", "",
+		"comma-separated application performance-model specs forming the grid axis,\n"+
+			"each NAME or NAME(k=v,...) (overrides the scenario's list; valid names:\n"+
+			"mix, "+strings.Join(appmodel.Names(), ", ")+")")
 	csvPath := flag.String("csv", "", "write aggregate CSV to this file (\"-\" for stdout)")
 	jsonPath := flag.String("json", "", "write aggregate JSON to this file (\"-\" for stdout)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -83,6 +94,12 @@ func main() {
 	}
 	if *schedulers != "" {
 		if err := spec.ApplySchedulerOverride(*schedulers); err != nil {
+			fmt.Fprintf(os.Stderr, "dpssweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *appmodels != "" {
+		if err := spec.ApplyAppModelOverride(*appmodels); err != nil {
 			fmt.Fprintf(os.Stderr, "dpssweep: %v\n", err)
 			os.Exit(1)
 		}
@@ -157,17 +174,21 @@ func main() {
 
 func printTable(stats []sweep.CellStats) {
 	width := len("scheduler")
+	mwidth := len("appmodel")
 	for _, st := range stats {
 		if len(st.Scheduler) > width {
 			width = len(st.Scheduler)
 		}
+		if len(st.AppModel) > mwidth {
+			mwidth = len(st.AppModel)
+		}
 	}
-	fmt.Printf("\n%-16s %-16s %6s %5s %-*s %10s %10s %9s %10s %8s %8s %8s %8s %9s %9s\n",
-		"arrival", "availability", "nodes", "load", width, "scheduler",
+	fmt.Printf("\n%-16s %-16s %6s %5s %-*s %-*s %10s %10s %9s %10s %8s %8s %8s %8s %9s %9s\n",
+		"arrival", "availability", "nodes", "load", width, "scheduler", mwidth, "appmodel",
 		"mean resp", "p95 resp", "wait", "makespan", "util", "avutil", "slowdn", "realloc", "lost work", "redist")
 	for _, st := range stats {
-		fmt.Printf("%-16s %-16s %6d %5.2g %-*s %9.1fs %9.1fs %8.1fs %9.1fs %7.1f%% %7.1f%% %8.2f %8.1f %8.1fs %8.1fs\n",
-			st.Arrival, st.Avail, st.Nodes, st.Load, width, st.Scheduler,
+		fmt.Printf("%-16s %-16s %6d %5.2g %-*s %-*s %9.1fs %9.1fs %8.1fs %9.1fs %7.1f%% %7.1f%% %8.2f %8.1f %8.1fs %8.1fs\n",
+			st.Arrival, st.Avail, st.Nodes, st.Load, width, st.Scheduler, mwidth, st.AppModel,
 			st.MeanResponse, st.P95Response, st.MeanWait,
 			st.MeanMakespan, 100*st.MeanUtilization, 100*st.MeanAvailUtilization,
 			st.MeanSlowdown, st.MeanReallocations, st.MeanLostWork, st.MeanRedistribution)

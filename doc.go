@@ -44,6 +44,15 @@
 //     buffers, which makes the simulator's scheduler-invocation hot
 //     path allocation-free in steady state (asserted by
 //     testing.AllocsPerRun regression tests in both packages).
+//   - internal/appmodel — the application performance-model subsystem:
+//     the AppModel interface (phase time/rate/efficiency as a function
+//     of work and allocation), a self-registering registry mirroring
+//     internal/sched (Register/ByName/Names, Params,
+//     "name(key=value,...)" spec strings), five analytical families
+//     (amdahl, downey, comm-bound, roofline, fixed) plus the classic
+//     mix shapes (lu, synthetic, stencil) as comm-factor instances, and
+//     per-model migration/checkpoint cost hooks (migrate_s, ckpt_s)
+//     charged through the cluster's reconfiguration-cost path.
 //   - internal/availability — node-availability dynamics: deterministic
 //     generators for maintenance windows, exponential/Weibull
 //     failure/repair processes, spot-style preemption with reclaim
@@ -53,12 +62,15 @@
 //     weighted job mixes (LU-profile, synthetic, stencil-derived,
 //     per-component fair-share job weights), pluggable arrival processes
 //     (closed, Poisson, bursty MMPP, diurnal, trace replay),
-//     availability processes and parameterized scheduler blocks,
-//     generated through forked deterministic RNG streams.
+//     availability processes, parameterized scheduler blocks and an
+//     application performance-model axis (appmodels), generated through
+//     forked deterministic RNG streams.
 //   - internal/sweep — expands a scenario into an experiment grid (arrival
-//     × availability × nodes × load × scheduler), runs it on a parallel
-//     worker pool with seed replications, and aggregates/exports results
-//     as CSV/JSON.
+//     × availability × nodes × load × scheduler × appmodel), runs it on a
+//     parallel worker pool with seed replications, and
+//     aggregates/exports results as CSV/JSON.
+//   - internal/docs — documentation-drift checks: markdown link check,
+//     scenario-schema and export-column cross-checks against docs/.
 //
 // Entry points: cmd/paperrepro (all tables and figures), cmd/lusim (one
 // configuration), cmd/dpstrace (timing diagrams), cmd/clustersim (the

@@ -1,0 +1,47 @@
+package appmodel_test
+
+import (
+	"fmt"
+
+	"dpsim/internal/appmodel"
+)
+
+// ExampleNew constructs a model from the registry and evaluates its
+// speedup curve: Amdahl's law with a 10% serial fraction plateaus at
+// 1/f = 10 regardless of the allocation.
+func ExampleNew() {
+	m, err := appmodel.New("amdahl", appmodel.Params{"f": 0.1})
+	if err != nil {
+		panic(err)
+	}
+	for _, nodes := range []int{1, 4, 16, 64} {
+		fmt.Printf("%2d nodes: speedup %.2f, efficiency %.2f\n",
+			nodes, m.Rate(100, nodes), m.Efficiency(100, nodes))
+	}
+	// Output:
+	//  1 nodes: speedup 1.00, efficiency 1.00
+	//  4 nodes: speedup 3.08, efficiency 0.77
+	// 16 nodes: speedup 6.40, efficiency 0.40
+	// 64 nodes: speedup 8.77, efficiency 0.14
+}
+
+// ExampleParseSpec resolves a "name(key=value,...)" spec string — the
+// form scenario files, sweep-grid labels and the CLIs' -appmodels flag
+// use — back to a constructed model.
+func ExampleParseSpec() {
+	name, params, err := appmodel.ParseSpec("roofline(sat=4)")
+	if err != nil {
+		panic(err)
+	}
+	m, err := appmodel.New(name, params)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Name())
+	fmt.Printf("speedup on 16 nodes: %g\n", m.Rate(100, 16))
+	fmt.Println(appmodel.FormatSpec(name, params))
+	// Output:
+	// roofline
+	// speedup on 16 nodes: 4
+	// roofline(sat=4)
+}

@@ -1,0 +1,87 @@
+package appmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNamesListsBuiltins: the registry must expose the five analytical
+// families plus the three classic mix shapes.
+func TestNamesListsBuiltins(t *testing.T) {
+	want := []string{"amdahl", "comm-bound", "downey", "fixed", "lu", "roofline", "stencil", "synthetic"}
+	got := Names()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}
+
+// TestNewCaseInsensitive mirrors the sched registry contract.
+func TestNewCaseInsensitive(t *testing.T) {
+	m, err := New("AmDaHl", Params{"f": 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "amdahl" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+	if _, err := New("no-such-model", nil); err == nil || !strings.Contains(err.Error(), "valid:") {
+		t.Fatalf("unknown model error = %v", err)
+	}
+	if _, ok := ByName("ROOFLINE"); !ok {
+		t.Fatal("ByName not case-insensitive")
+	}
+}
+
+// TestParseFormatSpecRoundTrip: FormatSpec output must resolve back to
+// the identical model through ParseSpec, the property grid labels rely
+// on.
+func TestParseFormatSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"fixed",
+		"amdahl(f=0.125)",
+		"downey(A=24,sigma=0.5)",
+		"comm-bound(alpha=0.1,beta=2.5,migrate_s=0.75)",
+		"roofline(ckpt_s=2,sat=8)",
+	}
+	for _, spec := range specs {
+		name, params, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if got := FormatSpec(name, params); got != spec {
+			t.Errorf("round-trip %q -> %q", spec, got)
+		}
+		if _, err := New(name, params); err != nil {
+			t.Errorf("%s: %v", spec, err)
+		}
+	}
+}
+
+// TestParseSpecRejectsMalformed: parse errors must be loud and early.
+func TestParseSpecRejectsMalformed(t *testing.T) {
+	for _, spec := range []string{
+		"", "amdahl(", "amdahl(f=0.1", "(f=1)", "amdahl(f)", "amdahl(=1)",
+		"amdahl(f=NaN)", "amdahl(f=+Inf)", "amdahl(f=x)",
+	} {
+		if _, _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}
+
+// TestRegisterPanics: duplicate or empty registrations are programming
+// errors.
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, f Factory) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Register(%q) did not panic", name)
+			}
+		}()
+		Register(name, f)
+	}
+	mustPanic("", newFixed)
+	mustPanic("nilfactory", nil)
+	mustPanic("FIXED", newFixed) // case-insensitive duplicate
+}

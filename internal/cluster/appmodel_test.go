@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"dpsim/internal/appmodel"
+	"dpsim/internal/availability"
+	"dpsim/internal/lu"
+	"dpsim/internal/rng"
+	"dpsim/internal/sched"
+)
+
+// TestLUPhaseMatchesLUProfile: the registered "lu" model must reproduce
+// LUProfile's per-iteration communication factor bit-for-bit — the
+// equality that makes the scenario layer's registry rewiring golden-safe.
+func TestLUPhaseMatchesLUProfile(t *testing.T) {
+	for _, sz := range []struct{ n, r int }{{1296, 162}, {1296, 108}, {648, 81}, {2592, 324}} {
+		phases := LUProfile(sz.n, sz.r, lu.DefaultCostModel())
+		for k, ph := range phases {
+			if m := appmodel.LUPhase(len(phases), k); m.C != ph.Comm {
+				t.Fatalf("n=%d r=%d k=%d: LUPhase C = %g, LUProfile Comm = %g",
+					sz.n, sz.r, k, m.C, ph.Comm)
+			}
+		}
+	}
+}
+
+// commJobs builds a uniform-comm workload; when attach is set, each job
+// carries the registered comm-factor model equivalent to its phases'
+// Comm field instead of relying on the Comm formula.
+func commJobs(attach bool) []*Job {
+	src := rng.New(3)
+	out := make([]*Job, 24)
+	for i := range out {
+		comm := 0.01 + 0.02*float64(i%5)
+		j := &Job{
+			ID:       i,
+			Arrival:  float64(i) * src.Exp(5),
+			Phases:   SyntheticProfile(4+i%3, 150+7*float64(i), comm),
+			MaxNodes: 2 + i%16,
+		}
+		if attach {
+			j.Model = appmodel.Comm("synthetic", comm)
+		}
+		out[i] = j
+	}
+	return out
+}
+
+// TestModelAttachedBitIdentical: running a workload with registry-backed
+// comm-factor models attached must produce bit-identical Results to the
+// classic Comm-formula path, for every registered policy, on a fixed and
+// on a volatile pool with reconfiguration costs. This pins the cluster
+// layer of the appmodel rewiring: the CommFactor arithmetic is
+// expression-for-expression the Phase formula.
+func TestModelAttachedBitIdentical(t *testing.T) {
+	spec := availability.Spec{Process: "failures", MTTFS: 400, MTTRS: 100, HorizonS: 4000}
+	for _, name := range sched.Names() {
+		for _, volatile := range []bool{false, true} {
+			run := func(jobs []*Job) Result {
+				policy, err := sched.New(name, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sim, err := NewSim(16, policy, jobs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if volatile {
+					changes, err := spec.Generate(16, rng.New(11))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := sim.SetCapacityChanges(changes); err != nil {
+						t.Fatal(err)
+					}
+					if err := sim.SetReconfigCost(ReconfigCost{RedistributionSPerNode: 0.3, LostWorkS: 2}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return sim.Run()
+			}
+			classic := run(commJobs(false))
+			modeled := run(commJobs(true))
+			if got, want := fmt.Sprintf("%+v", modeled), fmt.Sprintf("%+v", classic); got != want {
+				t.Errorf("%s volatile=%v: model-attached run diverged\n got %s\nwant %s",
+					name, volatile, got, want)
+			}
+		}
+	}
+}
+
+// TestModelReconfigHooksCharged: a model's migrate_s/ckpt_s parameters
+// must flow through the cluster's two reconfiguration-cost paths. Two
+// equal jobs share 8 nodes (4+4); an abrupt drop to 4 shrinks both to
+// 2, reclaiming 2 nodes from each:
+//
+//   - lost work = (LostWorkS + ckpt_s) × 2 nodes per job = (1+2)·2·2 = 12
+//   - redistribution = migrate_s per resize of a running job; four
+//     resizes happen — job 0 shrinks 8→4 when job 1 arrives, both shrink
+//     4→2 at the drop, and the first finisher's release regrows the
+//     survivor 2→4 — so 4·1.5 = 6 (the cluster-wide per-node rate is
+//     zero, so the pause is pure model)
+func TestModelReconfigHooksCharged(t *testing.T) {
+	model, err := appmodel.New("synthetic", appmodel.Params{"comm": 0, "migrate_s": 1.5, "ckpt_s": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkJobs := func(attach bool) []*Job {
+		var jobs []*Job
+		for i := 0; i < 2; i++ {
+			j := &Job{ID: i, Phases: []Phase{{Work: 1000}}, MaxNodes: 8}
+			if attach {
+				j.Model = model
+			}
+			jobs = append(jobs, j)
+		}
+		return jobs
+	}
+	run := func(attach bool) Result {
+		sim, err := NewSim(8, sched.Equipartition{}, mkJobs(attach))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.SetCapacityChanges([]availability.Change{{At: 50, Capacity: 4}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.SetReconfigCost(ReconfigCost{LostWorkS: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run()
+	}
+	base := run(false)
+	if base.LostWorkS != 4 || base.RedistributionS != 0 {
+		t.Fatalf("baseline charges: lost=%g redist=%g, want 4, 0", base.LostWorkS, base.RedistributionS)
+	}
+	hooked := run(true)
+	if hooked.LostWorkS != 12 {
+		t.Errorf("hooked lost work = %g, want 12", hooked.LostWorkS)
+	}
+	if hooked.RedistributionS != 6 {
+		t.Errorf("hooked redistribution = %g, want 6", hooked.RedistributionS)
+	}
+}
+
+// TestProcessNextEventZeroAllocModelPhases: the zero-allocation
+// steady-state contract must survive registry-backed models on the hot
+// path — every phase evaluation now goes through an AppModel interface
+// call, and none of the built-in models may allocate.
+func TestProcessNextEventZeroAllocModelPhases(t *testing.T) {
+	models := make([]appmodel.AppModel, 0, len(appmodel.Names()))
+	for _, name := range appmodel.Names() {
+		m, err := appmodel.New(name, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	for _, policy := range sched.Names() {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			jobs := steadyJobs(24, 400, 32)
+			for i, j := range jobs {
+				j.Model = models[i%len(models)]
+			}
+			p, err := sched.New(policy, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := NewSim(32, p, jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 64; i++ {
+				if !sim.ProcessNextEvent() {
+					t.Fatal("workload drained during warm-up")
+				}
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				if !sim.ProcessNextEvent() {
+					t.Fatal("workload drained mid-measurement")
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s: %v allocations per steady-state event with models, want 0", policy, allocs)
+			}
+		})
+	}
+}

@@ -175,7 +175,7 @@ func TestWaitAndFirstStart(t *testing.T) {
 // when the pool returns and all jobs still finish.
 func TestCapacityZeroStalls(t *testing.T) {
 	job := singleJob(80, 1, 8) // 10s flat out
-	sim := avSim(t, 8, sched.EfficiencyGreedy{}, []*Job{job},
+	sim := avSim(t, 8, &sched.EfficiencyGreedy{}, []*Job{job},
 		[]availability.Change{{At: 5, Capacity: 0}, {At: 20, Capacity: 8}}, ReconfigCost{})
 	r := sim.Run()
 	if math.Abs(r.Makespan-25) > 1e-9 { // 5s + 15s outage + 5s
@@ -433,7 +433,7 @@ func TestGeneratedTimelineRuns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sim := avSim(t, 12, sched.EfficiencyGreedy{}, PoissonWorkload(10, 12, 8, 5), ch,
+		sim := avSim(t, 12, &sched.EfficiencyGreedy{}, PoissonWorkload(10, 12, 8, 5), ch,
 			ReconfigCost{RedistributionSPerNode: 0.2, LostWorkS: 1})
 		return sim.Run()
 	}

@@ -21,7 +21,7 @@ func BenchmarkClusterStep(b *testing.B) {
 	run := func(b *testing.B, volatile bool) {
 		events := 0
 		for i := 0; i < b.N; i++ {
-			sim, err := NewSim(16, sched.EfficiencyGreedy{}, PoissonWorkload(60, 16, 4, 7))
+			sim, err := NewSim(16, &sched.EfficiencyGreedy{}, PoissonWorkload(60, 16, 4, 7))
 			if err != nil {
 				b.Fatal(err)
 			}

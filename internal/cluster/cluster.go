@@ -26,6 +26,7 @@ import (
 	"slices"
 	"sort"
 
+	"dpsim/internal/appmodel"
 	"dpsim/internal/availability"
 	"dpsim/internal/eventq"
 	"dpsim/internal/lu"
@@ -674,9 +675,16 @@ func (s *Sim) reallocate() {
 			}
 			js.Remaining -= done
 			// Efficiency accounting: work done at current allocation.
+			// The Model branch sits at the call site so the comm formula
+			// inlines — this loop runs for every active job at every
+			// scheduling event.
 			if js.Alloc > 0 {
 				s.effNum += done
-				s.effDen += done / js.Phase().Efficiency(js.Alloc)
+				if m := js.Job.Model; m == nil {
+					s.effDen += done / js.Phase().Efficiency(js.Alloc)
+				} else {
+					s.effDen += done / m.Efficiency(js.Phase().Work, js.Alloc)
+				}
 			}
 		}
 		js.last = now
@@ -743,42 +751,62 @@ func (s *Sim) reallocate() {
 		newA := s.allocBuf[i]
 		if newA != s.oldAlloc[i] {
 			s.reallocs++
-			if s.abruptNodes > 0 && newA < s.oldAlloc[i] && s.cost.LostWorkS > 0 {
-				// Rollback: in-phase progress on the reclaimed nodes is
-				// gone; completed phases stay committed. Only the nodes
-				// the event actually reclaimed are charged — shrink that
-				// migrates allocation to another job is redistribution,
-				// not loss.
-				n := s.oldAlloc[i] - newA
-				if n > s.abruptNodes {
-					n = s.abruptNodes
+			// Performance models may price their own reconfiguration
+			// (checkpoint distance, migration pause); those charges ride
+			// the same two cost paths as the cluster-wide model. The
+			// assertion allocates nothing, and a zero-cost hook leaves the
+			// charges bit-identical to the hook-free path.
+			var hook appmodel.Reconfigurer
+			if m := js.Job.Model; m != nil {
+				hook, _ = m.(appmodel.Reconfigurer)
+			}
+			if s.abruptNodes > 0 && newA < s.oldAlloc[i] {
+				perNode := s.cost.LostWorkS
+				if hook != nil {
+					perNode += hook.CheckpointLossS()
 				}
-				s.abruptNodes -= n
-				lost := s.cost.LostWorkS * float64(n)
-				if done := js.Phase().Work - js.Remaining; lost > done {
-					lost = done
-				}
-				if lost > 0 {
-					js.Remaining += lost
-					s.lostWork += lost
+				if perNode > 0 {
+					// Rollback: in-phase progress on the reclaimed nodes is
+					// gone; completed phases stay committed. Only the nodes
+					// the event actually reclaimed are charged — shrink that
+					// migrates allocation to another job is redistribution,
+					// not loss.
+					n := s.oldAlloc[i] - newA
+					if n > s.abruptNodes {
+						n = s.abruptNodes
+					}
+					s.abruptNodes -= n
+					lost := perNode * float64(n)
+					if done := js.Phase().Work - js.Remaining; lost > done {
+						lost = done
+					}
+					if lost > 0 {
+						js.Remaining += lost
+						s.lostWork += lost
+					}
 				}
 			}
-			if s.cost.RedistributionSPerNode > 0 && s.oldAlloc[i] > 0 && newA > 0 {
+			if s.oldAlloc[i] > 0 && newA > 0 {
 				delta := newA - s.oldAlloc[i]
 				if delta < 0 {
 					delta = -delta
 				}
 				pause := s.cost.RedistributionSPerNode * float64(delta)
+				if hook != nil {
+					pause += hook.MigrationS(s.oldAlloc[i], newA)
+				}
 				// Overlapping pauses coalesce (one redistribution at a
 				// time); charge only the actual extension so the
 				// accounting matches the dynamics.
-				if until := now.Add(eventq.DurationOf(pause)); until > js.pausedUntil {
-					from := js.pausedUntil
-					if from < now {
-						from = now
+				if pause > 0 {
+					if until := now.Add(eventq.DurationOf(pause)); until > js.pausedUntil {
+						from := js.pausedUntil
+						if from < now {
+							from = now
+						}
+						s.redistS += eventq.Duration(until - from).Seconds()
+						js.pausedUntil = until
 					}
-					s.redistS += eventq.Duration(until - from).Seconds()
-					js.pausedUntil = until
 				}
 			}
 		}
@@ -786,7 +814,11 @@ func (s *Sim) reallocate() {
 		if newA > 0 && js.firstStart < 0 {
 			js.firstStart = now.Seconds()
 		}
-		js.rate = js.Phase().Rate(js.Alloc)
+		if m := js.Job.Model; m == nil {
+			js.rate = js.Phase().Rate(js.Alloc)
+		} else {
+			js.rate = m.Rate(js.Phase().Work, js.Alloc)
+		}
 		if js.ev != nil && js.ev.Scheduled() {
 			s.q.Cancel(js.ev)
 		}
@@ -825,7 +857,11 @@ func (s *Sim) phaseDone(js *jobState) {
 	if dt > 0 && js.rate > 0 && js.Alloc > 0 {
 		done := js.rate * dt
 		s.effNum += done
-		s.effDen += done / js.Phase().Efficiency(js.Alloc)
+		if m := js.Job.Model; m == nil {
+			s.effDen += done / js.Phase().Efficiency(js.Alloc)
+		} else {
+			s.effDen += done / m.Efficiency(js.Phase().Work, js.Alloc)
+		}
 	}
 	js.last = now
 	s.lastJobEvent = now

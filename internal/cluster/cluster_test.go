@@ -106,7 +106,7 @@ func TestEfficiencyGreedyPrefersEfficientJob(t *testing.T) {
 	// Job A parallelizes perfectly; job B saturates quickly.
 	a := &Job{ID: 0, Phases: []Phase{{Work: 30, Comm: 0}}, MaxNodes: 8}
 	b := &Job{ID: 1, Phases: []Phase{{Work: 30, Comm: 0.8}}, MaxNodes: 8}
-	sim, err := NewSim(8, sched.EfficiencyGreedy{}, []*Job{a, b})
+	sim, err := NewSim(8, &sched.EfficiencyGreedy{}, []*Job{a, b})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -87,13 +87,13 @@ func TestInjectMatchesClosedRun(t *testing.T) {
 	closedJobs := PoissonWorkload(20, 8, 5, 11)
 	openJobs := PoissonWorkload(20, 8, 5, 11)
 
-	cs, err := NewSim(8, sched.EfficiencyGreedy{}, closedJobs)
+	cs, err := NewSim(8, &sched.EfficiencyGreedy{}, closedJobs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := cs.Run()
 
-	os, err := NewSim(8, sched.EfficiencyGreedy{}, nil)
+	os, err := NewSim(8, &sched.EfficiencyGreedy{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

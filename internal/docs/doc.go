@@ -1,0 +1,6 @@
+// Package docs holds the repository's documentation-drift checks: a
+// relative-link checker over every markdown file (TestMarkdownLinks),
+// run by CI's docs job alongside the schema-drift tests in
+// internal/scenario (docs/scenario.md) and internal/sweep
+// (docs/output.md). The package itself exports nothing.
+package docs

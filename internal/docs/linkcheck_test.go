@@ -1,0 +1,70 @@
+package docs
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// linkRe matches inline markdown links [text](target); images share the
+// syntax and are checked the same way.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks walks every *.md file of the repository and checks
+// that each relative link target exists — a moved or renamed file fails
+// CI instead of leaving dead references in README/ARCHITECTURE/docs.
+func TestMarkdownLinks(t *testing.T) {
+	root := filepath.Join("..", "..")
+	var mdFiles []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			// Skip VCS internals and test corpora; .github workflows hold
+			// no markdown we publish.
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) < 5 {
+		t.Fatalf("only %d markdown files found under %s", len(mdFiles), root)
+	}
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue // external links and intra-document anchors
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				rel, _ := filepath.Rel(root, md)
+				t.Errorf("%s: broken relative link %q (%v)", rel, m[1], err)
+			}
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package eventq implements the discrete-event core shared by the DPS
+// simulator and the virtual cluster testbed: a virtual clock and a
+// binary min-heap of timestamped events with deterministic tie-breaking.
+//
+// Virtual time is an int64 count of nanoseconds. Fluid models (network
+// bandwidth sharing, processor sharing) compute rates in float64 and
+// round the resulting completion instants to nanoseconds; one nanosecond
+// of quantization is far below every effect the models represent.
+//
+// Two-level tie-breaking makes event order a pure function of the
+// schedule, never of heap internals: events at equal instants order by
+// tier (AtTier; the cluster uses capacity < arrival < phase), and
+// within a tier by FIFO insertion order. This is what lets the cluster
+// simulator's open drive (Inject) execute the identical event sequence
+// as its closed drive even at exact time ties.
+//
+// Fired or cancelled events can be recycled (ReuseAfter, ReuseAtTier):
+// the caller passes the dead event back and the queue re-arms the same
+// object, so a hot loop that continually reschedules one logical event
+// — the cluster's per-job phase completion — allocates nothing in
+// steady state.
+package eventq

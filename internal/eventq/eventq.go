@@ -1,11 +1,3 @@
-// Package eventq implements the discrete-event core shared by the DPS
-// simulator and the virtual cluster testbed: a virtual clock and a binary
-// min-heap of timestamped events with deterministic FIFO tie-breaking.
-//
-// Virtual time is an int64 count of nanoseconds. Fluid models (network
-// bandwidth sharing, processor sharing) compute rates in float64 and
-// round the resulting completion instants to nanoseconds; one nanosecond
-// of quantization is far below every effect the models represent.
 package eventq
 
 import (

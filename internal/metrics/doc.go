@@ -1,0 +1,17 @@
+// Package metrics computes the evaluation quantities of the paper and
+// of the cluster testbed built on it.
+//
+// For the paper's figures: dynamic efficiency (§1, §8, Fig. 11),
+// per-iteration timings, prediction errors and their histogram
+// (Fig. 13).
+//
+// For the sweep harness (internal/sweep): exact sample percentiles
+// (Percentile, PercentileSorted — non-mutating, interpolation-free
+// order statistics) and streaming aggregators that fold unbounded
+// observation streams in O(1) memory — Welford's online mean/variance
+// with a 95% normal-approximation confidence half-width (Welford.CI95)
+// and streamed exact extremes (MinMax). The streaming forms exist so a
+// sweep can aggregate per-cell statistics as replications complete
+// without retaining every per-job sample; only exact percentiles still
+// pool values.
+package metrics

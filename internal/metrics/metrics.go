@@ -1,6 +1,3 @@
-// Package metrics computes the evaluation quantities of the paper:
-// dynamic efficiency (§1, §8, Fig. 11), per-iteration timings, prediction
-// errors and their histogram (Fig. 13).
 package metrics
 
 import (

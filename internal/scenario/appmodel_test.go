@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+const appmodelSpecJSON = `{
+	"name": "appmodel-axis",
+	"nodes": [16],
+	"seed": 42,
+	"jobs": 12,
+	"mix": [
+		{"kind": "lu", "weight": 1},
+		{"kind": "synthetic", "phases": 4, "work_s": 150, "comm": 0.05, "cv": 0.2, "weight": 1},
+		{"kind": "stencil", "grid_n": 648, "iterations": 6, "weight": 1}
+	],
+	"arrivals": {"process": "poisson", "mean_interarrival_s": 8},
+	"schedulers": ["equipartition"],
+	"appmodels": ["mix", "amdahl(f=0.1)", {"name": "downey", "params": {"A": 12, "sigma": 0.5}}]
+}`
+
+// TestAppModelAxisParses: the appmodels block accepts bare names, spec
+// strings and {"name","params"} objects, and labels round-trip as specs.
+func TestAppModelAxisParses(t *testing.T) {
+	spec, err := Parse([]byte(appmodelSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.AppModels) != 3 {
+		t.Fatalf("appmodels = %d", len(spec.AppModels))
+	}
+	want := []string{"mix", "amdahl(f=0.1)", "downey(A=12,sigma=0.5)"}
+	for i, w := range want {
+		if got := spec.AppModels[i].Label(); got != w {
+			t.Errorf("appmodels[%d].Label() = %q, want %q", i, got, w)
+		}
+	}
+	if !spec.AppModels[0].IsMix() {
+		t.Error("first entry not recognized as the mix sentinel")
+	}
+}
+
+// TestAppModelOverrideChangesOutcome: an axis override must actually
+// change the simulated timing (same seed, same workload, different
+// speedup response), while the same cell twice stays bit-identical.
+func TestAppModelOverrideChangesOutcome(t *testing.T) {
+	spec, err := Parse([]byte(appmodelSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runIdx := func(idx int) string {
+		run, err := spec.RunCell(CellParams{Nodes: 16, Load: 1, AppModelIdx: idx, Seed: spec.Seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", run.Result)
+	}
+	if runIdx(1) != runIdx(1) {
+		t.Error("same appmodel cell not deterministic")
+	}
+	if runIdx(0) == runIdx(1) || runIdx(1) == runIdx(2) {
+		t.Error("distinct appmodels produced identical results")
+	}
+}
+
+// TestMixSentinelBitIdentical: selecting the "mix" axis entry, forcing
+// the native baseline with AppModelIdx -1, and running a spec with no
+// appmodels block at all must all produce bit-identical results — the
+// axis's zero point is exactly the historical simulator.
+func TestMixSentinelBitIdentical(t *testing.T) {
+	withAxis, err := Parse([]byte(appmodelSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noAxis, err := Parse([]byte(strings.Replace(appmodelSpecJSON,
+		`"appmodels": ["mix", "amdahl(f=0.1)", {"name": "downey", "params": {"A": 12, "sigma": 0.5}}]`,
+		`"appmodels": []`, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(s *Spec, p CellParams) string {
+		p.Nodes, p.Load, p.Seed = 16, 1, s.Seed
+		r, err := s.RunCell(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", r.Result)
+	}
+	base := run(noAxis, CellParams{})
+	if got := run(withAxis, CellParams{AppModelIdx: 0}); got != base {
+		t.Error("mix axis entry diverged from the axis-free baseline")
+	}
+	if got := run(withAxis, CellParams{AppModelIdx: -1}); got != base {
+		t.Error("AppModelIdx -1 diverged from the axis-free baseline")
+	}
+	if got := run(withAxis, CellParams{AppModel: "mix"}); got != base {
+		t.Error("explicit \"mix\" spec diverged from the axis-free baseline")
+	}
+}
+
+// TestAppModelSpecStringSelectsModel: CellParams.AppModel spec strings
+// resolve like scheduler spec strings, and the same model via index or
+// string is bit-identical.
+func TestAppModelSpecStringSelectsModel(t *testing.T) {
+	spec, err := Parse([]byte(appmodelSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byIdx, err := spec.RunCell(CellParams{Nodes: 16, Load: 1, AppModelIdx: 1, Seed: spec.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySpec, err := spec.RunCell(CellParams{Nodes: 16, Load: 1, AppModel: "amdahl(f=0.1)", Seed: spec.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", byIdx.Result) != fmt.Sprintf("%+v", bySpec.Result) {
+		t.Error("index and spec-string selection diverged")
+	}
+	if _, err := spec.RunCell(CellParams{Nodes: 16, Load: 1, AppModel: "amdahl(nope=1)", Seed: 1}); err == nil {
+		t.Error("bad model spec accepted")
+	}
+	if _, err := spec.RunCell(CellParams{Nodes: 16, Load: 1, AppModelIdx: 7, Seed: 1}); err == nil {
+		t.Error("out-of-range appmodel index accepted")
+	}
+}
+
+// TestAppModelValidation: unknown names and parameterized sentinels must
+// fail at Validate with the block's index in the message.
+func TestAppModelValidation(t *testing.T) {
+	bad := strings.Replace(appmodelSpecJSON, `"amdahl(f=0.1)"`, `"warp-drive"`, 1)
+	if _, err := Parse([]byte(bad)); err == nil || !strings.Contains(err.Error(), "appmodels[1]") {
+		t.Errorf("unknown model error = %v", err)
+	}
+	bad = strings.Replace(appmodelSpecJSON, `"appmodels": ["mix"`,
+		`"appmodels": [{"name": "mix", "params": {"f": 1}}`, 1)
+	if _, err := Parse([]byte(bad)); err == nil || !strings.Contains(err.Error(), "no parameters") {
+		t.Errorf("parameterized mix error = %v", err)
+	}
+}
+
+// TestParseAppModelList: the CLI list splitter is paren-aware and
+// rejects empty entries.
+func TestParseAppModelList(t *testing.T) {
+	list, err := ParseAppModelList("mix,amdahl(f=0.1),downey(A=8,sigma=2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 || list[2].Label() != "downey(A=8,sigma=2)" {
+		t.Fatalf("list = %+v", list)
+	}
+	for _, arg := range []string{"", "a,,b", "amdahl(f=0.1"} {
+		if _, err := ParseAppModelList(arg); err == nil {
+			t.Errorf("ParseAppModelList(%q) accepted", arg)
+		}
+	}
+	spec, err := Parse([]byte(appmodelSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.ApplyAppModelOverride("roofline(sat=4),fixed"); err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.AppModels) != 2 || spec.AppModels[0].Label() != "roofline(sat=4)" {
+		t.Fatalf("override = %+v", spec.AppModels)
+	}
+	if err := spec.ApplyAppModelOverride("not-a-model"); err == nil {
+		t.Error("override with unknown model accepted")
+	}
+}

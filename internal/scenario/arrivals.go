@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"dpsim/internal/appmodel"
 	"dpsim/internal/cluster"
 	"dpsim/internal/rng"
 	"dpsim/internal/trace"
@@ -120,7 +121,29 @@ type JobStream struct {
 	scale  float64 // time compression: arrival · 1/load
 	i      int
 
+	// model, when non-nil, overrides every streamed job's phase
+	// performance models (the sweep grid's appmodel axis). Cost-free
+	// comm-factor models are lowered onto Phase.Comm instead (lowerOK),
+	// keeping the simulator's inlined fast path: the curves are
+	// bit-identical by construction.
+	model     appmodel.AppModel
+	lowerComm float64
+	lowerOK   bool
+
 	nextID int
+}
+
+// SetAppModel installs a performance-model override: every job the
+// stream yields — generated and replayed alike — has each phase's
+// performance response replaced by m, keeping the work profile. A nil m
+// restores the mix's native models. Overriding consumes no randomness,
+// so the job stream is otherwise bit-identical.
+func (st *JobStream) SetAppModel(m appmodel.AppModel) {
+	st.model = m
+	st.lowerComm, st.lowerOK = 0, false
+	if cf, ok := m.(appmodel.CommFactor); ok && cf.Costs == (appmodel.Costs{}) {
+		st.lowerComm, st.lowerOK = cf.C, true
+	}
 }
 
 // Stream builds the deterministic job stream of one grid cell: the
@@ -220,6 +243,14 @@ func (st *JobStream) Next() (*cluster.Job, bool) {
 	if st.horizon > 0 && job.Arrival > st.horizon {
 		st.count = 0
 		return nil, false
+	}
+	switch {
+	case st.lowerOK:
+		for i := range job.Phases {
+			job.Phases[i].Comm = st.lowerComm
+		}
+	case st.model != nil:
+		job.Model = st.model
 	}
 	job.ID = st.nextID
 	st.nextID++

@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// docJSONBlocks extracts the fenced ```json code blocks of a markdown
+// file (```jsonc blocks are illustrative fragments and skipped).
+func docJSONBlocks(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks []string
+	lines := strings.Split(string(data), "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```json" {
+			continue
+		}
+		var b strings.Builder
+		for i++; i < len(lines) && strings.TrimSpace(lines[i]) != "```"; i++ {
+			b.WriteString(lines[i])
+			b.WriteByte('\n')
+		}
+		blocks = append(blocks, b.String())
+	}
+	return blocks
+}
+
+// TestScenarioDocExamplesParse: every ```json block in docs/scenario.md
+// must be a complete scenario that parses and validates — documentation
+// examples may not drift from the schema.
+func TestScenarioDocExamplesParse(t *testing.T) {
+	doc := filepath.Join("..", "..", "docs", "scenario.md")
+	blocks := docJSONBlocks(t, doc)
+	if len(blocks) < 5 {
+		t.Fatalf("only %d json examples found in %s", len(blocks), doc)
+	}
+	for i, block := range blocks {
+		if _, err := Parse([]byte(block)); err != nil {
+			t.Errorf("docs/scenario.md example %d does not validate: %v\n%s", i, err, block)
+		}
+	}
+}
+
+// jsonKeys collects every object key of a decoded JSON value,
+// recursively.
+func jsonKeys(v any, into map[string]bool) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			into[k] = true
+			jsonKeys(sub, into)
+		}
+	case []any:
+		for _, sub := range x {
+			jsonKeys(sub, into)
+		}
+	}
+}
+
+// TestScenarioDocCoversExampleKeys: every key appearing in any shipped
+// example scenario must be mentioned in docs/scenario.md (backticked or
+// inside a JSON example) — adding a schema field to an example without
+// documenting it fails CI.
+func TestScenarioDocCoversExampleKeys(t *testing.T) {
+	docData, err := os.ReadFile(filepath.Join("..", "..", "docs", "scenario.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(docData)
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example scenarios found")
+	}
+	missing := make(map[string][]string)
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		keys := make(map[string]bool)
+		jsonKeys(v, keys)
+		for key := range keys {
+			if !strings.Contains(doc, "`"+key+"`") && !strings.Contains(doc, fmt.Sprintf("%q", key)) {
+				missing[key] = append(missing[key], filepath.Base(path))
+			}
+		}
+	}
+	var keys []string
+	for k := range missing {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t.Errorf("key %q (used by %v) is not documented in docs/scenario.md", k, missing[k])
+	}
+}

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"dpsim/internal/appmodel"
 	"dpsim/internal/cluster"
 	"dpsim/internal/lu"
 	"dpsim/internal/rng"
@@ -42,6 +43,15 @@ func (s *Spec) sampleBody(r *rng.Source, nodes int) ([]cluster.Phase, int, float
 	return m.phases(r), maxNodes, m.JobWeight
 }
 
+// phases expands one mix component into a job profile. The historical
+// lu/synthetic/stencil shapes are registered comm-factor models
+// (appmodel.CommFactor) whose curves are the Phase.Comm formula
+// bit-for-bit, so the generator lowers them onto the Comm field and
+// leaves Model nil — the simulator's inlined fast path. Validation
+// constructs each component's registry model (registry-range-checking
+// its parameters), and the equality of the lowered values with the
+// registered models is pinned by tests at the appmodel and cluster
+// layers.
 func (m MixSpec) phases(r *rng.Source) []cluster.Phase {
 	switch m.Kind {
 	case "lu":
@@ -50,31 +60,29 @@ func (m MixSpec) phases(r *rng.Source) []cluster.Phase {
 			sz := luSizes[r.Intn(len(luSizes))]
 			n, rr = sz.n, sz.r
 		}
+		// Per-iteration comm factors equal appmodel.LUPhase(blocks, k).C
+		// (pinned by TestLUPhaseMatchesLUProfile).
 		return cluster.LUProfile(n, rr, lu.DefaultCostModel())
 	case "synthetic":
 		work := m.WorkS * r.LogNormal(m.CV)
 		return cluster.SyntheticProfile(m.Phases, work, m.Comm)
 	case "stencil":
-		return stencilProfile(m.GridN, m.Iterations, m.FlopsPerSec)
+		return m.stencilPhases()
 	}
 	panic("scenario: unvalidated mix kind " + m.Kind)
 }
 
-// stencilProfile derives a cluster job profile from the Jacobi
+// stencilPhases derives a cluster job profile from the Jacobi
 // heat-diffusion solver of internal/stencil: each iteration's serial work
 // is the 5-flops-per-cell sweep over the n×n grid, and the communication
-// factor is the ratio of one band's halo exchange (two n-row messages over
-// the paper's Fast Ethernet, 100 µs + 8n/12.5e6 s each) to its share of
-// the compute — the per-node overhead that eff(p) = 1/(1+c(p-1)) charges
-// once per extra node.
-func stencilProfile(n, iterations int, flops float64) []cluster.Phase {
-	if flops <= 0 {
-		flops = 63e6 // the paper's UltraSparc II calibration
-	}
-	work := 5 * float64(n) * float64(n) / flops
-	halo := 2 * (100e-6 + 8*float64(n)/12.5e6)
-	comm := halo / work
-	out := make([]cluster.Phase, iterations)
+// factor (appmodel.StencilComm, the registered "stencil" model's curve)
+// is the ratio of one band's halo exchange to its share of the compute —
+// the per-node overhead that eff(p) = 1/(1+c(p-1)) charges once per
+// extra node.
+func (m MixSpec) stencilPhases() []cluster.Phase {
+	work := appmodel.StencilWork(m.GridN, m.FlopsPerSec)
+	comm := appmodel.StencilComm(m.GridN, m.FlopsPerSec)
+	out := make([]cluster.Phase, m.Iterations)
 	for i := range out {
 		out[i] = cluster.Phase{Work: work, Comm: comm}
 	}

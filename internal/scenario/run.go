@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 
+	"dpsim/internal/appmodel"
 	"dpsim/internal/cluster"
 	"dpsim/internal/eventq"
 	"dpsim/internal/rng"
@@ -24,7 +25,14 @@ type CellParams struct {
 	// AvailIdx indexes Spec.Availability; any value is the fixed pool
 	// when the spec lists no availability processes, and -1 forces it.
 	AvailIdx int
-	Seed     uint64
+	// AppModel selects the application performance model as a spec
+	// string — "mix" (the native per-component models), a registered
+	// model name, or "name(key=value,...)". When empty, AppModelIdx
+	// indexes Spec.AppModels instead: any value is the native baseline
+	// when the spec lists no appmodels, and -1 forces it.
+	AppModel    string
+	AppModelIdx int
+	Seed        uint64
 }
 
 // CellRun is the outcome of one simulated replication.
@@ -57,10 +65,30 @@ func (s *Spec) RunCell(p CellParams) (*CellRun, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
+	var amSpec AppModelSpec
+	switch {
+	case p.AppModel != "":
+		name, params, err := appmodel.ParseSpec(p.AppModel)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		amSpec = AppModelSpec{Name: name, Params: params}
+	case len(s.AppModels) == 0 || p.AppModelIdx < 0:
+		amSpec = AppModelSpec{Name: MixModel}
+	case p.AppModelIdx < len(s.AppModels):
+		amSpec = s.AppModels[p.AppModelIdx]
+	default:
+		return nil, fmt.Errorf("scenario: appmodel index %d out of range", p.AppModelIdx)
+	}
+	model, err := amSpec.New()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
 	stream, err := s.Stream(p.ArrivalIdx, p.Nodes, p.Load, p.Seed)
 	if err != nil {
 		return nil, err
 	}
+	stream.SetAppModel(model)
 	sim, err := cluster.NewSim(p.Nodes, policy, nil)
 	if err != nil {
 		return nil, err
@@ -126,11 +154,16 @@ func (s *Spec) RunCell(p CellParams) (*CellRun, error) {
 }
 
 // idealRuntime is the job's runtime with MaxNodes held exclusively for
-// every phase — the denominator of the bounded-slowdown metric.
+// every phase — the denominator of the bounded-slowdown metric — under
+// the job's performance model when it carries one.
 func idealRuntime(j *cluster.Job) float64 {
 	var t float64
 	for _, ph := range j.Phases {
-		if rate := ph.Rate(j.MaxNodes); rate > 0 {
+		rate := ph.Rate(j.MaxNodes)
+		if j.Model != nil {
+			rate = j.Model.Rate(ph.Work, j.MaxNodes)
+		}
+		if rate > 0 {
 			t += ph.Work / rate
 		}
 	}

@@ -26,6 +26,16 @@
 // (internal/availability: maintenance windows, failures, spot
 // preemption, churn, capacity-trace replay) as another grid axis, plus a
 // reconfiguration-cost model priced by the cluster simulator.
+//
+// A scenario may also declare an application performance-model axis
+// ("appmodels", internal/appmodel): each entry overrides every job's
+// speedup response — Amdahl, Downey A–σ, comm-bound, roofline, fixed —
+// while "mix" keeps the components' native models. The job mixes
+// themselves are registry-backed: their comm factors are the registered
+// lu/synthetic/stencil models' curves, lowered onto the phases' Comm
+// field (the simulator's inlined fast path), bit-identically.
+//
+// See docs/scenario.md for the complete JSON schema reference.
 package scenario
 
 import (
@@ -35,6 +45,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"dpsim/internal/appmodel"
 	"dpsim/internal/availability"
 	"dpsim/internal/sched"
 )
@@ -79,6 +90,14 @@ type Spec struct {
 	// baseline). Empty means the pool never changes. The JSON value may
 	// be a single object or an array.
 	Availability AvailabilityList `json:"availability,omitempty"`
+	// AppModels lists application performance models forming another
+	// grid axis (internal/appmodel registry). Each entry is a bare model
+	// name or spec string ("amdahl(f=0.1)") or a {"name", "params"}
+	// object; the sentinel "mix" is the native baseline where every mix
+	// component keeps its own registered model. Empty means native
+	// models only (no extra axis). The JSON value may be a single entry
+	// or an array.
+	AppModels AppModelList `json:"appmodels,omitempty"`
 	// Reconfig prices dynamic reconfiguration (applies to every cell);
 	// nil means reconfiguration is free, the classic simulator.
 	Reconfig *ReconfigSpec `json:"reconfig,omitempty"`
@@ -139,23 +158,19 @@ func (sp *SchedulerSpec) validate() error {
 // like ArrivalList.
 type SchedulerList []SchedulerSpec
 
-// ParseSchedulerList splits a comma-separated CLI scheduler list into
-// specs. Commas inside a parameter list — "a(x=1,y=2),b" — belong to
-// the spec, so splitting tracks parenthesis depth. Entries are not yet
-// validated; Spec.Validate resolves them.
-func ParseSchedulerList(arg string) (SchedulerList, error) {
-	var list SchedulerList
+// splitSpecs splits a comma-separated CLI spec list into tokens. Commas
+// inside a parameter list — "a(x=1,y=2),b" — belong to the spec, so
+// splitting tracks parenthesis depth. Empty tokens are an error (what is
+// the name of the item before ",,"?).
+func splitSpecs(arg, what string) ([]string, error) {
+	var toks []string
 	depth, start := 0, 0
 	flush := func(tok string) error {
 		tok = strings.TrimSpace(tok)
 		if tok == "" {
-			return fmt.Errorf("scenario: empty scheduler spec in %q", arg)
+			return fmt.Errorf("scenario: empty %s spec in %q", what, arg)
 		}
-		name, params, err := sched.ParseSpec(tok)
-		if err != nil {
-			return err
-		}
-		list = append(list, SchedulerSpec{Name: name, Params: params})
+		toks = append(toks, tok)
 		return nil
 	}
 	for i := 0; i < len(arg); i++ {
@@ -175,6 +190,24 @@ func ParseSchedulerList(arg string) (SchedulerList, error) {
 	}
 	if err := flush(arg[start:]); err != nil {
 		return nil, err
+	}
+	return toks, nil
+}
+
+// ParseSchedulerList splits a comma-separated CLI scheduler list into
+// specs. Entries are not yet validated; Spec.Validate resolves them.
+func ParseSchedulerList(arg string) (SchedulerList, error) {
+	toks, err := splitSpecs(arg, "scheduler")
+	if err != nil {
+		return nil, err
+	}
+	var list SchedulerList
+	for _, tok := range toks {
+		name, params, err := sched.ParseSpec(tok)
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, SchedulerSpec{Name: name, Params: params})
 	}
 	return list, nil
 }
@@ -204,6 +237,129 @@ func (l *SchedulerList) UnmarshalJSON(data []byte) error {
 	}
 	*l = SchedulerList{one}
 	return nil
+}
+
+// AppModelSpec selects one application performance model of the grid: a
+// registered model name (appmodel.Names(), case-insensitive) plus
+// optional construction parameters, or the sentinel "mix" — the native
+// baseline where every mix component keeps its own registered model. In
+// scenario JSON an entry may be a bare string (a name or a full
+// "name(key=value,...)" spec) or a {"name": ..., "params": {...}}
+// object.
+type AppModelSpec struct {
+	Name   string          `json:"name"`
+	Params appmodel.Params `json:"params,omitempty"`
+}
+
+// MixModel is the sentinel AppModelSpec name selecting each mix
+// component's native model (no override).
+const MixModel = "mix"
+
+// UnmarshalJSON implements json.Unmarshaler: a bare string is a model
+// name or spec string.
+func (ap *AppModelSpec) UnmarshalJSON(data []byte) error {
+	var spec string
+	if err := json.Unmarshal(data, &spec); err == nil {
+		name, params, err := appmodel.ParseSpec(spec)
+		if err != nil {
+			return err
+		}
+		*ap = AppModelSpec{Name: name, Params: params}
+		return nil
+	}
+	type plain AppModelSpec
+	var p plain
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	*ap = AppModelSpec(p)
+	return nil
+}
+
+// Label names the model for reports and CSV columns, parameters
+// included: "amdahl(f=0.1)". The label is itself a valid model spec
+// (appmodel.ParseSpec round-trips it), so an exported grid row fully
+// identifies its performance model.
+func (ap AppModelSpec) Label() string { return appmodel.FormatSpec(ap.Name, ap.Params) }
+
+// IsMix reports whether the spec is the native-model sentinel.
+func (ap AppModelSpec) IsMix() bool { return strings.EqualFold(ap.Name, MixModel) }
+
+// New constructs the model instance, or nil for the "mix" sentinel
+// (models are immutable, so one instance serves a whole run).
+func (ap AppModelSpec) New() (appmodel.AppModel, error) {
+	if ap.IsMix() {
+		return nil, nil
+	}
+	return appmodel.New(ap.Name, ap.Params)
+}
+
+// validate resolves the model once, failing fast on unknown names or
+// parameters, and canonicalizes the name for stable labels.
+func (ap *AppModelSpec) validate() error {
+	if ap.IsMix() {
+		if len(ap.Params) > 0 {
+			return fmt.Errorf("appmodel sentinel %q takes no parameters", MixModel)
+		}
+		ap.Name = MixModel
+		return nil
+	}
+	m, err := ap.New()
+	if err != nil {
+		return err
+	}
+	ap.Name = m.Name()
+	return nil
+}
+
+// AppModelList unmarshals from a single entry or an array of entries,
+// like SchedulerList.
+type AppModelList []AppModelSpec
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (l *AppModelList) UnmarshalJSON(data []byte) error {
+	var many []AppModelSpec
+	if err := json.Unmarshal(data, &many); err == nil {
+		*l = many
+		return nil
+	}
+	var one AppModelSpec
+	if err := json.Unmarshal(data, &one); err != nil {
+		return err
+	}
+	*l = AppModelList{one}
+	return nil
+}
+
+// ParseAppModelList splits a comma-separated CLI appmodel list into
+// specs (paren-aware, like ParseSchedulerList). Entries are not yet
+// validated; Spec.Validate resolves them.
+func ParseAppModelList(arg string) (AppModelList, error) {
+	toks, err := splitSpecs(arg, "appmodel")
+	if err != nil {
+		return nil, err
+	}
+	var list AppModelList
+	for _, tok := range toks {
+		name, params, err := appmodel.ParseSpec(tok)
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, AppModelSpec{Name: name, Params: params})
+	}
+	return list, nil
+}
+
+// ApplyAppModelOverride replaces the spec's appmodel axis with a
+// CLI-provided comma-separated list and re-validates the spec — the
+// shared implementation of both CLIs' -appmodels flags.
+func (s *Spec) ApplyAppModelOverride(arg string) error {
+	list, err := ParseAppModelList(arg)
+	if err != nil {
+		return err
+	}
+	s.AppModels = list
+	return s.Validate()
 }
 
 // ReconfigSpec is the JSON form of cluster.ReconfigCost.
@@ -406,6 +562,11 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("availability[%d]: %w", i, err)
 		}
 	}
+	for i := range s.AppModels {
+		if err := s.AppModels[i].validate(); err != nil {
+			return fmt.Errorf("appmodels[%d]: %w", i, err)
+		}
+	}
 	if s.Reconfig != nil && (s.Reconfig.RedistributionSPerNode < 0 || s.Reconfig.LostWorkS < 0) {
 		return fmt.Errorf("reconfig costs must be >= 0")
 	}
@@ -497,9 +658,22 @@ func (m *MixSpec) validate() error {
 		if m.Comm < 0 || m.CV < 0 {
 			return fmt.Errorf("synthetic comm and cv must be >= 0")
 		}
+		// The component's curve is the registered "synthetic" model;
+		// construct it so registry range checks apply (the generator
+		// lowers the curve onto Phase.Comm, the inlined fast path).
+		if _, err := appmodel.New("synthetic", appmodel.Params{"comm": m.Comm}); err != nil {
+			return err
+		}
 	case "stencil":
 		if m.GridN <= 0 || m.Iterations <= 0 {
 			return fmt.Errorf("stencil needs grid_n > 0 and iterations > 0")
+		}
+		if m.FlopsPerSec < 0 {
+			return fmt.Errorf("stencil flops_per_sec must be >= 0")
+		}
+		if _, err := appmodel.New("stencil",
+			appmodel.Params{"grid_n": float64(m.GridN), "flops": m.FlopsPerSec}); err != nil {
+			return err
 		}
 	default:
 		return fmt.Errorf("unknown mix kind %q", m.Kind)

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"dpsim/internal/appmodel"
 	"dpsim/internal/cluster"
 	"dpsim/internal/sched"
 	"dpsim/internal/trace"
@@ -344,7 +345,7 @@ func TestArrivalLabels(t *testing.T) {
 }
 
 func TestStencilProfileShape(t *testing.T) {
-	phases := stencilProfile(648, 5, 0)
+	phases := MixSpec{Kind: "stencil", GridN: 648, Iterations: 5}.stencilPhases()
 	if len(phases) != 5 {
 		t.Fatalf("phases = %d", len(phases))
 	}
@@ -353,8 +354,14 @@ func TestStencilProfileShape(t *testing.T) {
 			t.Fatalf("phase = %+v", ph)
 		}
 	}
+	// Native mixes lower their comm-factor model onto Phase.Comm (the
+	// inlined fast path); the value must match the registered "stencil"
+	// model's curve.
+	if want := appmodel.StencilComm(648, 0); phases[0].Comm != want {
+		t.Fatalf("stencil comm = %g, want registered model's %g", phases[0].Comm, want)
+	}
 	// Bigger grids amortize the halo: comm factor must shrink.
-	big := stencilProfile(2592, 1, 0)
+	big := MixSpec{Kind: "stencil", GridN: 2592, Iterations: 1}.stencilPhases()
 	if big[0].Comm >= phases[0].Comm {
 		t.Fatalf("comm not shrinking with grid: %v vs %v", big[0].Comm, phases[0].Comm)
 	}

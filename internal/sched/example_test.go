@@ -1,0 +1,44 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"dpsim/internal/sched"
+)
+
+// ExampleParseSpec shows how CLI flags and grid labels resolve to
+// policies: a spec string is a registered name with optional
+// key=value parameters, and FormatSpec renders the canonical label
+// that round-trips back to the identical policy.
+func ExampleParseSpec() {
+	name, params, err := sched.ParseSpec("malleable-hysteresis(epoch_s=45,min_delta=2)")
+	if err != nil {
+		panic(err)
+	}
+	policy, err := sched.New(name, params)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(policy.Name())
+	fmt.Println(sched.FormatSpec(name, params))
+	// Output:
+	// malleable-hysteresis
+	// malleable-hysteresis(epoch_s=45,min_delta=2)
+}
+
+// ExampleNames lists the registered policies — the valid scheduler
+// names for scenario files and CLI flags.
+func ExampleNames() {
+	for _, name := range sched.Names() {
+		fmt.Println(name)
+	}
+	// Output:
+	// easy-backfill
+	// efficiency-greedy
+	// equipartition
+	// fair-share
+	// malleable-hysteresis
+	// moldable
+	// rigid-fcfs
+	// sjf-moldable
+}

@@ -69,10 +69,19 @@ func (m *Moldable) Allocate(st State, out []int) {
 }
 
 // moldWidth is the largest allocation whose first-phase efficiency stays
-// above the threshold, bounded by the job's request.
+// above the threshold, bounded by the job's request. The model branch
+// sits outside the width loop so the comm formula inlines.
 func moldWidth(js JobState, minEff float64) int {
 	ph := js.Job.Phases[0]
 	want := 1
+	if m := js.Job.Model; m != nil {
+		for p := 2; p <= js.Job.MaxNodes; p++ {
+			if modelEfficiency(m, ph.Work, p) >= minEff {
+				want = p
+			}
+		}
+		return want
+	}
 	for p := 2; p <= js.Job.MaxNodes; p++ {
 		if ph.Efficiency(p) >= minEff {
 			want = p

@@ -26,7 +26,11 @@
 // invariants by CheckInvariants for free.
 package sched
 
-import "math"
+import (
+	"math"
+
+	"dpsim/internal/appmodel"
+)
 
 // Phase is one stage of an application with roughly constant parallel
 // behavior (an LU iteration, a solver sweep, ...).
@@ -34,11 +38,15 @@ type Phase struct {
 	// Work is the phase's serial execution time in seconds.
 	Work float64
 	// Comm is the communication/imbalance factor: efficiency on p nodes
-	// is 1/(1+Comm·(p-1)). Zero means perfectly parallel.
+	// is 1/(1+Comm·(p-1)). Zero means perfectly parallel. It is ignored
+	// when the owning Job carries a performance Model.
 	Comm float64
 }
 
-// Efficiency returns the dynamic efficiency of the phase on p nodes.
+// Efficiency returns the dynamic efficiency of the phase on p nodes
+// under the Comm formula. Jobs with an attached performance model
+// override this curve: model-aware callers must use JobState.EffAt (or
+// branch on Job.Model like the built-in policies do).
 func (ph Phase) Efficiency(p int) float64 {
 	if p <= 0 {
 		return 0
@@ -46,9 +54,26 @@ func (ph Phase) Efficiency(p int) float64 {
 	return 1 / (1 + ph.Comm*float64(p-1))
 }
 
-// Rate returns the phase's progress in work-seconds per second on p nodes.
+// Rate returns the phase's progress in work-seconds per second on p
+// nodes under the Comm formula. See Efficiency for the model caveat.
 func (ph Phase) Rate(p int) float64 {
 	return float64(p) * ph.Efficiency(p)
+}
+
+// modelEfficiency and modelRate evaluate an attached performance model;
+// they guard the no-allocation case so models never see p <= 0.
+func modelEfficiency(m appmodel.AppModel, work float64, p int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return m.Efficiency(work, p)
+}
+
+func modelRate(m appmodel.AppModel, work float64, p int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return m.Rate(work, p)
 }
 
 // Job is one application submitted to the cluster.
@@ -62,6 +87,14 @@ type Job struct {
 	// Weight 2 is entitled to twice the share of a job with Weight 1.
 	// Zero means 1; policies that are not share-based ignore it.
 	Weight float64
+	// Model, when non-nil, is the job's application performance model
+	// (internal/appmodel): every phase's rate and efficiency come from
+	// it instead of the phase's Comm formula. The scenario layer sets it
+	// for the sweep grid's appmodel axis; nil is the classic
+	// communication-factor application. (Per-phase response variation is
+	// expressed through Comm — the comm-factor family — so one model per
+	// job covers the registered analytical families.)
+	Model appmodel.AppModel
 }
 
 // TotalWork returns the job's serial running time.
@@ -96,14 +129,44 @@ func (js JobState) RemainingWork() float64 {
 	return w
 }
 
+// EffAt returns the current phase's dynamic efficiency on p nodes under
+// the job's performance model (the phase's Comm formula when the job
+// has none). Policies that are not allocation-evaluation hot loops
+// should prefer this over Phase.Efficiency — it is model-correct by
+// construction.
+func (js JobState) EffAt(p int) float64 {
+	if m := js.Job.Model; m != nil {
+		return modelEfficiency(m, js.Phase().Work, p)
+	}
+	return js.Phase().Efficiency(p)
+}
+
+// RateAt is the model-aware analog of Phase.Rate for the current phase.
+func (js JobState) RateAt(p int) float64 {
+	if m := js.Job.Model; m != nil {
+		return modelRate(m, js.Phase().Work, p)
+	}
+	return js.Phase().Rate(p)
+}
+
 // EstRemaining estimates the job's remaining runtime on p nodes: the
 // current phase's remaining work plus every later phase, each at the
-// phase's own dynamic-efficiency rate. This is the runtime estimate
-// backfilling policies use — it comes straight from the per-phase work
-// profile the DPS simulator predicts.
+// phase's own dynamic-efficiency rate (or the job's performance model).
+// This is the runtime estimate backfilling policies use — it comes
+// straight from the per-phase work profile the DPS simulator predicts.
 func (js JobState) EstRemaining(p int) float64 {
 	if p <= 0 {
 		return math.Inf(1)
+	}
+	// The model branch sits outside the phase walk so the comm formula
+	// inlines: this loop covers every remaining phase, per candidate
+	// width, per scheduling event.
+	if m := js.Job.Model; m != nil {
+		t := js.Remaining / modelRate(m, js.Phase().Work, p)
+		for k := js.PhaseIdx + 1; k < len(js.Job.Phases); k++ {
+			t += js.Job.Phases[k].Work / modelRate(m, js.Job.Phases[k].Work, p)
+		}
+		return t
 	}
 	t := js.Remaining / js.Phase().Rate(p)
 	for k := js.PhaseIdx + 1; k < len(js.Job.Phases); k++ {
@@ -140,6 +203,11 @@ type State struct {
 // instance) rather than allocating per call. Policies may keep per-run
 // state (hysteresis clocks, scratch buffers) — resolve a fresh instance
 // per simulation.
+//
+// Policies that evaluate phase rates or efficiencies must respect the
+// job's performance model: use JobState.RateAt/EffAt/EstRemaining
+// (model-aware by construction), or branch on Job.Model like the
+// built-in policies do when the evaluation sits in a hot loop.
 type Scheduler interface {
 	Name() string
 	Allocate(st State, out []int)

@@ -9,11 +9,15 @@ import (
 )
 
 // csvHeader is the stable column order of WriteCSV.
-const csvHeader = "scenario,arrival,availability,nodes,load,scheduler,replications,jobs,unfinished," +
+const csvHeader = "scenario,arrival,availability,nodes,load,scheduler,appmodel,replications,jobs,unfinished," +
 	"mean_response_s,p50_response_s,p95_response_s,p99_response_s,mean_wait_s," +
 	"mean_makespan_s,mean_utilization,mean_avail_utilization,mean_slowdown," +
 	"mean_reallocations,mean_capacity_events,mean_lost_work_s,mean_redistribution_s," +
 	"ci95_response_s,ci95_makespan_s,min_response_s,max_response_s"
+
+// CSVColumns returns WriteCSV's column names in order — the authoritative
+// list docs/output.md is pinned against (see TestOutputDocColumns).
+func CSVColumns() []string { return strings.Split(csvHeader, ",") }
 
 // WriteCSV renders the aggregates as CSV, one row per cell in grid order.
 // Fields are RFC 4180-quoted when needed (scenario names and trace labels
@@ -27,7 +31,7 @@ func WriteCSV(w io.Writer, scenarioName string, stats []CellStats) error {
 	for _, st := range stats {
 		row := []string{
 			scenarioName, st.Arrival, st.Avail,
-			fmt.Sprintf("%d", st.Nodes), fmt.Sprintf("%g", st.Load), st.Scheduler,
+			fmt.Sprintf("%d", st.Nodes), fmt.Sprintf("%g", st.Load), st.Scheduler, st.AppModel,
 			fmt.Sprintf("%d", st.Replications), fmt.Sprintf("%d", st.Jobs),
 			fmt.Sprintf("%d", st.Unfinished),
 			fmt.Sprintf("%g", st.MeanResponse), fmt.Sprintf("%g", st.P50Response),

@@ -2,6 +2,8 @@ package sweep
 
 import (
 	"encoding/csv"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -11,7 +13,7 @@ import (
 // corrupting the column layout.
 func TestWriteCSVQuotesSpecialFields(t *testing.T) {
 	stats := []CellStats{{
-		Cell:         Cell{Arrival: `trace:odd,"name".csv`, Avail: "none", Nodes: 4, Load: 1, Scheduler: "rigid-fcfs"},
+		Cell:         Cell{Arrival: `trace:odd,"name".csv`, Avail: "none", Nodes: 4, Load: 1, Scheduler: "rigid-fcfs", AppModel: "mix"},
 		Replications: 1, Jobs: 2,
 		MeanResponse: 1, P50Response: 1, P95Response: 2, P99Response: 3,
 		MeanMakespan: 5, MeanUtilization: 0.5, MeanSlowdown: 1.5,
@@ -24,10 +26,33 @@ func TestWriteCSVQuotesSpecialFields(t *testing.T) {
 	if err != nil {
 		t.Fatalf("export not parseable: %v", err)
 	}
-	if len(rows) != 2 || len(rows[1]) != 26 {
+	if len(rows) != 2 || len(rows[1]) != 27 {
 		t.Fatalf("rows = %d, fields = %d", len(rows), len(rows[1]))
 	}
 	if rows[1][0] != "nodes,loads study" || rows[1][1] != `trace:odd,"name".csv` {
 		t.Fatalf("fields corrupted: %q, %q", rows[1][0], rows[1][1])
+	}
+}
+
+// TestOutputDocColumns: docs/output.md must carry the exact CSV header
+// and a mention of every column — the doc fails CI when the export
+// schema drifts.
+func TestOutputDocColumns(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "output.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	cols := CSVColumns()
+	if len(cols) < 10 {
+		t.Fatalf("suspicious column list: %v", cols)
+	}
+	if header := strings.Join(cols, ","); !strings.Contains(doc, header) {
+		t.Errorf("docs/output.md does not contain the exact CSV header:\n%s", header)
+	}
+	for _, col := range cols {
+		if !strings.Contains(doc, "`"+col+"`") {
+			t.Errorf("column %q is not documented in docs/output.md", col)
+		}
 	}
 }

@@ -23,6 +23,9 @@ import (
 // Cell is one point of the experiment grid. Scheduler is the policy's
 // parameterized label (scenario.SchedulerSpec.Label()): a valid spec
 // string that fully identifies the policy, parameters included.
+// AppModel likewise labels the cell's application performance model
+// (scenario.AppModelSpec.Label()) — "mix" is the native baseline where
+// every mix component keeps its own registered model.
 type Cell struct {
 	Arrival      string  `json:"arrival"`
 	ArrivalIdx   int     `json:"-"`
@@ -32,6 +35,8 @@ type Cell struct {
 	Load         float64 `json:"load"`
 	Scheduler    string  `json:"scheduler"`
 	SchedulerIdx int     `json:"-"`
+	AppModel     string  `json:"appmodel"`
+	AppModelIdx  int     `json:"-"`
 }
 
 // CellStats aggregates a cell's replications.
@@ -170,9 +175,12 @@ type Options struct {
 }
 
 // Cells expands the scenario's grid in canonical order: arrival process,
-// then availability process, then nodes, then load, then scheduler. A
-// scenario without availability processes gets the single fixed-pool
-// pseudo-entry "none".
+// then availability process, then nodes, then load, then scheduler, then
+// application performance model. A scenario without availability
+// processes gets the single fixed-pool pseudo-entry "none"; one without
+// appmodels gets the single native-model pseudo-entry "mix" — in both
+// cases the axis adds no cells, so legacy grids keep their historical
+// cell order and derived seeds.
 func Cells(spec *scenario.Spec) []Cell {
 	type availEntry struct {
 		label string
@@ -196,18 +204,32 @@ func Cells(spec *scenario.Spec) []Cell {
 			}
 		}
 	}
+	type modelEntry struct {
+		label string
+		idx   int
+	}
+	models := []modelEntry{{label: "mix", idx: -1}}
+	if len(spec.AppModels) > 0 {
+		models = models[:0]
+		for mi, m := range spec.AppModels {
+			models = append(models, modelEntry{label: m.Label(), idx: mi})
+		}
+	}
 	var out []Cell
 	for ai, a := range spec.Arrivals {
 		for _, v := range avail {
 			for _, n := range spec.Nodes {
 				for _, l := range spec.Loads {
 					for si := range spec.Schedulers {
-						out = append(out, Cell{
-							Arrival: a.Label(), ArrivalIdx: ai,
-							Avail: v.label, AvailIdx: v.idx,
-							Nodes: n, Load: l,
-							Scheduler: spec.Schedulers[si].Label(), SchedulerIdx: si,
-						})
+						for _, m := range models {
+							out = append(out, Cell{
+								Arrival: a.Label(), ArrivalIdx: ai,
+								Avail: v.label, AvailIdx: v.idx,
+								Nodes: n, Load: l,
+								Scheduler: spec.Schedulers[si].Label(), SchedulerIdx: si,
+								AppModel: m.label, AppModelIdx: m.idx,
+							})
+						}
 					}
 				}
 			}
@@ -275,12 +297,13 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 					SchedulerIdx: c.SchedulerIdx,
 					ArrivalIdx:   c.ArrivalIdx,
 					AvailIdx:     c.AvailIdx,
+					AppModelIdx:  c.AppModelIdx,
 					Seed:         runSeed(spec.Seed, ci, rep),
 				})
 				mu.Lock()
 				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("sweep: cell %s/%s/%d nodes/load %g/%s rep %d: %w",
-						c.Arrival, c.Avail, c.Nodes, c.Load, c.Scheduler, rep, err)
+					firstErr = fmt.Errorf("sweep: cell %s/%s/%d nodes/load %g/%s/%s rep %d: %w",
+						c.Arrival, c.Avail, c.Nodes, c.Load, c.Scheduler, c.AppModel, rep, err)
 				}
 				pending[idx] = run
 				folded[idx] = true

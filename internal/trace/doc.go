@@ -1,0 +1,21 @@
+// Package trace is the recording and replay layer of the simulators.
+//
+// For the DPS flow-graph simulator it records the atomic steps and data
+// transfers of a run and renders them as ASCII Gantt timelines — the
+// timing diagrams of the paper's Figs. 2, 4 and 6.
+//
+// For the cluster testbed it defines the CSV interchange formats the
+// scenario layer replays:
+//
+//   - job traces (ReadJobs/WriteJobs): one record per job —
+//     id, arrival_s, max_nodes, and the phase profile as
+//     semicolon-separated work:comm pairs — the format of a scenario's
+//     {"process": "trace"} arrival block;
+//   - capacity traces (ReadCapacity/WriteCapacity): a t_s,capacity
+//     timeline replayed by the availability subsystem's
+//     {"process": "trace"} block.
+//
+// Both readers validate as they parse (sorted times, finite values,
+// well-formed phases) and are fuzzed (FuzzReadCapacity) — a malformed
+// trace fails loudly at load, never silently mid-simulation.
+package trace

@@ -1,6 +1,3 @@
-// Package trace records the atomic steps and data transfers of a
-// simulated run and renders them as ASCII Gantt timelines — the timing
-// diagrams of the paper's Figs. 2, 4 and 6.
 package trace
 
 import (
