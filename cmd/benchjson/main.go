@@ -7,16 +7,27 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -count=3 ./internal/cluster | benchjson > BENCH.json
+//	... | benchjson -baseline BENCH_PR6.json > BENCH.json   # regression gate
 //
 // Recognized per-line fields are the standard benchmark metrics
 // (ns/op, B/op, allocs/op) plus any custom b.ReportMetric units, which
 // land in the metrics map verbatim.
+//
+// With -baseline, the parsed run is additionally diffed against a pinned
+// report produced by an earlier benchjson run: for every benchmark
+// present in the baseline, the current min allocs/op across runs must
+// not exceed the baseline's min. Allocation counts are deterministic
+// (unlike ns/op), so any increase is a real steady-state regression and
+// the command exits 1 naming the offending benchmarks. Benchmarks absent
+// from the baseline are informational only.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -52,17 +63,89 @@ type Report struct {
 }
 
 func main() {
-	rep, err := parse(bufio.NewScanner(os.Stdin))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	os.Exit(realMain(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseline := fs.String("baseline", "",
+		"pinned benchjson report; exit 1 if any baseline benchmark's min allocs/op regresses")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	enc := json.NewEncoder(os.Stdout)
+	rep, err := parse(bufio.NewScanner(stdin))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: baseline: %v\n", err)
+			return 1
+		}
+		regressions, checked := diffAllocs(base, rep)
+		for _, r := range regressions {
+			fmt.Fprintf(stderr, "benchjson: allocs/op regression: %s\n", r)
+		}
+		if len(regressions) > 0 {
+			return 1
+		}
+		fmt.Fprintf(stderr, "benchjson: %d benchmark(s) within allocs/op baseline %s\n",
+			checked, *baseline)
+	}
+	return 0
+}
+
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// diffAllocs compares min allocs/op per benchmark against the baseline.
+// Only benchmarks present in the baseline gate the run; the min across
+// repeated runs absorbs one-time warmup allocations so the comparison
+// reflects steady state.
+func diffAllocs(base, cur *Report) (regressions []string, checked int) {
+	current := make(map[string]Result, len(cur.Results))
+	for _, r := range cur.Results {
+		current[r.Name] = r
+	}
+	for _, b := range base.Results {
+		want, ok := b.Metrics["allocs/op"]
+		if !ok {
+			continue
+		}
+		c, ok := current[b.Name]
+		if !ok {
+			continue
+		}
+		got, ok := c.Metrics["allocs/op"]
+		if !ok {
+			continue
+		}
+		checked++
+		if got.Min > want.Min {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %g allocs/op > baseline %g", b.Name, got.Min, want.Min))
+		}
+	}
+	return regressions, checked
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {

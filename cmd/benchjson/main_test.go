@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: dpsim/internal/cluster
+BenchmarkClusterStep-8   	 1000000	      1200 ns/op	       0 B/op	       0 allocs/op
+BenchmarkClusterStep-8   	 1000000	      1100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSchedulerInvokeProbed-8   	  500000	      2100 ns/op	      64 B/op	       1 allocs/op
+`
+
+func run(t *testing.T, args []string, stdin string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code = realMain(args, strings.NewReader(stdin), &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func writeBaseline(t *testing.T, from string) string {
+	t.Helper()
+	code, out, stderr := run(t, nil, from)
+	if code != 0 {
+		t.Fatalf("baseline generation failed (%d): %s", code, stderr)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBaselineSameRunPasses(t *testing.T) {
+	base := writeBaseline(t, benchText)
+	code, _, stderr := run(t, []string{"-baseline", base}, benchText)
+	if code != 0 {
+		t.Fatalf("identical run should pass, got exit %d: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "2 benchmark(s) within allocs/op baseline") {
+		t.Errorf("expected pass summary naming 2 benchmarks, got: %s", stderr)
+	}
+}
+
+func TestBaselineRegressionFails(t *testing.T) {
+	base := writeBaseline(t, benchText)
+	regressed := strings.ReplaceAll(benchText,
+		"0 B/op	       0 allocs/op", "32 B/op	       2 allocs/op")
+	code, _, stderr := run(t, []string{"-baseline", base}, regressed)
+	if code != 1 {
+		t.Fatalf("regressed run should exit 1, got %d: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "BenchmarkClusterStep-8: 2 allocs/op > baseline 0") {
+		t.Errorf("regression message should name the benchmark and values, got: %s", stderr)
+	}
+}
+
+func TestBaselineUsesMinAcrossRuns(t *testing.T) {
+	base := writeBaseline(t, benchText)
+	// One noisy run above baseline but the min still matches: must pass.
+	noisy := benchText + "BenchmarkClusterStep-8   	 1000000	      1300 ns/op	      16 B/op	       3 allocs/op\n"
+	code, _, stderr := run(t, []string{"-baseline", base}, noisy)
+	if code != 0 {
+		t.Fatalf("min-across-runs should absorb a noisy run, got exit %d: %s", code, stderr)
+	}
+}
+
+func TestBaselineIgnoresNewBenchmarks(t *testing.T) {
+	base := writeBaseline(t, benchText)
+	extra := benchText + "BenchmarkBrandNew-8   	 1000	      9000 ns/op	     512 B/op	       9 allocs/op\n"
+	code, _, stderr := run(t, []string{"-baseline", base}, extra)
+	if code != 0 {
+		t.Fatalf("benchmarks absent from baseline must not gate, got exit %d: %s", code, stderr)
+	}
+}
+
+func TestBaselineMissingFileFails(t *testing.T) {
+	code, _, stderr := run(t, []string{"-baseline", filepath.Join(t.TempDir(), "nope.json")}, benchText)
+	if code != 1 {
+		t.Fatalf("missing baseline file should exit 1, got %d: %s", code, stderr)
+	}
+}

@@ -8,6 +8,7 @@
 //	clustersim [-nodes 32] [-jobs 40] [-interarrival 10] [-seed 7] [-json]
 //	clustersim -scenario examples/scenarios/openload.json [-json]
 //	clustersim -schedulers "rigid-fcfs,easy-backfill,malleable-hysteresis(epoch_s=45)"
+//	clustersim -scenario s.json -trace-out run.trace.json -timeseries-out ts.csv
 //
 // Without -scenario, the classic built-in workload runs: an open Poisson
 // stream of LU-profile jobs. With -scenario, the named scenario file
@@ -24,47 +25,79 @@
 // axis (internal/appmodel registry; "mix" = the mix's native models).
 // Like the availability axis, only the first grid point runs here — run
 // cmd/dpssweep to cover a multi-model grid.
+//
+// Observability (internal/obs): -trace-out writes a Chrome trace-event
+// JSON file (load it in Perfetto or chrome://tracing; one process per
+// scheduler, one track per job, capacity and queue-depth counters),
+// -timeseries-out writes fixed-interval samples as CSV, and
+// -summary-out writes per-run summaries (counts, charges, scheduler
+// wall-clock latency) as JSON. The sample interval comes from
+// -sample-dt, falling back to the scenario's observe.sample_dt_s, then
+// 1s. Attaching the recorders never changes simulation results.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"dpsim/internal/appmodel"
 	"dpsim/internal/cluster"
+	"dpsim/internal/obs"
 	"dpsim/internal/scenario"
 	"dpsim/internal/sched"
 )
 
-func usage() {
-	fmt.Fprintf(flag.CommandLine.Output(),
-		"usage: clustersim [-nodes N] [-jobs N] [-interarrival S] [-seed N] [-scenario FILE] [-schedulers LIST] [-json]\n")
-	flag.PrintDefaults()
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	nodes := flag.Int("nodes", 32, "cluster nodes")
-	jobs := flag.Int("jobs", 40, "jobs in the workload")
-	inter := flag.Float64("interarrival", 10, "mean inter-arrival time [s]")
-	seed := flag.Uint64("seed", 7, "workload seed")
-	scenarioPath := flag.String("scenario", "", "scenario JSON file (overrides the workload flags)")
-	schedulers := flag.String("schedulers", "",
+// realMain is main with its environment made explicit, so the CLI smoke
+// test can drive the binary's full path in-process.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("clustersim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	nodes := fs.Int("nodes", 32, "cluster nodes")
+	jobs := fs.Int("jobs", 40, "jobs in the workload")
+	inter := fs.Float64("interarrival", 10, "mean inter-arrival time [s]")
+	seed := fs.Uint64("seed", 7, "workload seed")
+	scenarioPath := fs.String("scenario", "", "scenario JSON file (overrides the workload flags)")
+	schedulers := fs.String("schedulers", "",
 		"comma-separated scheduler specs to compare, each NAME or NAME(k=v,...)\n"+
 			"(overrides the scenario's list; valid names: "+strings.Join(sched.Names(), ", ")+")")
-	appmodels := flag.String("appmodels", "",
+	appmodels := fs.String("appmodels", "",
 		"comma-separated application performance-model specs, each NAME or NAME(k=v,...)\n"+
 			"(overrides the scenario's list; the first entry runs here; valid names:\n"+
 			"mix, "+strings.Join(appmodel.Names(), ", ")+")")
-	jsonOut := flag.Bool("json", false, "print machine-readable JSON results")
-	flag.Usage = usage
-	flag.Parse()
-	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "clustersim: unexpected arguments: %v\n", flag.Args())
-		usage()
-		os.Exit(2)
+	jsonOut := fs.Bool("json", false, "print machine-readable JSON results")
+	traceOut := fs.String("trace-out", "",
+		"write a Chrome trace-event JSON file for Perfetto / chrome://tracing")
+	tsOut := fs.String("timeseries-out", "",
+		"write fixed-interval time-series samples as CSV")
+	sumOut := fs.String("summary-out", "",
+		"write per-run observability summaries as JSON")
+	sampleDT := fs.Float64("sample-dt", 0,
+		"time-series sample interval [s]\n(0 = the scenario's observe.sample_dt_s, else 1)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(),
+			"usage: clustersim [-nodes N] [-jobs N] [-interarrival S] [-seed N] [-scenario FILE] [-schedulers LIST] [-json]\n"+
+				"                  [-trace-out FILE] [-timeseries-out FILE] [-summary-out FILE] [-sample-dt S]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "clustersim: %v\n", err)
+		return 1
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "clustersim: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
 	}
 
 	var spec *scenario.Spec
@@ -72,8 +105,7 @@ func main() {
 		var err error
 		spec, err = scenario.Load(*scenarioPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
-			os.Exit(1)
+			return fail(err)
 		}
 	} else {
 		// The classic clustersim workload, expressed as a scenario: an
@@ -89,40 +121,66 @@ func main() {
 			},
 		}
 		if err := spec.Validate(); err != nil {
-			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
-			os.Exit(1)
+			return fail(err)
 		}
 	}
 	if *schedulers != "" {
 		if err := spec.ApplySchedulerOverride(*schedulers); err != nil {
-			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
-			os.Exit(1)
+			return fail(err)
 		}
 	}
 	if *appmodels != "" {
 		if err := spec.ApplyAppModelOverride(*appmodels); err != nil {
-			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
-			os.Exit(1)
+			return fail(err)
 		}
+	}
+
+	// Recorders are attached only when an observability export was
+	// requested: the default path runs with no probe, the simulator's
+	// zero-cost configuration.
+	observing := *traceOut != "" || *tsOut != "" || *sumOut != ""
+	dt := *sampleDT
+	if dt == 0 && spec.Observe != nil {
+		dt = spec.Observe.SampleDTS
+	}
+	if dt == 0 {
+		dt = 1
 	}
 
 	n := spec.Nodes[0]
 	load := spec.Loads[0]
 	var results []cluster.Result
+	var recorders []*obs.Recorder
 	labels := make([]string, len(spec.Schedulers))
 	for i := range spec.Schedulers {
 		labels[i] = spec.Schedulers[i].Label()
-		// The first grid point throughout, including the first
-		// availability process when the scenario declares any.
-		run, err := spec.RunCell(scenario.CellParams{
+		params := scenario.CellParams{
 			Nodes: n, Load: load, SchedulerIdx: i, ArrivalIdx: 0, AvailIdx: 0, AppModelIdx: 0,
 			Seed: spec.Seed,
-		})
+		}
+		if observing {
+			cfg := obs.Config{Label: labels[i]}
+			if spec.Observe != nil {
+				cfg = spec.Observe.RecorderConfig(labels[i])
+			}
+			rec := obs.NewRecorder(cfg)
+			recorders = append(recorders, rec)
+			params.Probe = rec
+			params.SampleDTS = dt
+		}
+		// The first grid point throughout, including the first
+		// availability process when the scenario declares any.
+		run, err := spec.RunCell(params)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		results = append(results, run.Result)
+	}
+
+	if observing {
+		if err := writeObservability(*traceOut, *tsOut, *sumOut, labels, recorders); err != nil {
+			return fail(err)
+		}
 	}
 
 	if *jsonOut {
@@ -138,13 +196,12 @@ func main() {
 		for i, r := range results {
 			labeled[i] = labeledResult{SchedulerSpec: labels[i], Result: r}
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(labeled); err != nil {
-			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	availLabel := "fixed pool"
@@ -155,7 +212,7 @@ func main() {
 	if len(spec.AppModels) > 0 {
 		modelLabel = spec.AppModels[0].Label()
 	}
-	fmt.Printf("scenario %q: cluster of %d nodes, %s arrivals, %s, app model %s\n\n",
+	fmt.Fprintf(stdout, "scenario %q: cluster of %d nodes, %s arrivals, %s, app model %s\n\n",
 		spec.Name, n, spec.Arrivals[0].Label(), availLabel, modelLabel)
 	width := len("scheduler")
 	for _, l := range labels {
@@ -163,13 +220,75 @@ func main() {
 			width = len(l)
 		}
 	}
-	fmt.Printf("%-*s  %10s  %12s  %10s  %11s  %9s  %8s  %10s\n",
+	fmt.Fprintf(stdout, "%-*s  %10s  %12s  %10s  %11s  %9s  %8s  %10s\n",
 		width, "scheduler", "makespan", "mean resp.", "mean wait", "utilization", "mean eff.", "realloc", "lost work")
 	for i, r := range results {
-		fmt.Printf("%-*s  %9.1fs  %11.1fs  %9.1fs  %10.1f%%  %8.1f%%  %8d  %9.1fs\n",
+		fmt.Fprintf(stdout, "%-*s  %9.1fs  %11.1fs  %9.1fs  %10.1f%%  %8.1f%%  %8d  %9.1fs\n",
 			width, labels[i], r.Makespan, r.MeanResponse, r.MeanWait,
 			100*r.Utilization, 100*r.MeanAllocEfficiency, r.Reallocations, r.LostWorkS)
 	}
-	fmt.Println("\nDynamic node allocation (equipartition, efficiency-greedy) raises the")
-	fmt.Println("cluster's service rate over rigid FCFS — the paper's §1/§9 motivation.")
+	fmt.Fprintln(stdout, "\nDynamic node allocation (equipartition, efficiency-greedy) raises the")
+	fmt.Fprintln(stdout, "cluster's service rate over rigid FCFS — the paper's §1/§9 motivation.")
+	return 0
+}
+
+// writeObservability renders the recorders into the requested export
+// files: one trace process, one CSV block and one summary entry per
+// compared scheduler, in comparison order.
+func writeObservability(traceOut, tsOut, sumOut string, labels []string, recorders []*obs.Recorder) error {
+	if traceOut != "" {
+		var tr obs.Trace
+		for i, rec := range recorders {
+			rec.AppendTrace(&tr, i+1)
+		}
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if tsOut != "" {
+		f, err := os.Create(tsOut)
+		if err != nil {
+			return err
+		}
+		tw := obs.NewTimeSeriesWriter(f, "scheduler")
+		for i, rec := range recorders {
+			if err := tw.WriteAll([]string{labels[i]}, rec.Samples()); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if sumOut != "" {
+		summaries := make([]obs.Summary, len(recorders))
+		for i, rec := range recorders {
+			summaries[i] = rec.Summarize()
+		}
+		f, err := os.Create(sumOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteSummaryJSON(f, summaries); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

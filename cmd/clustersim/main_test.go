@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSmokeObservabilityExports drives the full CLI path against the
+// shipped downey_spot scenario with every observability export enabled,
+// then checks the artifacts: the trace must be valid trace-event JSON
+// carrying the scheduler process tracks, the time series must have rows,
+// and the summary must account for the workload.
+func TestSmokeObservabilityExports(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace.json")
+	tsPath := filepath.Join(dir, "ts.csv")
+	sumPath := filepath.Join(dir, "summary.json")
+	scenarioPath := filepath.Join("..", "..", "examples", "scenarios", "downey_spot.json")
+
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"-scenario", scenarioPath,
+		"-trace-out", tracePath,
+		"-timeseries-out", tsPath,
+		"-summary-out", sumPath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "equipartition") {
+		t.Errorf("report missing scheduler table:\n%s", stdout.String())
+	}
+
+	// Trace: valid JSON, one named process per scheduler, job tracks,
+	// counter series.
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceData, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	procs := map[string]bool{}
+	counters := map[string]bool{}
+	jobTracks := 0
+	for _, ev := range trace.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			args, _ := ev["args"].(map[string]any)
+			name, _ := args["name"].(string)
+			if ev["name"] == "process_name" {
+				procs[name] = true
+			}
+			if ev["name"] == "thread_name" && strings.HasPrefix(name, "job ") {
+				jobTracks++
+			}
+		case "C":
+			counters[ev["name"].(string)] = true
+		}
+	}
+	for _, want := range []string{"equipartition", "malleable-hysteresis(epoch_s=30,min_delta=2)"} {
+		if !procs[want] {
+			t.Errorf("trace missing process track %q (have %v)", want, procs)
+		}
+	}
+	if jobTracks == 0 {
+		t.Error("trace has no job tracks")
+	}
+	for _, want := range []string{"jobs", "nodes", "capacity"} {
+		if !counters[want] {
+			t.Errorf("trace missing counter %q (have %v)", want, counters)
+		}
+	}
+
+	// Time series: header + a nonzero number of sample rows.
+	tsData, err := os.ReadFile(tsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(tsData)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("time series has no sample rows:\n%s", tsData)
+	}
+	if !strings.HasPrefix(lines[0], "scheduler,t_s,") {
+		t.Errorf("time-series header = %q", lines[0])
+	}
+
+	// Summary: one entry per scheduler, jobs accounted for.
+	sumData, err := os.ReadFile(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var summaries []map[string]any
+	if err := json.Unmarshal(sumData, &summaries); err != nil {
+		t.Fatalf("summary is not valid JSON: %v", err)
+	}
+	if len(summaries) != 2 {
+		t.Fatalf("summary has %d entries, want 2", len(summaries))
+	}
+	for _, s := range summaries {
+		if arrived, _ := s["arrived"].(float64); arrived == 0 {
+			t.Errorf("summary entry %v recorded no arrivals", s["label"])
+		}
+		if samples, _ := s["samples"].(float64); samples == 0 {
+			t.Errorf("summary entry %v recorded no samples", s["label"])
+		}
+	}
+}
+
+// TestObservabilityDoesNotChangeJSONResults: the -json result output
+// must be byte-identical with and without the observability exports
+// enabled — recording is an observer, not a participant.
+func TestObservabilityDoesNotChangeJSONResults(t *testing.T) {
+	dir := t.TempDir()
+	scenarioPath := filepath.Join("..", "..", "examples", "scenarios", "downey_spot.json")
+
+	var bare, observed, stderr bytes.Buffer
+	if code := realMain([]string{"-scenario", scenarioPath, "-json"}, &bare, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if code := realMain([]string{
+		"-scenario", scenarioPath, "-json",
+		"-trace-out", filepath.Join(dir, "t.json"),
+		"-timeseries-out", filepath.Join(dir, "ts.csv"),
+	}, &observed, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !bytes.Equal(bare.Bytes(), observed.Bytes()) {
+		t.Error("enabling observability exports changed the -json results")
+	}
+}
+
+// TestBadFlagsFail: unknown arguments and bad scenarios exit non-zero.
+func TestBadFlagsFail(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := realMain([]string{"stray"}, &out, &errBuf); code == 0 {
+		t.Error("stray argument accepted")
+	}
+	if code := realMain([]string{"-scenario", "does-not-exist.json"}, &out, &errBuf); code == 0 {
+		t.Error("missing scenario accepted")
+	}
+}

@@ -9,7 +9,16 @@
 //	         [-workers N] [-csv out.csv] [-json out.json]
 //	         [-schedulers "equipartition,malleable-hysteresis(epoch_s=45)"]
 //	         [-appmodels "mix,amdahl(f=0.1),roofline(sat=8)"]
+//	         [-timeseries-out ts.csv] [-sample-dt 5]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -timeseries-out opts every replication into fixed-interval sampling
+// (internal/obs) and streams the samples as one CSV: the grid-identity
+// columns (arrival, availability, nodes, load, scheduler, appmodel,
+// rep) followed by the sample columns. Rows appear in grid order and
+// the file is byte-identical for any -workers value; the aggregate
+// exports are unchanged by sampling. -sample-dt sets the interval,
+// falling back to the scenario's observe.sample_dt_s, then 1s.
 //
 // -cpuprofile and -memprofile write pprof profiles of the sweep (the CPU
 // profile covers the grid run; the heap profile is captured after it),
@@ -43,6 +52,7 @@ import (
 	"strings"
 
 	"dpsim/internal/appmodel"
+	"dpsim/internal/obs"
 	"dpsim/internal/scenario"
 	"dpsim/internal/sched"
 	"dpsim/internal/sweep"
@@ -50,7 +60,7 @@ import (
 
 func usage() {
 	fmt.Fprintf(flag.CommandLine.Output(),
-		"usage: dpssweep -scenario FILE [-replications N] [-workers N] [-schedulers LIST] [-appmodels LIST] [-csv FILE] [-json FILE] [-cpuprofile FILE] [-memprofile FILE]\n")
+		"usage: dpssweep -scenario FILE [-replications N] [-workers N] [-schedulers LIST] [-appmodels LIST] [-csv FILE] [-json FILE] [-timeseries-out FILE] [-sample-dt S] [-cpuprofile FILE] [-memprofile FILE]\n")
 	flag.PrintDefaults()
 }
 
@@ -67,6 +77,10 @@ func main() {
 			"mix, "+strings.Join(appmodel.Names(), ", ")+")")
 	csvPath := flag.String("csv", "", "write aggregate CSV to this file (\"-\" for stdout)")
 	jsonPath := flag.String("json", "", "write aggregate JSON to this file (\"-\" for stdout)")
+	tsPath := flag.String("timeseries-out", "",
+		"write per-replication time-series samples as CSV (enables per-cell sampling)")
+	sampleDT := flag.Float64("sample-dt", 0,
+		"time-series sample interval [s] (0 = the scenario's observe.sample_dt_s, else 1)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (captured after the sweep) to this file")
 	quiet := flag.Bool("q", false, "suppress the progress line and table")
@@ -106,6 +120,37 @@ func main() {
 	}
 	cells := sweep.Cells(spec)
 	opt := sweep.Options{Replications: *replications, Workers: *workers}
+	// Per-cell sampling: each replication gets its own recorder, and the
+	// sink drains them at the in-order fold frontier, so the CSV is
+	// byte-identical for any -workers value. Aggregate exports are
+	// untouched — probes observe, they never participate.
+	var tsFile *os.File
+	var tsSink *sweep.TimeSeriesSink
+	if *tsPath != "" {
+		dt := *sampleDT
+		if dt == 0 && spec.Observe != nil {
+			dt = spec.Observe.SampleDTS
+		}
+		if dt == 0 {
+			dt = 1
+		}
+		f, err := os.Create(*tsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpssweep: timeseries: %v\n", err)
+			os.Exit(1)
+		}
+		tsFile = f
+		tsSink = sweep.NewTimeSeriesSink(f)
+		opt.SampleDTS = dt
+		opt.Observe = func(c sweep.Cell, rep int) obs.Probe {
+			cfg := obs.Config{Label: c.Scheduler}
+			if spec.Observe != nil {
+				cfg = spec.Observe.RecorderConfig(c.Scheduler)
+			}
+			return obs.NewRecorder(cfg)
+		}
+		opt.OnObserved = tsSink.OnObserved
+	}
 	if !*quiet {
 		w := opt.Workers
 		if w <= 0 {
@@ -139,6 +184,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dpssweep: %v\n", err)
 		os.Exit(1)
+	}
+	if tsSink != nil {
+		ferr := tsSink.Flush()
+		if cerr := tsFile.Close(); ferr == nil {
+			ferr = cerr
+		}
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "dpssweep: timeseries: %v\n", ferr)
+			os.Exit(1)
+		}
 	}
 	if *memProfile != "" {
 		f, ferr := os.Create(*memProfile)

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	dpstrace [-n 648] [-r 162] [-nodes 4] [-p] [-window 0] [-width 100]
+//	dpstrace -json > lu.trace.json   # Chrome trace-event JSON instead
+//
+// With -json the same timing diagram is emitted through the shared
+// Chrome trace-event exporter (internal/obs) to stdout: one process per
+// node, per-thread compute and transfer tracks — load it in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"dpsim/internal/eventq"
 	"dpsim/internal/lu"
 	"dpsim/internal/netmodel"
+	"dpsim/internal/obs"
 	"dpsim/internal/trace"
 )
 
@@ -29,6 +36,7 @@ func main() {
 	pipelined := flag.Bool("p", false, "pipelined flow graph")
 	window := flag.Int("window", 0, "flow-control window")
 	width := flag.Int("width", 100, "gantt width in characters")
+	jsonOut := flag.Bool("json", false, "emit Chrome trace-event JSON (Perfetto) to stdout instead of the Gantt chart")
 	flag.Parse()
 
 	app, err := lu.Build(lu.Config{
@@ -55,6 +63,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dpstrace: %v\n", err)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		var tr obs.Trace
+		rec.AppendChromeTrace(&tr)
+		if err := tr.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "dpstrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Printf("predicted running time: %v  (steps %d, transfers %d)\n\n",
 		res.Elapsed, res.Steps, res.Transfers)

@@ -69,6 +69,13 @@
 //     × availability × nodes × load × scheduler × appmodel), runs it on a
 //     parallel worker pool with seed replications, and
 //     aggregates/exports results as CSV/JSON.
+//   - internal/obs — the observability layer: a Probe interface hooked
+//     into every cluster.Sim state transition (zero-cost when disabled —
+//     one nil-check branch per hook site, preserving the 0 allocs/op
+//     steady state), a ring-buffered Recorder with fixed-interval
+//     time-series sampling on the virtual clock, and exporters for
+//     Chrome trace-event JSON (Perfetto), time-series CSV and
+//     run-summary JSON, wired into clustersim, dpssweep and dpstrace.
 //   - internal/docs — documentation-drift checks: markdown link check,
 //     scenario-schema and export-column cross-checks against docs/.
 //

@@ -25,11 +25,13 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"time"
 
 	"dpsim/internal/appmodel"
 	"dpsim/internal/availability"
 	"dpsim/internal/eventq"
 	"dpsim/internal/lu"
+	"dpsim/internal/obs"
 	"dpsim/internal/rng"
 	"dpsim/internal/sched"
 )
@@ -249,6 +251,21 @@ type Sim struct {
 	capEvents int
 	lostWork  float64
 	redistS   float64
+
+	// Observability (internal/obs). probe is invoked through nil checks
+	// at every state transition, so the disabled path costs one
+	// not-taken branch per hook site and allocates nothing — the
+	// zero-allocation steady-state contract is asserted with probe nil
+	// AND with the built-in recorder attached (bounded amortized).
+	probe obs.Probe
+	// sampleDT > 0 schedules fixed-interval sampler events at t = k·dt
+	// on the capacity tier; they read gauges and mutate nothing, so
+	// Results and goldens stay bit-identical with sampling on.
+	sampleDT      eventq.Duration
+	sampleK       int64
+	sampleEv      *eventq.Event
+	sampleFn      func()
+	sampleStopped bool
 }
 
 // capStep is one applied capacity change, recorded for the
@@ -324,6 +341,40 @@ func (s *Sim) SetCapacityChanges(changes []availability.Change) error {
 	return nil
 }
 
+// SetProbe attaches an observability probe (see internal/obs): typed
+// callbacks fire at every state transition — job arrive/first-start/
+// phase-done/finish, scheduler invocation, capacity notice/change,
+// preemption, reconfiguration charges. A nil probe (the default) makes
+// every hook site a single not-taken branch; probes never receive
+// mutable simulator state, so attaching one cannot change a Result. It
+// must be called before the first event is processed.
+func (s *Sim) SetProbe(p obs.Probe) error {
+	if s.started {
+		return errors.New("cluster: SetProbe after the simulation started")
+	}
+	s.probe = p
+	return nil
+}
+
+// SetSampleInterval enables fixed-interval time-series sampling: every
+// dt seconds of virtual time the attached probe's TimeSample hook
+// receives the cluster's gauges (queue depth, running jobs, allocated
+// vs. available nodes, instantaneous utilization). Samples ride the
+// event queue on the capacity tier and stop when the workload drains
+// (Inject resumes them on the same t = k·dt grid), so sampling never
+// stretches a run or perturbs its outcome. It must be called before the
+// first event is processed and has no effect without a probe.
+func (s *Sim) SetSampleInterval(dtSeconds float64) error {
+	if s.started {
+		return errors.New("cluster: SetSampleInterval after the simulation started")
+	}
+	if dtSeconds <= 0 {
+		return errors.New("cluster: sample interval must be > 0")
+	}
+	s.sampleDT = eventq.DurationOf(dtSeconds)
+	return nil
+}
+
 // start schedules the arrivals of the jobs passed to NewSim, exactly
 // once. It is invoked lazily by every driving entry point so that closed
 // runs (Run) and stepped runs observe the same initial event sequence.
@@ -339,6 +390,63 @@ func (s *Sim) start() {
 		s.pendingArrivals++
 		s.q.AtTier(eventq.Time(eventq.DurationOf(j.Arrival)), tierArrival, func() { s.arrive(j) })
 	}
+	if s.probe != nil && s.sampleDT > 0 {
+		// Bind the sampler callback once; every reschedule recycles the
+		// event object, so steady-state sampling allocates nothing.
+		s.sampleFn = s.fireSample
+		s.sampleEv = s.q.AtTier(0, tierCapacity, s.sampleFn)
+	}
+}
+
+// fireSample reads the cluster's gauges into the probe's TimeSample
+// hook and reschedules itself on the t = k·dt grid while work remains.
+// It mutates no simulation state, so runs with sampling enabled stay
+// bit-identical to probe-free runs.
+func (s *Sim) fireSample() {
+	now := s.q.Now()
+	var waiting, running, allocated int
+	for _, js := range s.actives {
+		if js.Alloc > 0 {
+			running++
+			allocated += js.Alloc
+		} else {
+			waiting++
+		}
+	}
+	util := 0.0
+	if s.capNow > 0 {
+		util = float64(allocated) / float64(s.capNow)
+	}
+	s.probe.TimeSample(obs.Sample{
+		T: now.Seconds(), Waiting: waiting, Running: running,
+		Allocated: allocated, Available: s.capNow, Utilization: util,
+	})
+	if len(s.actives) == 0 && s.pendingArrivals == 0 {
+		// Nothing left to observe: let the event loop drain. Inject
+		// resumes the grid.
+		s.sampleStopped = true
+		return
+	}
+	s.sampleK++
+	s.sampleEv = s.q.ReuseAtTier(s.sampleEv, eventq.Time(s.sampleK*int64(s.sampleDT)), tierCapacity, s.sampleFn)
+}
+
+// resumeSampling re-enters the t = k·dt sample grid at the first point
+// not before now — instants that elapsed while the cluster was idle are
+// skipped, keeping sample times deterministic for a given event history.
+func (s *Sim) resumeSampling() {
+	s.sampleStopped = false
+	dt := int64(s.sampleDT)
+	now := int64(s.q.Now())
+	k := now / dt
+	if k*dt < now {
+		k++
+	}
+	if k <= s.sampleK {
+		k = s.sampleK + 1
+	}
+	s.sampleK = k
+	s.sampleEv = s.q.ReuseAtTier(s.sampleEv, eventq.Time(k*dt), tierCapacity, s.sampleFn)
 }
 
 // scheduleChanges queues the apply (and announce) events of
@@ -408,6 +516,9 @@ func (s *Sim) resumeCapacity() {
 // capacity shrinks to the announced target ahead of the actual drop, so
 // jobs migrate off the doomed nodes and lose no work when it lands.
 func (s *Sim) announceCapacity(idx, target int) {
+	if s.probe != nil {
+		s.probe.CapacityNotice(s.q.Now().Seconds(), target)
+	}
 	s.pendingDrains[idx] = target
 	if next := s.effectiveSchedCap(); next < s.schedCap {
 		s.schedCap = next
@@ -419,6 +530,9 @@ func (s *Sim) announceCapacity(idx, target int) {
 // notice) preempt whatever still runs beyond the new capacity and charge
 // the lost-work cost; graceful drops land on an already-drained pool.
 func (s *Sim) applyCapacity(idx, cap int, graceful bool) {
+	if s.probe != nil {
+		s.probe.CapacityChange(s.q.Now().Seconds(), cap)
+	}
 	s.capEvents++
 	s.capHist = append(s.capHist, capStep{at: s.q.Now(), cap: cap})
 	delete(s.pendingDrains, idx)
@@ -483,6 +597,9 @@ func (s *Sim) Inject(j *Job) error {
 	}
 	if s.capStopped {
 		s.resumeCapacity()
+	}
+	if s.sampleStopped {
+		s.resumeSampling()
 	}
 	s.jobs = append(s.jobs, j)
 	s.pendingArrivals++
@@ -595,6 +712,9 @@ func (s *Sim) capacityIntegral(end eventq.Time) float64 {
 
 func (s *Sim) arrive(j *Job) {
 	s.pendingArrivals--
+	if s.probe != nil {
+		s.probe.JobArrive(s.q.Now().Seconds(), j.ID)
+	}
 	js := &jobState{Job: j, Remaining: j.Phases[0].Work, started: s.q.Now().Seconds(), last: s.q.Now(), firstStart: -1}
 	// Bind the phase-completion callback once: every later reschedule
 	// reuses it (and the recycled event object) allocation-free.
@@ -725,6 +845,9 @@ func (s *Sim) reallocate() {
 			}
 			total -= v.Alloc
 			v.Alloc = 0
+			if s.probe != nil {
+				s.probe.Preempt(now.Seconds(), v.Job.ID)
+			}
 		}
 	}
 	// The scheduler sees value snapshots in a reused arena, not the live
@@ -739,7 +862,16 @@ func (s *Sim) reallocate() {
 		s.allocBuf[i] = 0
 	}
 	st := sched.State{Nodes: s.schedCap, Now: now.Seconds(), Active: s.views}
-	s.sched.Allocate(st, s.allocBuf)
+	// Wall-clock instrumentation of the policy call sits entirely behind
+	// the probe check: the probe-nil path never reads the system clock.
+	var wallNS int64
+	if s.probe != nil {
+		t0 := time.Now()
+		s.sched.Allocate(st, s.allocBuf)
+		wallNS = int64(time.Since(t0))
+	} else {
+		s.sched.Allocate(st, s.allocBuf)
+	}
 	total = 0
 	for _, a := range s.allocBuf {
 		total += a
@@ -747,6 +879,7 @@ func (s *Sim) reallocate() {
 	if total > s.schedCap {
 		panic(fmt.Sprintf("cluster: scheduler %s over-allocated %d of %d nodes", s.sched.Name(), total, s.schedCap))
 	}
+	reallocsBefore := s.reallocs
 	for i, js := range s.actives {
 		newA := s.allocBuf[i]
 		if newA != s.oldAlloc[i] {
@@ -783,6 +916,9 @@ func (s *Sim) reallocate() {
 					if lost > 0 {
 						js.Remaining += lost
 						s.lostWork += lost
+						if s.probe != nil {
+							s.probe.ReconfigCharge(now.Seconds(), js.Job.ID, obs.ChargeLostWork, lost)
+						}
 					}
 				}
 			}
@@ -804,8 +940,12 @@ func (s *Sim) reallocate() {
 						if from < now {
 							from = now
 						}
-						s.redistS += eventq.Duration(until - from).Seconds()
+						ext := eventq.Duration(until - from).Seconds()
+						s.redistS += ext
 						js.pausedUntil = until
+						if s.probe != nil {
+							s.probe.ReconfigCharge(now.Seconds(), js.Job.ID, obs.ChargeRedistribution, ext)
+						}
 					}
 				}
 			}
@@ -813,6 +953,9 @@ func (s *Sim) reallocate() {
 		js.Alloc = newA
 		if newA > 0 && js.firstStart < 0 {
 			js.firstStart = now.Seconds()
+			if s.probe != nil {
+				s.probe.JobFirstStart(js.firstStart, js.Job.ID)
+			}
 		}
 		if m := js.Job.Model; m == nil {
 			js.rate = js.Phase().Rate(js.Alloc)
@@ -831,6 +974,12 @@ func (s *Sim) reallocate() {
 			// bound at arrival. Zero allocations per reschedule.
 			js.ev = s.q.ReuseAfter(js.ev, eta, js.phaseFn)
 		}
+	}
+	if s.probe != nil {
+		s.probe.SchedulerInvoke(now.Seconds(), obs.SchedulerInvocation{
+			WallNS: wallNS, Changed: s.reallocs - reallocsBefore,
+			Active: n, Allocated: total,
+		})
 	}
 }
 
@@ -865,9 +1014,15 @@ func (s *Sim) phaseDone(js *jobState) {
 	}
 	js.last = now
 	s.lastJobEvent = now
+	if s.probe != nil {
+		s.probe.PhaseDone(now.Seconds(), js.Job.ID, js.PhaseIdx, len(js.Job.Phases))
+	}
 	js.PhaseIdx++
 	if js.PhaseIdx >= len(js.Job.Phases) {
 		js.finished = now.Seconds()
+		if s.probe != nil {
+			s.probe.JobFinish(now.Seconds(), js.Job.ID)
+		}
 		s.removeActive(js.Job.ID)
 		s.finished = append(s.finished, js)
 	} else {

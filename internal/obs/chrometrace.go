@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceEvent is one Chrome trace-event record (the "trace event format"
+// consumed by Perfetto and chrome://tracing). Timestamps and durations
+// are microseconds of virtual time.
+type TraceEvent struct {
+	Name string `json:"name"`
+	// Cat is the event category (comma-separated tags in the format).
+	Cat string `json:"cat,omitempty"`
+	// Ph is the event phase: "X" complete, "i" instant, "C" counter,
+	// "M" metadata.
+	Ph   string  `json:"ph"`
+	TsUS float64 `json:"ts"`
+	// DurUS is the duration of "X" complete events.
+	DurUS float64 `json:"dur,omitempty"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+	// Scope is the instant-event scope ("t" = thread).
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Trace accumulates trace events from one or more runs (one process per
+// run) for a single JSON export.
+type Trace struct {
+	events []TraceEvent
+}
+
+// Add appends an arbitrary event.
+func (t *Trace) Add(e TraceEvent) { t.events = append(t.events, e) }
+
+// Complete appends an "X" complete event spanning [startS, endS] virtual
+// seconds.
+func (t *Trace) Complete(pid, tid int, name, cat string, startS, endS float64, args map[string]any) {
+	t.Add(TraceEvent{Name: name, Cat: cat, Ph: "X", TsUS: startS * 1e6, DurUS: (endS - startS) * 1e6, PID: pid, TID: tid, Args: args})
+}
+
+// Instant appends an "i" thread-scoped instant event.
+func (t *Trace) Instant(pid, tid int, name, cat string, atS float64, args map[string]any) {
+	t.Add(TraceEvent{Name: name, Cat: cat, Ph: "i", TsUS: atS * 1e6, PID: pid, TID: tid, Scope: "t", Args: args})
+}
+
+// ProcessInstant appends an "i" process-scoped instant event (no track).
+func (t *Trace) ProcessInstant(pid int, name, cat string, atS float64, args map[string]any) {
+	t.Add(TraceEvent{Name: name, Cat: cat, Ph: "i", TsUS: atS * 1e6, PID: pid, Scope: "p", Args: args})
+}
+
+// Counter appends a "C" counter event: each args key becomes one series
+// of the counter track.
+func (t *Trace) Counter(pid int, name string, atS float64, args map[string]any) {
+	t.Add(TraceEvent{Name: name, Ph: "C", TsUS: atS * 1e6, PID: pid, Args: args})
+}
+
+// NameProcess attaches a process_name metadata record: the run's track
+// group label in the viewer.
+func (t *Trace) NameProcess(pid int, name string) {
+	t.Add(TraceEvent{Name: "process_name", Ph: "M", PID: pid, Args: map[string]any{"name": name}})
+}
+
+// NameThread attaches a thread_name metadata record: one track's label.
+func (t *Trace) NameThread(pid, tid int, name string) {
+	t.Add(TraceEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tid, Args: map[string]any{"name": name}})
+}
+
+// traceFile is the JSON Object Format envelope of the trace-event spec.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON renders the trace as a trace-event JSON object that loads
+// directly in Perfetto (ui.perfetto.dev) or chrome://tracing. Output is
+// deterministic: events serialize in insertion order and args keys in
+// sorted order.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	events := t.events
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// AppendTrace renders the recorder's streams into tr as one process:
+// the process is named by the recorder's label, every job becomes a
+// track (thread) carrying its wait/run/phase/reconfig spans and
+// preemption instants, and the time series and capacity steps become
+// counter tracks ("jobs", "nodes", "capacity").
+func (r *Recorder) AppendTrace(tr *Trace, pid int) {
+	label := r.label
+	if label == "" {
+		label = fmt.Sprintf("run %d", pid)
+	}
+	tr.NameProcess(pid, label)
+	jobIDs := make(map[int]bool)
+	for _, s := range r.Spans() {
+		jobIDs[s.JobID] = true
+		name := s.Kind.String()
+		if s.Kind == SpanPhase {
+			name = fmt.Sprintf("phase %d", s.Phase)
+		}
+		tr.Complete(pid, s.JobID, name, s.Kind.String(), s.Start, s.End, nil)
+	}
+	for _, p := range r.Preemptions() {
+		jobIDs[p.JobID] = true
+		tr.Instant(pid, p.JobID, "preempt", "capacity", p.T, nil)
+	}
+	for _, c := range r.Charges() {
+		if c.Kind != ChargeLostWork {
+			continue // redistribution charges already appear as reconfig spans
+		}
+		jobIDs[c.JobID] = true
+		tr.Instant(pid, c.JobID, "lost-work", "reconfig", c.T,
+			map[string]any{"work_s": c.Amount})
+	}
+	ids := make([]int, 0, len(jobIDs))
+	for id := range jobIDs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		tr.NameThread(pid, id, fmt.Sprintf("job %d", id))
+	}
+	for _, s := range r.Samples() {
+		tr.Counter(pid, "jobs", s.T, map[string]any{"waiting": s.Waiting, "running": s.Running})
+		tr.Counter(pid, "nodes", s.T, map[string]any{"allocated": s.Allocated, "available": s.Available})
+	}
+	for _, c := range r.CapacitySteps() {
+		if c.Notice {
+			tr.ProcessInstant(pid, "capacity-notice", "capacity", c.T,
+				map[string]any{"target": c.Capacity})
+			continue
+		}
+		tr.Counter(pid, "capacity", c.T, map[string]any{"capacity": c.Capacity})
+	}
+}

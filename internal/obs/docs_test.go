@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func readObservabilityDoc(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "observability.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestObservabilityDocColumns: docs/observability.md must carry the
+// exact time-series CSV header and a mention of every column — the doc
+// fails CI when the export schema drifts.
+func TestObservabilityDocColumns(t *testing.T) {
+	doc := readObservabilityDoc(t)
+	cols := SampleColumns()
+	if len(cols) < 5 {
+		t.Fatalf("suspicious column list: %v", cols)
+	}
+	if header := strings.Join(cols, ","); !strings.Contains(doc, header) {
+		t.Errorf("docs/observability.md does not contain the exact time-series header:\n%s", header)
+	}
+	for _, col := range cols {
+		if !strings.Contains(doc, "`"+col+"`") {
+			t.Errorf("column %q is not documented in docs/observability.md", col)
+		}
+	}
+}
+
+// TestObservabilityDocSummaryKeys: every JSON key of the run-summary
+// export (Summary, LatencySummary, LatencyBucket) must be mentioned in
+// docs/observability.md.
+func TestObservabilityDocSummaryKeys(t *testing.T) {
+	doc := readObservabilityDoc(t)
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(Summary{}),
+		reflect.TypeOf(LatencySummary{}),
+		reflect.TypeOf(LatencyBucket{}),
+	} {
+		for i := 0; i < typ.NumField(); i++ {
+			tag := typ.Field(i).Tag.Get("json")
+			key, _, _ := strings.Cut(tag, ",")
+			if key == "" || key == "-" {
+				continue
+			}
+			if !strings.Contains(doc, "`"+key+"`") {
+				t.Errorf("summary key %q (%s.%s) is not documented in docs/observability.md",
+					key, typ.Name(), typ.Field(i).Name)
+			}
+		}
+	}
+}

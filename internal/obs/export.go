@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// sampleHeader is the stable column order of the time-series CSV
+// export. Callers prepend their own identity columns (scheduler label,
+// grid-cell coordinates) via NewTimeSeriesWriter's prefix.
+const sampleHeader = "t_s,waiting_jobs,running_jobs,allocated_nodes,available_nodes,utilization"
+
+// SampleColumns returns the time-series CSV column names in order — the
+// authoritative list docs/observability.md is pinned against (see
+// TestObservabilityDocColumns).
+func SampleColumns() []string { return strings.Split(sampleHeader, ",") }
+
+// TimeSeriesWriter streams samples as CSV rows: the fixed sample
+// columns (SampleColumns), preceded by any caller-defined identity
+// columns declared at construction. Rows are RFC 4180-quoted; floats
+// use %g, so identical samples always serialize identically.
+type TimeSeriesWriter struct {
+	cw      *csv.Writer
+	prefix  int
+	row     []string
+	started bool
+}
+
+// NewTimeSeriesWriter returns a writer whose header is the prefix
+// columns followed by SampleColumns. The header is written on the first
+// WriteAll call, so an empty export stays empty.
+func NewTimeSeriesWriter(w io.Writer, prefix ...string) *TimeSeriesWriter {
+	header := append(append([]string(nil), prefix...), SampleColumns()...)
+	tw := &TimeSeriesWriter{cw: csv.NewWriter(w), prefix: len(prefix)}
+	tw.row = header
+	return tw
+}
+
+// WriteAll appends one row per sample, each carrying the given prefix
+// values (len(prefix) must match the constructor's column count).
+func (tw *TimeSeriesWriter) WriteAll(prefix []string, samples []Sample) error {
+	if len(prefix) != tw.prefix {
+		return fmt.Errorf("obs: %d prefix values for %d prefix columns", len(prefix), tw.prefix)
+	}
+	if !tw.started {
+		if err := tw.cw.Write(tw.row); err != nil {
+			return err
+		}
+		tw.started = true
+	}
+	for _, s := range samples {
+		row := tw.row[:0]
+		row = append(row, prefix...)
+		row = append(row,
+			fmt.Sprintf("%g", s.T),
+			fmt.Sprintf("%d", s.Waiting), fmt.Sprintf("%d", s.Running),
+			fmt.Sprintf("%d", s.Allocated), fmt.Sprintf("%d", s.Available),
+			fmt.Sprintf("%g", s.Utilization))
+		tw.row = row
+		if err := tw.cw.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered rows and reports any write error.
+func (tw *TimeSeriesWriter) Flush() error {
+	tw.cw.Flush()
+	return tw.cw.Error()
+}
+
+// LatencySummary is the run summary's scheduler-invocation latency
+// block, in microseconds of wall-clock time.
+type LatencySummary struct {
+	Invocations int             `json:"invocations"`
+	MeanUS      float64         `json:"mean_us"`
+	MinUS       float64         `json:"min_us"`
+	MaxUS       float64         `json:"max_us"`
+	CI95US      float64         `json:"ci95_us"`
+	Buckets     []LatencyBucket `json:"buckets,omitempty"`
+}
+
+// Summary is the run-summary JSON export: one run's counts, charges and
+// scheduler-latency statistics, plus how much of each recorded stream
+// was retained versus dropped by the ring bounds.
+type Summary struct {
+	Label            string         `json:"label,omitempty"`
+	Arrived          int            `json:"arrived"`
+	Finished         int            `json:"finished"`
+	Preemptions      int            `json:"preemptions"`
+	CapacitySteps    int            `json:"capacity_steps"`
+	LostWorkS        float64        `json:"lost_work_s"`
+	RedistributionS  float64        `json:"redistribution_s"`
+	SchedulerLatency LatencySummary `json:"scheduler_latency"`
+	Samples          int            `json:"samples"`
+	DroppedSamples   int            `json:"dropped_samples"`
+	Spans            int            `json:"spans"`
+	DroppedSpans     int            `json:"dropped_spans"`
+	EndS             float64        `json:"end_s"`
+}
+
+// Summarize collapses the recorder into its Summary.
+func (r *Recorder) Summarize() Summary {
+	return Summary{
+		Label:           r.label,
+		Arrived:         r.arrived,
+		Finished:        r.finished,
+		Preemptions:     r.preempts.len() + r.preempts.dropped,
+		CapacitySteps:   r.capSteps.len() + r.capSteps.dropped,
+		LostWorkS:       r.lostWorkS,
+		RedistributionS: r.redistS,
+		SchedulerLatency: LatencySummary{
+			Invocations: r.invocations,
+			MeanUS:      r.latency.MeanUS(),
+			MinUS:       r.latency.MinUS(),
+			MaxUS:       r.latency.MaxUS(),
+			CI95US:      r.latency.CI95US(),
+			Buckets:     r.latency.Buckets(),
+		},
+		Samples:        r.samples.len(),
+		DroppedSamples: r.samples.dropped,
+		Spans:          r.spans.len(),
+		DroppedSpans:   r.spans.dropped,
+		EndS:           r.end,
+	}
+}
+
+// WriteSummaryJSON renders the summaries as an indented JSON array, one
+// entry per recorded run.
+func WriteSummaryJSON(w io.Writer, summaries []Summary) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if summaries == nil {
+		summaries = []Summary{}
+	}
+	return enc.Encode(summaries)
+}

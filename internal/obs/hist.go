@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"math/bits"
+
+	"dpsim/internal/metrics"
+)
+
+// latencyBuckets is the number of power-of-two histogram buckets:
+// bucket i counts latencies in [2^(i-1), 2^i) microseconds (bucket 0 is
+// everything under 1µs), and the last bucket absorbs the overflow.
+const latencyBuckets = 22
+
+// LatencyHist is a streaming latency summary: a power-of-two bucket
+// histogram over microseconds plus the metrics package's Welford and
+// MinMax accumulators for the moments and extremes. The zero value is
+// ready to use, and Add never allocates — it sits on the simulator's
+// scheduler-invocation hot path.
+type LatencyHist struct {
+	buckets [latencyBuckets]uint64
+	w       metrics.Welford
+	mm      metrics.MinMax
+}
+
+// Add folds one latency observation in nanoseconds.
+func (h *LatencyHist) Add(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	us := uint64(ns) / 1000
+	i := bits.Len64(us)
+	if i >= latencyBuckets {
+		i = latencyBuckets - 1
+	}
+	h.buckets[i]++
+	h.w.Add(float64(ns) / 1000)
+	h.mm.Add(float64(ns) / 1000)
+}
+
+// N returns the number of observations.
+func (h *LatencyHist) N() int { return h.w.N() }
+
+// MeanUS, MinUS, MaxUS and CI95US report the moments and extremes in
+// microseconds (0 before any observation).
+func (h *LatencyHist) MeanUS() float64 { return h.w.Mean() }
+func (h *LatencyHist) MinUS() float64  { return h.mm.Min() }
+func (h *LatencyHist) MaxUS() float64  { return h.mm.Max() }
+func (h *LatencyHist) CI95US() float64 { return h.w.CI95() }
+
+// LatencyBucket is one histogram bucket of the export: Count
+// observations at most LeUS microseconds (and above the previous
+// bucket's bound). The final bucket's bound is 0, meaning "and above".
+type LatencyBucket struct {
+	LeUS  uint64 `json:"le_us"`
+	Count uint64 `json:"count"`
+}
+
+// Buckets returns the non-empty prefix of the histogram as exportable
+// bounds: trailing all-zero buckets are trimmed.
+func (h *LatencyHist) Buckets() []LatencyBucket {
+	last := -1
+	for i, c := range h.buckets {
+		if c > 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	out := make([]LatencyBucket, 0, last+1)
+	for i := 0; i <= last; i++ {
+		b := LatencyBucket{Count: h.buckets[i]}
+		if i < latencyBuckets-1 {
+			b.LeUS = uint64(1) << i
+		}
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+// Package obs is the simulator's observability layer: typed probe hooks
+// at every cluster.Sim state transition, built-in recorders (per-job
+// spans, fixed-interval time series, scheduler-invocation latency
+// histograms), and exporters (Chrome trace-event JSON for
+// Perfetto/chrome://tracing, time-series CSV, run-summary JSON).
+//
+// The subsystem is opt-in and provably free when off: the simulator
+// invokes a Probe through a nil-checked field, so the disabled path adds
+// one predicted-not-taken branch per hook site and stays inside the
+// zero-allocation steady-state contract (see
+// TestProcessNextEventZeroAllocSteadyState in internal/cluster). With
+// probes attached, the built-in Recorder appends into preallocated ring
+// buffers, so steady-state allocation stays bounded and amortized —
+// asserted by the probe-attached variants of the same test matrix.
+//
+// The package is a leaf below the simulator: internal/cluster imports
+// obs (for the Probe contract), never the reverse, so recorders see only
+// plain values — job IDs, instants, gauges — and any caller-side
+// implementation of Probe plugs into the simulator unchanged.
+package obs
+
+// Sample is one fixed-interval reading of the cluster's gauges, taken by
+// the simulator's sampler event at t = k·dt on the capacity event tier.
+type Sample struct {
+	// T is the virtual instant of the sample in seconds.
+	T float64
+	// Waiting counts active jobs holding no nodes (the queue depth);
+	// Running counts jobs holding at least one node.
+	Waiting int
+	Running int
+	// Allocated is the total nodes granted to running jobs; Available is
+	// the pool capacity currently in effect (after capacity events).
+	Allocated int
+	Available int
+	// Utilization is Allocated/Available — the instantaneous fraction of
+	// the offered pool that is busy (0 when no capacity is available).
+	Utilization float64
+}
+
+// SchedulerInvocation describes one scheduler call on the simulator's
+// hot path: its real (wall-clock) cost and the allocation delta it
+// produced. Wall-clock time is measured only when a probe is attached,
+// so the disabled path never reads the host clock.
+type SchedulerInvocation struct {
+	// WallNS is the wall-clock cost of the policy's Allocate call in
+	// nanoseconds.
+	WallNS int64
+	// Changed counts the jobs whose allocation differs from the
+	// pre-event snapshot (the allocation delta).
+	Changed int
+	// Active is the number of active jobs the policy saw; Allocated is
+	// the total nodes granted on return.
+	Active    int
+	Allocated int
+}
+
+// ChargeKind classifies a reconfiguration charge.
+type ChargeKind uint8
+
+const (
+	// ChargeRedistribution is a data-redistribution pause in seconds:
+	// the job stalls for Amount seconds before resuming at the new rate.
+	ChargeRedistribution ChargeKind = iota
+	// ChargeLostWork is in-phase progress rolled back by an abrupt
+	// (no-notice) capacity reclaim, in work-seconds.
+	ChargeLostWork
+)
+
+// String names the charge kind for exports.
+func (k ChargeKind) String() string {
+	switch k {
+	case ChargeRedistribution:
+		return "redistribution"
+	case ChargeLostWork:
+		return "lost-work"
+	}
+	return "unknown"
+}
+
+// Probe receives typed callbacks at every simulator state transition.
+// All instants are virtual seconds. Implementations must not mutate
+// simulator state (they see none) and must be cheap: hooks run on the
+// event-loop hot path. The built-in Recorder satisfies the bounded-
+// amortized-allocation contract via preallocated ring buffers;
+// third-party probes should follow suit.
+//
+// Attach a probe with cluster.Sim.SetProbe; a nil probe (the default)
+// makes every hook site a single not-taken branch.
+type Probe interface {
+	// JobArrive fires when a job enters the system (closed workload or
+	// Inject).
+	JobArrive(t float64, jobID int)
+	// JobFirstStart fires the first time a job holds nodes: t-arrival is
+	// the job's queueing delay.
+	JobFirstStart(t float64, jobID int)
+	// PhaseDone fires when a job completes phase index phase (0-based)
+	// of phases total.
+	PhaseDone(t float64, jobID, phase, phases int)
+	// JobFinish fires when a job completes its last phase.
+	JobFinish(t float64, jobID int)
+	// SchedulerInvoke fires after every scheduler call with its
+	// wall-clock cost and allocation delta.
+	SchedulerInvoke(t float64, inv SchedulerInvocation)
+	// CapacityNotice fires when a reclaim-notice window opens: the
+	// scheduler's usable pool shrinks to target ahead of the drop.
+	CapacityNotice(t float64, target int)
+	// CapacityChange fires when a capacity change takes effect.
+	CapacityChange(t float64, capacity int)
+	// Preempt fires when a capacity drop evicts a whole running job.
+	Preempt(t float64, jobID int)
+	// ReconfigCharge fires when the reconfiguration-cost model charges a
+	// job: a redistribution pause (seconds) or rolled-back lost work
+	// (work-seconds), per ChargeKind.
+	ReconfigCharge(t float64, jobID int, kind ChargeKind, amount float64)
+	// TimeSample fires at every fixed-interval sampler event (enabled
+	// with cluster.Sim.SetSampleInterval).
+	TimeSample(s Sample)
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRingKeepsNewest: the ring must retain exactly the newest max
+// entries in order and count the drops.
+func TestRingKeepsNewest(t *testing.T) {
+	r := newRing[int](4)
+	for i := 0; i < 10; i++ {
+		r.push(i)
+	}
+	got := r.items()
+	want := []int{6, 7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("items = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("items = %v, want %v", got, want)
+		}
+	}
+	if r.dropped != 6 {
+		t.Errorf("dropped = %d, want 6", r.dropped)
+	}
+	if r.len() != 4 {
+		t.Errorf("len = %d, want 4", r.len())
+	}
+}
+
+// TestRingUnderfill: a ring below capacity returns exactly what was
+// pushed, nothing dropped.
+func TestRingUnderfill(t *testing.T) {
+	r := newRing[string](100)
+	r.push("a")
+	r.push("b")
+	got := r.items()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" || r.dropped != 0 {
+		t.Fatalf("items = %v dropped = %d", got, r.dropped)
+	}
+}
+
+// TestRecorderSpans: the hook sequence of one two-phase job must yield a
+// wait span, two phase spans and a run span with consistent bounds.
+func TestRecorderSpans(t *testing.T) {
+	r := NewRecorder(Config{Label: "test"})
+	r.JobArrive(1, 7)
+	r.JobFirstStart(3, 7)
+	r.PhaseDone(5, 7, 0, 2)
+	r.PhaseDone(9, 7, 1, 2)
+	r.JobFinish(9, 7)
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans: %+v", len(spans), spans)
+	}
+	expect := []Span{
+		{JobID: 7, Kind: SpanWait, Phase: -1, Start: 1, End: 3},
+		{JobID: 7, Kind: SpanPhase, Phase: 0, Start: 3, End: 5},
+		{JobID: 7, Kind: SpanPhase, Phase: 1, Start: 5, End: 9},
+		{JobID: 7, Kind: SpanRun, Phase: -1, Start: 3, End: 9},
+	}
+	for i, want := range expect {
+		if spans[i] != want {
+			t.Errorf("span %d = %+v, want %+v", i, spans[i], want)
+		}
+	}
+	sum := r.Summarize()
+	if sum.Arrived != 1 || sum.Finished != 1 || sum.Spans != 4 || sum.EndS != 9 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+// TestRecorderCharges: redistribution charges become reconfig spans and
+// accumulate; lost work accumulates without a span.
+func TestRecorderCharges(t *testing.T) {
+	r := NewRecorder(Config{})
+	r.JobArrive(0, 1)
+	r.JobFirstStart(0, 1)
+	r.ReconfigCharge(2, 1, ChargeRedistribution, 0.5)
+	r.ReconfigCharge(3, 1, ChargeLostWork, 4)
+	if r.Summarize().RedistributionS != 0.5 || r.Summarize().LostWorkS != 4 {
+		t.Fatalf("summary = %+v", r.Summarize())
+	}
+	var reconfig int
+	for _, s := range r.Spans() {
+		if s.Kind == SpanReconfig {
+			reconfig++
+			if s.End-s.Start != 0.5 {
+				t.Errorf("reconfig span %+v", s)
+			}
+		}
+	}
+	if reconfig != 1 {
+		t.Errorf("reconfig spans = %d, want 1", reconfig)
+	}
+	if got := r.Charges(); len(got) != 2 || got[0].Kind != ChargeRedistribution || got[1].Kind != ChargeLostWork {
+		t.Errorf("charges = %+v", got)
+	}
+}
+
+// TestLatencyHist: bucket placement, moments and export trimming.
+func TestLatencyHist(t *testing.T) {
+	var h LatencyHist
+	h.Add(500)      // 0.5µs → bucket 0
+	h.Add(1500)     // 1.5µs → bucket 1
+	h.Add(3_000)    // 3µs → bucket 2
+	h.Add(10_000_0) // 100µs → bucket 7
+	if h.N() != 4 {
+		t.Fatalf("n = %d", h.N())
+	}
+	b := h.Buckets()
+	if len(b) != 8 {
+		t.Fatalf("buckets = %+v", b)
+	}
+	if b[0].Count != 1 || b[0].LeUS != 1 || b[1].Count != 1 || b[2].Count != 1 || b[7].Count != 1 {
+		t.Errorf("buckets = %+v", b)
+	}
+	if h.MinUS() != 0.5 || h.MaxUS() != 100 {
+		t.Errorf("min/max = %g/%g", h.MinUS(), h.MaxUS())
+	}
+}
+
+// TestChromeTraceValidJSON: the exported trace must be valid trace-event
+// JSON carrying the process/thread names and counter series the
+// recorder produced.
+func TestChromeTraceValidJSON(t *testing.T) {
+	r := NewRecorder(Config{Label: "equipartition"})
+	r.JobArrive(0, 3)
+	r.JobFirstStart(1, 3)
+	r.TimeSample(Sample{T: 2, Waiting: 0, Running: 1, Allocated: 4, Available: 8, Utilization: 0.5})
+	r.CapacityNotice(3, 6)
+	r.CapacityChange(4, 6)
+	r.Preempt(4, 3)
+	r.PhaseDone(5, 3, 0, 1)
+	r.JobFinish(5, 3)
+
+	var tr Trace
+	r.AppendTrace(&tr, 1)
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if file.Unit != "ms" {
+		t.Errorf("displayTimeUnit = %q", file.Unit)
+	}
+	var procName, threadName string
+	counters := map[string]bool{}
+	for _, ev := range file.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			args := ev["args"].(map[string]any)
+			if ev["name"] == "process_name" {
+				procName = args["name"].(string)
+			}
+			if ev["name"] == "thread_name" {
+				threadName = args["name"].(string)
+			}
+		case "C":
+			counters[ev["name"].(string)] = true
+		}
+	}
+	if procName != "equipartition" {
+		t.Errorf("process name = %q", procName)
+	}
+	if threadName != "job 3" {
+		t.Errorf("thread name = %q", threadName)
+	}
+	for _, c := range []string{"jobs", "nodes", "capacity"} {
+		if !counters[c] {
+			t.Errorf("counter %q missing (have %v)", c, counters)
+		}
+	}
+}
+
+// TestTimeSeriesWriter: prefix columns + sample columns, %g floats,
+// header written once.
+func TestTimeSeriesWriter(t *testing.T) {
+	var b strings.Builder
+	tw := NewTimeSeriesWriter(&b, "scheduler")
+	samples := []Sample{
+		{T: 0, Waiting: 2, Running: 0, Allocated: 0, Available: 8, Utilization: 0},
+		{T: 5, Waiting: 0, Running: 2, Allocated: 8, Available: 8, Utilization: 1},
+	}
+	if err := tw.WriteAll([]string{"rigid-fcfs"}, samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.WriteAll([]string{"equipartition"}, samples[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %q", lines)
+	}
+	wantHeader := "scheduler," + strings.Join(SampleColumns(), ",")
+	if lines[0] != wantHeader {
+		t.Errorf("header = %q, want %q", lines[0], wantHeader)
+	}
+	if lines[1] != "rigid-fcfs,0,2,0,0,8,0" || lines[3] != "equipartition,0,2,0,0,8,0" {
+		t.Errorf("rows = %q", lines[1:])
+	}
+	if err := tw.WriteAll([]string{"a", "b"}, nil); err == nil {
+		t.Error("prefix arity mismatch not rejected")
+	}
+}
+
+// TestSummaryJSON: the summary export must round-trip as JSON with the
+// latency block populated.
+func TestSummaryJSON(t *testing.T) {
+	r := NewRecorder(Config{Label: "x"})
+	r.SchedulerInvoke(1, SchedulerInvocation{WallNS: 2000, Changed: 1, Active: 3, Allocated: 8})
+	var b strings.Builder
+	if err := WriteSummaryJSON(&b, []Summary{r.Summarize()}); err != nil {
+		t.Fatal(err)
+	}
+	var got []Summary
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].SchedulerLatency.Invocations != 1 || got[0].SchedulerLatency.MeanUS != 2 {
+		t.Errorf("summary = %+v", got)
+	}
+}
+
+// TestRecorderRingBounds: streams past their cap keep the newest
+// entries and report the drops in the summary.
+func TestRecorderRingBounds(t *testing.T) {
+	r := NewRecorder(Config{MaxSamples: 4, MaxSpans: 4, MaxEvents: 4})
+	for i := 0; i < 10; i++ {
+		r.TimeSample(Sample{T: float64(i)})
+	}
+	s := r.Samples()
+	if len(s) != 4 || s[0].T != 6 || s[3].T != 9 {
+		t.Fatalf("samples = %+v", s)
+	}
+	sum := r.Summarize()
+	if sum.Samples != 4 || sum.DroppedSamples != 6 {
+		t.Errorf("summary = %+v", sum)
+	}
+}

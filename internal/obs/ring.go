@@ -1,0 +1,55 @@
+package obs
+
+// ring is a bounded FIFO buffer keeping the newest max entries. It backs
+// every Recorder stream so an arbitrarily long run records in bounded
+// memory: the buffer grows geometrically (amortized O(1) appends) up to
+// max, then wraps, overwriting the oldest entry and counting the drop.
+// The growth-then-wrap shape is what keeps probe-attached steady-state
+// event processing inside the bounded-amortized-allocation contract.
+type ring[T any] struct {
+	buf     []T
+	head    int // index of the oldest entry once the buffer has wrapped
+	max     int
+	wrapped bool
+	dropped int
+}
+
+// newRing returns a ring keeping the newest max entries (max must be
+// positive). The initial allocation is small; capacity doubles toward
+// max as entries append.
+func newRing[T any](max int) ring[T] {
+	n := 64
+	if n > max {
+		n = max
+	}
+	return ring[T]{buf: make([]T, 0, n), max: max}
+}
+
+// push appends v, overwriting the oldest entry when full.
+func (r *ring[T]) push(v T) {
+	if !r.wrapped && len(r.buf) < r.max {
+		r.buf = append(r.buf, v)
+		return
+	}
+	r.wrapped = true
+	r.buf[r.head] = v
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.dropped++
+}
+
+// len reports the number of retained entries.
+func (r *ring[T]) len() int { return len(r.buf) }
+
+// items returns the retained entries oldest-first, as a fresh slice.
+func (r *ring[T]) items() []T {
+	if !r.wrapped {
+		return append([]T(nil), r.buf...)
+	}
+	out := make([]T, 0, len(r.buf))
+	out = append(out, r.buf[r.head:]...)
+	out = append(out, r.buf[:r.head]...)
+	return out
+}

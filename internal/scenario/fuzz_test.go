@@ -1,6 +1,10 @@
 package scenario
 
-import "testing"
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
 
 // FuzzParse: arbitrary bytes fed to the scenario decoder must either
 // parse into a validated Spec or return an error — never panic. The
@@ -37,6 +41,53 @@ func FuzzParse(f *testing.F) {
 		}
 		for i := range spec.Arrivals {
 			_ = spec.Arrivals[i].Label()
+		}
+	})
+}
+
+// FuzzObserve hammers the scenario's "observe" block: the fuzz input is
+// spliced in as the block's JSON value inside an otherwise-valid
+// scenario. Decoding must never panic, a spec that validates must carry
+// a usable observe config, and a block that decodes but fails
+// validation must produce an error naming the offending observe.* key.
+func FuzzObserve(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"sample_dt_s":0.5,"trace":true,"timeseries":true}`),
+		[]byte(`{"sample_dt_s":-1}`),
+		[]byte(`{"timeseries":true}`),
+		[]byte(`{"max_samples":-3,"max_spans":-1,"max_events":-9}`),
+		[]byte(`{"sample_dt_s":1e308,"max_samples":2147483647}`),
+		[]byte(`{}`),
+		[]byte(`null`),
+		[]byte(`[`),
+		[]byte(`"trace"`),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, block []byte) {
+		data := []byte(`{"name":"fz","nodes":[4],"seed":1,"jobs":2,` +
+			`"mix":[{"kind":"synthetic","phases":1,"work_s":1}],` +
+			`"arrivals":{"process":"closed"},` +
+			`"observe":` + string(block) + `}`)
+		spec, err := Parse(data)
+		if err != nil {
+			// A block that decodes on its own but fails validation must
+			// be reported against its JSON key, not a generic message.
+			var o ObserveSpec
+			if json.Unmarshal(block, &o) == nil && o.validate() != nil &&
+				!strings.Contains(err.Error(), "observe.") {
+				t.Fatalf("invalid observe block rejected without naming a key: %v", err)
+			}
+			return
+		}
+		if spec.Observe != nil {
+			if err := spec.Observe.validate(); err != nil {
+				t.Fatalf("validated spec carries invalid observe block: %v", err)
+			}
+			if cfg := spec.Observe.RecorderConfig("fz"); cfg.Label != "fz" {
+				t.Fatalf("recorder config lost its label: %+v", cfg)
+			}
 		}
 	})
 }

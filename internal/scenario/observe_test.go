@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dpsim/internal/obs"
+)
+
+const observeScenario = `{
+  "name": "observe-test",
+  "nodes": [8],
+  "seed": 7,
+  "jobs": 6,
+  "schedulers": ["equipartition", "rigid-fcfs"],
+  "mix": [{"kind": "synthetic", "phases": 3, "work_s": 40, "comm": 0.05}],
+  "arrivals": {"process": "poisson", "mean_interarrival_s": 10},
+  "availability": {"process": "spot", "reclaim_mean_s": 60, "reclaim_nodes": 2, "restore_mean_s": 30, "horizon_s": 600},
+  "reconfig": {"redistribution_s_per_node": 0.05, "lost_work_s": 1},
+  "observe": {"sample_dt_s": 2, "trace": true, "timeseries": true}
+}`
+
+// TestObserveBlockParses: the observe block round-trips through Parse
+// with its knobs intact.
+func TestObserveBlockParses(t *testing.T) {
+	spec, err := Parse([]byte(observeScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := spec.Observe
+	if o == nil {
+		t.Fatal("observe block dropped")
+	}
+	if o.SampleDTS != 2 || !o.Trace || !o.Timeseries {
+		t.Errorf("observe = %+v", o)
+	}
+	cfg := o.RecorderConfig("equipartition")
+	if cfg.Label != "equipartition" {
+		t.Errorf("config label = %q", cfg.Label)
+	}
+}
+
+// TestObserveValidationNamesKeys: every invalid observe field must be
+// rejected with an error naming its JSON key.
+func TestObserveValidationNamesKeys(t *testing.T) {
+	cases := []struct{ block, key string }{
+		{`{"sample_dt_s": -1}`, "observe.sample_dt_s"},
+		{`{"timeseries": true}`, "observe.sample_dt_s"},
+		{`{"max_samples": -1}`, "observe.max_samples"},
+		{`{"max_spans": -1}`, "observe.max_spans"},
+		{`{"max_events": -1}`, "observe.max_events"},
+	}
+	for _, c := range cases {
+		data := `{"nodes":[4],"seed":1,"jobs":1,` +
+			`"mix":[{"kind":"synthetic","phases":1,"work_s":1}],` +
+			`"arrivals":{"process":"closed"},"observe":` + c.block + `}`
+		_, err := Parse([]byte(data))
+		if err == nil {
+			t.Errorf("block %s accepted", c.block)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.key) {
+			t.Errorf("block %s rejected without naming %s: %v", c.block, c.key, err)
+		}
+	}
+}
+
+// TestRunCellProbeIdentity pins the observer-effect-free contract at the
+// scenario layer: running a cell with the recorder and sampler attached
+// must produce a CellRun deeply identical to the unobserved run, while
+// the recorder actually captures the run.
+func TestRunCellProbeIdentity(t *testing.T) {
+	spec, err := Parse([]byte(observeScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := range spec.Schedulers {
+		p := CellParams{Nodes: 8, Load: 1, SchedulerIdx: idx, Seed: 99}
+		bare, err := spec.RunCell(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := obs.NewRecorder(spec.Observe.RecorderConfig(spec.Schedulers[idx].Label()))
+		p.Probe = rec
+		probed, err := spec.RunCell(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(bare, probed) {
+			t.Errorf("%s: probe changed the CellRun:\nbare:   %+v\nprobed: %+v",
+				spec.Schedulers[idx].Label(), bare.Result, probed.Result)
+		}
+		sum := rec.Summarize()
+		if sum.Arrived == 0 || sum.Samples == 0 || len(rec.Spans()) == 0 {
+			t.Errorf("%s: recorder captured nothing: %+v", spec.Schedulers[idx].Label(), sum)
+		}
+	}
+}
+
+// TestRunCellSampleOverride: CellParams.SampleDTS overrides the spec's
+// interval; the finer grid yields strictly more samples.
+func TestRunCellSampleOverride(t *testing.T) {
+	spec, err := Parse([]byte(observeScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := obs.NewRecorder(obs.Config{})
+	if _, err := spec.RunCell(CellParams{Nodes: 8, Load: 1, Seed: 5, Probe: coarse}); err != nil {
+		t.Fatal(err)
+	}
+	fine := obs.NewRecorder(obs.Config{})
+	if _, err := spec.RunCell(CellParams{Nodes: 8, Load: 1, Seed: 5, Probe: fine, SampleDTS: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if len(fine.Samples()) <= len(coarse.Samples()) {
+		t.Errorf("fine grid %d samples, coarse %d", len(fine.Samples()), len(coarse.Samples()))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"dpsim/internal/appmodel"
 	"dpsim/internal/cluster"
 	"dpsim/internal/eventq"
+	"dpsim/internal/obs"
 	"dpsim/internal/rng"
 	"dpsim/internal/sched"
 )
@@ -33,6 +34,14 @@ type CellParams struct {
 	AppModel    string
 	AppModelIdx int
 	Seed        uint64
+	// Probe attaches an observability probe to the run (nil = the
+	// zero-cost unobserved path). Attaching one never changes the
+	// CellRun: probes receive copies of plain values only.
+	Probe obs.Probe
+	// SampleDTS overrides the time-series sample interval in virtual
+	// seconds; 0 falls back to the spec's observe.sample_dt_s. Sampling
+	// requires a Probe.
+	SampleDTS float64
 }
 
 // CellRun is the outcome of one simulated replication.
@@ -121,6 +130,20 @@ func (s *Spec) RunCell(p CellParams) (*CellRun, error) {
 		})
 		if err != nil {
 			return nil, err
+		}
+	}
+	if p.Probe != nil {
+		if err := sim.SetProbe(p.Probe); err != nil {
+			return nil, err
+		}
+		dt := p.SampleDTS
+		if dt == 0 && s.Observe != nil {
+			dt = s.Observe.SampleDTS
+		}
+		if dt > 0 {
+			if err := sim.SetSampleInterval(dt); err != nil {
+				return nil, err
+			}
 		}
 	}
 	ideal := make(map[int]float64)

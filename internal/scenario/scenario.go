@@ -47,6 +47,7 @@ import (
 
 	"dpsim/internal/appmodel"
 	"dpsim/internal/availability"
+	"dpsim/internal/obs"
 	"dpsim/internal/sched"
 )
 
@@ -101,6 +102,11 @@ type Spec struct {
 	// Reconfig prices dynamic reconfiguration (applies to every cell);
 	// nil means reconfiguration is free, the classic simulator.
 	Reconfig *ReconfigSpec `json:"reconfig,omitempty"`
+	// Observe configures the observability layer (internal/obs) for runs
+	// of this scenario: the time-series sample interval and which exports
+	// the CLIs should produce. nil leaves observation off — the simulator
+	// runs with no probe attached (the zero-cost path).
+	Observe *ObserveSpec `json:"observe,omitempty"`
 
 	// dir is the directory of the scenario file, for resolving relative
 	// trace paths; empty for in-memory specs.
@@ -362,6 +368,61 @@ func (s *Spec) ApplyAppModelOverride(arg string) error {
 	return s.Validate()
 }
 
+// ObserveSpec is the scenario's "observe" block: it opts runs into the
+// observability layer and sets its knobs. Samples ride the simulator's
+// event queue but mutate nothing, so enabling observation never changes
+// a Result or a golden output.
+type ObserveSpec struct {
+	// SampleDTS is the fixed time-series sample interval in virtual
+	// seconds. Required (> 0) when Timeseries is set; 0 disables
+	// sampling.
+	SampleDTS float64 `json:"sample_dt_s,omitempty"`
+	// Trace requests the Chrome trace-event export (Perfetto /
+	// chrome://tracing) from CLIs honoring this block.
+	Trace bool `json:"trace,omitempty"`
+	// Timeseries requests the time-series CSV export.
+	Timeseries bool `json:"timeseries,omitempty"`
+	// MaxSamples, MaxSpans and MaxEvents bound the recorder's ring
+	// buffers (0 = the internal/obs defaults).
+	MaxSamples int `json:"max_samples,omitempty"`
+	// MaxSpans bounds the retained per-job spans.
+	MaxSpans int `json:"max_spans,omitempty"`
+	// MaxEvents bounds the capacity/preemption/charge event logs.
+	MaxEvents int `json:"max_events,omitempty"`
+}
+
+// validate checks the observe block; error messages name the offending
+// JSON key so scenario authors can fix the file directly.
+func (o *ObserveSpec) validate() error {
+	if o.SampleDTS < 0 {
+		return fmt.Errorf("observe.sample_dt_s must be >= 0, got %g", o.SampleDTS)
+	}
+	if o.Timeseries && o.SampleDTS == 0 {
+		return fmt.Errorf("observe.timeseries requires observe.sample_dt_s > 0")
+	}
+	if o.MaxSamples < 0 {
+		return fmt.Errorf("observe.max_samples must be >= 0, got %d", o.MaxSamples)
+	}
+	if o.MaxSpans < 0 {
+		return fmt.Errorf("observe.max_spans must be >= 0, got %d", o.MaxSpans)
+	}
+	if o.MaxEvents < 0 {
+		return fmt.Errorf("observe.max_events must be >= 0, got %d", o.MaxEvents)
+	}
+	return nil
+}
+
+// RecorderConfig translates the block into the recorder bounds, naming
+// the run with the given label.
+func (o *ObserveSpec) RecorderConfig(label string) obs.Config {
+	return obs.Config{
+		Label:      label,
+		MaxSamples: o.MaxSamples,
+		MaxSpans:   o.MaxSpans,
+		MaxEvents:  o.MaxEvents,
+	}
+}
+
 // ReconfigSpec is the JSON form of cluster.ReconfigCost.
 type ReconfigSpec struct {
 	// RedistributionSPerNode pauses a resized job this many seconds per
@@ -569,6 +630,11 @@ func (s *Spec) Validate() error {
 	}
 	if s.Reconfig != nil && (s.Reconfig.RedistributionSPerNode < 0 || s.Reconfig.LostWorkS < 0) {
 		return fmt.Errorf("reconfig costs must be >= 0")
+	}
+	if s.Observe != nil {
+		if err := s.Observe.validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

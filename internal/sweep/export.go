@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"dpsim/internal/obs"
 )
 
 // csvHeader is the stable column order of WriteCSV.
@@ -68,4 +70,51 @@ func WriteJSON(w io.Writer, scenarioName string, stats []CellStats) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(Report{Scenario: scenarioName, Replications: reps, Cells: stats})
+}
+
+// TimeSeriesPrefixColumns returns the grid-identity columns the sweep
+// time-series CSV prepends to obs.SampleColumns — one row fully names
+// its cell and replication.
+func TimeSeriesPrefixColumns() []string {
+	return []string{"arrival", "availability", "nodes", "load", "scheduler", "appmodel", "rep"}
+}
+
+// TimeSeriesSink streams every observed replication's time-series
+// samples into one CSV: columns TimeSeriesPrefixColumns +
+// obs.SampleColumns. Its OnObserved method is shaped for
+// Options.OnObserved, which serializes calls in grid order — the sink
+// needs no locking and its output is bit-identical across worker
+// counts.
+type TimeSeriesSink struct {
+	tw  *obs.TimeSeriesWriter
+	err error
+}
+
+// NewTimeSeriesSink returns a sink writing CSV to w.
+func NewTimeSeriesSink(w io.Writer) *TimeSeriesSink {
+	return &TimeSeriesSink{tw: obs.NewTimeSeriesWriter(w, TimeSeriesPrefixColumns()...)}
+}
+
+// OnObserved appends the replication's samples; probes that are not
+// *obs.Recorder are ignored. The first write error sticks and is
+// reported by Flush.
+func (s *TimeSeriesSink) OnObserved(c Cell, rep int, p obs.Probe) {
+	rec, ok := p.(*obs.Recorder)
+	if !ok || s.err != nil {
+		return
+	}
+	prefix := []string{
+		c.Arrival, c.Avail,
+		fmt.Sprintf("%d", c.Nodes), fmt.Sprintf("%g", c.Load),
+		c.Scheduler, c.AppModel, fmt.Sprintf("%d", rep),
+	}
+	s.err = s.tw.WriteAll(prefix, rec.Samples())
+}
+
+// Flush flushes the CSV and reports the first error encountered.
+func (s *TimeSeriesSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.tw.Flush()
 }

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"dpsim/internal/metrics"
+	"dpsim/internal/obs"
 	"dpsim/internal/rng"
 	"dpsim/internal/scenario"
 )
@@ -172,6 +173,22 @@ type Options struct {
 	// Progress, when non-nil, is called after each completed run with
 	// (done, total). Calls arrive from worker goroutines.
 	Progress func(done, total int)
+	// Observe, when non-nil, constructs the observability probe of each
+	// replication before it runs. It is called from worker goroutines and
+	// must be safe for concurrent use; returning nil leaves that
+	// replication unobserved (the zero-cost path). The sample interval
+	// comes from the scenario's observe block (Spec.Observe.SampleDTS).
+	Observe func(c Cell, rep int) obs.Probe
+	// SampleDTS overrides the observed replications' time-series sample
+	// interval in virtual seconds; 0 uses the scenario's
+	// observe.sample_dt_s. Ignored without Observe.
+	SampleDTS float64
+	// OnObserved hands each observed replication's probe back at the
+	// in-order fold frontier: calls arrive strictly in (cell, replication)
+	// index order, serialized under the sweep's lock, so a sink writing
+	// CSV or traces needs no synchronization and its output is
+	// bit-identical across worker counts.
+	OnObserved func(c Cell, rep int, p obs.Probe)
 }
 
 // Cells expands the scenario's grid in canonical order: arrival process,
@@ -276,6 +293,12 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 	pending := make([]*scenario.CellRun, total)
 	folded := make([]bool, total)
 	accums := make([]cellAccum, len(cells))
+	// probes parks each observed replication's probe until the fold
+	// frontier reaches it, giving OnObserved its deterministic order.
+	var probes []obs.Probe
+	if opt.Observe != nil {
+		probes = make([]obs.Probe, total)
+	}
 	foldNext := 0
 	jobs := make(chan int)
 	var (
@@ -291,6 +314,10 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 			for idx := range jobs {
 				ci, rep := idx/reps, idx%reps
 				c := cells[ci]
+				var probe obs.Probe
+				if opt.Observe != nil {
+					probe = opt.Observe(c, rep)
+				}
 				run, err := spec.RunCell(scenario.CellParams{
 					Nodes:        c.Nodes,
 					Load:         c.Load,
@@ -299,6 +326,8 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 					AvailIdx:     c.AvailIdx,
 					AppModelIdx:  c.AppModelIdx,
 					Seed:         runSeed(spec.Seed, ci, rep),
+					Probe:        probe,
+					SampleDTS:    opt.SampleDTS,
 				})
 				mu.Lock()
 				if err != nil && firstErr == nil {
@@ -307,6 +336,9 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 				}
 				pending[idx] = run
 				folded[idx] = true
+				if probes != nil && run != nil {
+					probes[idx] = probe
+				}
 				// Advance the fold frontier over every contiguous
 				// completed run, releasing each run's per-job data as it
 				// is absorbed.
@@ -314,6 +346,12 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 					if r := pending[foldNext]; r != nil {
 						accums[foldNext/reps].fold(r)
 						pending[foldNext] = nil
+					}
+					if probes != nil && probes[foldNext] != nil {
+						if opt.OnObserved != nil {
+							opt.OnObserved(cells[foldNext/reps], foldNext%reps, probes[foldNext])
+						}
+						probes[foldNext] = nil
 					}
 					foldNext++
 				}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dpsim/internal/core"
+	"dpsim/internal/obs"
+)
+
+// TestAppendChromeTrace: the DPS timing diagram must come out as valid
+// trace-event JSON with node processes, per-thread compute/transfer
+// tracks, and phase instants.
+func TestAppendChromeTrace(t *testing.T) {
+	r := NewRecorder()
+	r.Hook(core.TraceEvent{Kind: core.TraceStepStart, Time: 10, Node: 0, Op: "lu", Thread: 0})
+	r.Hook(core.TraceEvent{Kind: core.TraceStepEnd, Time: 30, Node: 0, Op: "lu", Thread: 0})
+	r.Hook(core.TraceEvent{Kind: core.TraceTransferStart, Time: 30, Node: 1, Op: "col", Thread: 2, Detail: "4KB"})
+	r.Hook(core.TraceEvent{Kind: core.TraceTransferEnd, Time: 45, Node: 1, Op: "col", Thread: 2})
+	r.Hook(core.TraceEvent{Kind: core.TracePhase, Time: 30, Detail: "iter:0"})
+
+	var tr obs.Trace
+	r.AppendChromeTrace(&tr)
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &file); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	procs := map[string]bool{}
+	threads := map[string]bool{}
+	var phases, completes int
+	for _, ev := range file.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			args := ev["args"].(map[string]any)
+			name := args["name"].(string)
+			if ev["name"] == "process_name" {
+				procs[name] = true
+			} else if ev["name"] == "thread_name" {
+				threads[name] = true
+			}
+		case "X":
+			completes++
+		case "i":
+			if ev["name"] == "iter:0" {
+				phases++
+			}
+		}
+	}
+	for _, want := range []string{"node 0", "node 1"} {
+		if !procs[want] {
+			t.Errorf("missing process %q (have %v)", want, procs)
+		}
+	}
+	for _, want := range []string{"thread 0 compute", "thread 2 transfer"} {
+		if !threads[want] {
+			t.Errorf("missing track %q (have %v)", want, threads)
+		}
+	}
+	if completes != 2 {
+		t.Errorf("complete events = %d, want 2", completes)
+	}
+	if phases != 1 {
+		t.Errorf("phase instants = %d, want 1", phases)
+	}
+}
