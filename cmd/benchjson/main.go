@@ -20,6 +20,22 @@
 // (unlike ns/op), so any increase is a real steady-state regression and
 // the command exits 1 naming the offending benchmarks. Benchmarks absent
 // from the baseline are informational only.
+//
+// -time-tolerance F additionally gates wall time: the current min ns/op
+// across runs must not exceed the baseline's min by more than the
+// fraction F (0.5 = 50% slower fails). ns/op is machine- and
+// load-dependent — unlike the allocs gate this is opt-in, meant for
+// dedicated benchmark hosts, and the min across -count runs is compared
+// so scheduler noise in individual runs is absorbed. 0 (the default)
+// disables the gate.
+//
+// -trend switches to trajectory mode: instead of reading stdin, the
+// positional arguments name committed benchjson reports in history
+// order (e.g. BENCH_PR4.json BENCH_PR6.json BENCH_PR7.json) and the
+// output is a text table, one row per benchmark × metric, one column
+// per report — the repository's performance trajectory at a glance.
+// Metrics covered: ns/op and allocs/op; a "-" marks a benchmark absent
+// from that report.
 package main
 
 import (
@@ -29,9 +45,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // sample is one parsed benchmark line.
@@ -71,8 +89,29 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	baseline := fs.String("baseline", "",
 		"pinned benchjson report; exit 1 if any baseline benchmark's min allocs/op regresses")
+	timeTol := fs.Float64("time-tolerance", 0,
+		"with -baseline, also gate min ns/op: exit 1 if it exceeds the baseline's min\n"+
+			"by more than this fraction (0.5 = 50% slower fails; 0 disables the gate)")
+	trend := fs.Bool("trend", false,
+		"trajectory mode: merge the benchjson reports named as arguments (in history\n"+
+			"order) into a per-benchmark trend table on stdout; stdin is not read")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *timeTol < 0 {
+		fmt.Fprintln(stderr, "benchjson: -time-tolerance must be >= 0")
+		return 2
+	}
+	if *trend {
+		if *baseline != "" || fs.NArg() == 0 {
+			fmt.Fprintln(stderr, "benchjson: -trend takes report files as arguments and no -baseline")
+			return 2
+		}
+		if err := writeTrend(stdout, fs.Args()); err != nil {
+			fmt.Fprintf(stderr, "benchjson: trend: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	rep, err := parse(bufio.NewScanner(stdin))
 	if err != nil {
@@ -95,11 +134,23 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		for _, r := range regressions {
 			fmt.Fprintf(stderr, "benchjson: allocs/op regression: %s\n", r)
 		}
-		if len(regressions) > 0 {
+		timeRegressions, timeChecked := 0, 0
+		if *timeTol > 0 {
+			tr, tc := diffTime(base, rep, *timeTol)
+			for _, r := range tr {
+				fmt.Fprintf(stderr, "benchjson: ns/op regression: %s\n", r)
+			}
+			timeRegressions, timeChecked = len(tr), tc
+		}
+		if len(regressions)+timeRegressions > 0 {
 			return 1
 		}
 		fmt.Fprintf(stderr, "benchjson: %d benchmark(s) within allocs/op baseline %s\n",
 			checked, *baseline)
+		if *timeTol > 0 {
+			fmt.Fprintf(stderr, "benchjson: %d benchmark(s) within %g ns/op tolerance\n",
+				timeChecked, *timeTol)
+		}
 	}
 	return 0
 }
@@ -146,6 +197,96 @@ func diffAllocs(base, cur *Report) (regressions []string, checked int) {
 		}
 	}
 	return regressions, checked
+}
+
+// diffTime compares min ns/op per benchmark against the baseline with a
+// fractional tolerance: the min across repeated runs is each side's best
+// case, so the comparison is as noise-free as wall time gets.
+func diffTime(base, cur *Report, tol float64) (regressions []string, checked int) {
+	current := make(map[string]Result, len(cur.Results))
+	for _, r := range cur.Results {
+		current[r.Name] = r
+	}
+	for _, b := range base.Results {
+		want, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		c, ok := current[b.Name]
+		if !ok {
+			continue
+		}
+		got, ok := c.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		checked++
+		if limit := want.Min * (1 + tol); got.Min > limit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %g ns/op > baseline %g +%g%% = %g",
+					b.Name, got.Min, want.Min, 100*tol, limit))
+		}
+	}
+	return regressions, checked
+}
+
+// trendMetrics are the metrics the trajectory table tracks — the two the
+// repository gates on.
+var trendMetrics = []string{"ns/op", "allocs/op"}
+
+// writeTrend renders the reports at paths (history order) as one table:
+// a row per benchmark × metric, a column per report labelled by its file
+// name. Benchmarks appear in first-seen order across the history.
+func writeTrend(w io.Writer, paths []string) error {
+	reports := make([]*Report, len(paths))
+	labels := make([]string, len(paths))
+	for i, path := range paths {
+		rep, err := loadReport(path)
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		labels[i] = strings.TrimSuffix(filepath.Base(path), ".json")
+	}
+	var order []string
+	byName := make([]map[string]Result, len(reports))
+	seen := make(map[string]bool)
+	for i, rep := range reports {
+		byName[i] = make(map[string]Result, len(rep.Results))
+		for _, r := range rep.Results {
+			byName[i][r.Name] = r
+			if !seen[r.Name] {
+				seen[r.Name] = true
+				order = append(order, r.Name)
+			}
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\tmetric")
+	for _, l := range labels {
+		fmt.Fprintf(tw, "\t%s", l)
+	}
+	fmt.Fprintln(tw)
+	for _, name := range order {
+		for _, metric := range trendMetrics {
+			cells := make([]string, len(reports))
+			any := false
+			for i := range reports {
+				cells[i] = "-"
+				if r, ok := byName[i][name]; ok {
+					if st, ok := r.Metrics[metric]; ok {
+						cells[i] = strconv.FormatFloat(st.Min, 'g', -1, 64)
+						any = true
+					}
+				}
+			}
+			if !any {
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\n", name, metric, strings.Join(cells, "\t"))
+		}
+	}
+	return tw.Flush()
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {

@@ -84,3 +84,93 @@ func TestBaselineMissingFileFails(t *testing.T) {
 		t.Fatalf("missing baseline file should exit 1, got %d: %s", code, stderr)
 	}
 }
+
+func TestTimeToleranceGate(t *testing.T) {
+	base := writeBaseline(t, benchText)
+	// Baseline min ns/op for ClusterStep is 1100. 20% slower than that is
+	// 1320: a 1300 run passes at tol 0.2 but fails at tol 0.1.
+	slower := strings.ReplaceAll(benchText, "1200 ns/op", "1300 ns/op")
+	slower = strings.ReplaceAll(slower, "1100 ns/op", "1300 ns/op")
+	code, _, stderr := run(t, []string{"-baseline", base, "-time-tolerance", "0.2"}, slower)
+	if code != 0 {
+		t.Fatalf("within tolerance should pass, got exit %d: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "within 0.2 ns/op tolerance") {
+		t.Errorf("expected ns/op pass summary, got: %s", stderr)
+	}
+	code, _, stderr = run(t, []string{"-baseline", base, "-time-tolerance", "0.1"}, slower)
+	if code != 1 {
+		t.Fatalf("outside tolerance should exit 1, got %d: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "ns/op regression: BenchmarkClusterStep-8") {
+		t.Errorf("regression message should name the benchmark, got: %s", stderr)
+	}
+	// Default (0) never gates on time, no matter how slow.
+	crawl := strings.ReplaceAll(benchText, "1200 ns/op", "999999 ns/op")
+	crawl = strings.ReplaceAll(crawl, "1100 ns/op", "999999 ns/op")
+	if code, _, stderr := run(t, []string{"-baseline", base}, crawl); code != 0 {
+		t.Fatalf("time gate must be opt-in, got exit %d: %s", code, stderr)
+	}
+	if code, _, _ := run(t, []string{"-time-tolerance", "-1"}, benchText); code != 2 {
+		t.Error("negative tolerance should be a usage error")
+	}
+}
+
+func TestTrendTable(t *testing.T) {
+	dir := t.TempDir()
+	old := writeTrendReport(t, dir, "BENCH_PR4.json", benchText)
+	newer := writeTrendReport(t, dir, "BENCH_PR7.json", strings.ReplaceAll(
+		benchText, "1100 ns/op", "900 ns/op")+
+		"BenchmarkBrandNew-8   	 1000	      9000 ns/op	     512 B/op	       9 allocs/op\n")
+	code, out, stderr := run(t, []string{"-trend", old, newer}, "")
+	if code != 0 {
+		t.Fatalf("trend failed (%d): %s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("expected header + 3 benchmarks x 2 metrics = 7 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "BENCH_PR4") || !strings.Contains(lines[0], "BENCH_PR7") {
+		t.Errorf("header should carry report labels: %q", lines[0])
+	}
+	var clusterNs, brandNew string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "BenchmarkClusterStep-8") && strings.Contains(l, "ns/op") {
+			clusterNs = l
+		}
+		if strings.HasPrefix(l, "BenchmarkBrandNew-8") && strings.Contains(l, "ns/op") {
+			brandNew = l
+		}
+	}
+	for _, want := range []string{"1100", "900"} {
+		if !strings.Contains(clusterNs, want) {
+			t.Errorf("ClusterStep ns/op row missing %s: %q", want, clusterNs)
+		}
+	}
+	if !strings.Contains(brandNew, "-") {
+		t.Errorf("benchmark absent from a report should show -: %q", brandNew)
+	}
+
+	if code, _, _ := run(t, []string{"-trend"}, ""); code != 2 {
+		t.Error("-trend with no reports should be a usage error")
+	}
+	if code, _, _ := run(t, []string{"-trend", "-baseline", old, newer}, ""); code != 2 {
+		t.Error("-trend with -baseline should be a usage error")
+	}
+	if code, _, _ := run(t, []string{"-trend", filepath.Join(dir, "nope.json")}, ""); code != 1 {
+		t.Error("missing trend report should exit 1")
+	}
+}
+
+func writeTrendReport(t *testing.T, dir, name, from string) string {
+	t.Helper()
+	code, out, stderr := run(t, nil, from)
+	if code != 0 {
+		t.Fatalf("report generation failed (%d): %s", code, stderr)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}

@@ -26,6 +26,14 @@
 // Like the availability axis, only the first grid point runs here — run
 // cmd/dpssweep to cover a multi-model grid.
 //
+// -telemetry-addr serves the runtime telemetry endpoints
+// (internal/telemetry: /metrics, /progress, /healthz, /debug/pprof/)
+// while the comparison runs — counters for completed runs and finished
+// jobs, a run-duration histogram, and Go runtime health. The bound
+// address is printed to stderr, so ":0" picks a free port. -log-json
+// mirrors the run lifecycle as structured log/slog JSON records on
+// stderr. See docs/telemetry.md.
+//
 // Observability (internal/obs): -trace-out writes a Chrome trace-event
 // JSON file (load it in Perfetto or chrome://tracing; one process per
 // scheduler, one track per job, capacity and queue-depth counters),
@@ -44,11 +52,15 @@ import (
 	"os"
 	"strings"
 
+	"time"
+
 	"dpsim/internal/appmodel"
 	"dpsim/internal/cluster"
 	"dpsim/internal/obs"
 	"dpsim/internal/scenario"
 	"dpsim/internal/sched"
+	"dpsim/internal/sweep"
+	"dpsim/internal/telemetry"
 )
 
 func main() {
@@ -81,17 +93,26 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		"write per-run observability summaries as JSON")
 	sampleDT := fs.Float64("sample-dt", 0,
 		"time-series sample interval [s]\n(0 = the scenario's observe.sample_dt_s, else 1)")
+	telemetryAddr := fs.String("telemetry-addr", "",
+		"serve runtime telemetry on this address while the comparison runs:\n"+
+			strings.Join(telemetry.Endpoints(), ", ")+" (\":0\" picks a free port;\n"+
+			"the bound address is printed to stderr)")
+	logJSON := fs.Bool("log-json", false,
+		"emit structured JSON logs (log/slog) for the run lifecycle on stderr")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(),
 			"usage: clustersim [-nodes N] [-jobs N] [-interarrival S] [-seed N] [-scenario FILE] [-schedulers LIST] [-json]\n"+
-				"                  [-trace-out FILE] [-timeseries-out FILE] [-summary-out FILE] [-sample-dt S]\n")
+				"                  [-trace-out FILE] [-timeseries-out FILE] [-summary-out FILE] [-sample-dt S]\n"+
+				"                  [-telemetry-addr ADDR] [-log-json]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	logger := telemetry.NewLogger(stderr, *logJSON)
 	fail := func(err error) int {
 		fmt.Fprintf(stderr, "clustersim: %v\n", err)
+		logger.Error("run failed", "err", err.Error())
 		return 1
 	}
 	if fs.NArg() > 0 {
@@ -147,8 +168,33 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		dt = 1
 	}
 
+	// Telemetry: simple run/job counters plus a run-duration histogram and
+	// Go runtime health; clustersim has no grid, so there is no progress
+	// source and /progress reports inactive.
+	var runsMetric, jobsMetric *telemetry.Counter
+	var runDur *telemetry.Histogram
+	if *telemetryAddr != "" {
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
+		runsMetric = reg.Counter("dpsim_clustersim_runs_total",
+			"Completed scheduler-comparison runs.")
+		jobsMetric = reg.Counter("dpsim_clustersim_jobs_finished_total",
+			"Jobs finished across all compared runs.")
+		runDur = reg.Histogram("dpsim_clustersim_run_duration_seconds",
+			"Wall-clock duration of one scheduler's simulation run.")
+		srv, err := telemetry.NewServer(*telemetryAddr, reg, nil)
+		if err != nil {
+			return fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "telemetry: serving on http://%s\n", srv.Addr())
+		logger.Info("telemetry serving", "addr", srv.Addr())
+	}
+
 	n := spec.Nodes[0]
 	load := spec.Loads[0]
+	logger.Info("comparison starting", "scenario", spec.Name, "nodes", n,
+		"schedulers", len(spec.Schedulers))
 	var results []cluster.Result
 	var recorders []*obs.Recorder
 	labels := make([]string, len(spec.Schedulers))
@@ -170,10 +216,18 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 		// The first grid point throughout, including the first
 		// availability process when the scenario declares any.
+		t0 := time.Now()
 		run, err := spec.RunCell(params)
 		if err != nil {
 			return fail(err)
 		}
+		if runsMetric != nil {
+			runsMetric.Inc()
+			jobsMetric.Add(int64(len(run.Result.PerJob)))
+			runDur.Observe(time.Since(t0))
+		}
+		logger.Info("run finished", "scheduler", labels[i],
+			"elapsed_s", time.Since(t0).Seconds(), "jobs", len(run.Result.PerJob))
 		results = append(results, run.Result)
 	}
 
@@ -234,42 +288,29 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 
 // writeObservability renders the recorders into the requested export
 // files: one trace process, one CSV block and one summary entry per
-// compared scheduler, in comparison order.
+// compared scheduler, in comparison order. Every file is written
+// atomically (temp file + rename), so a failure never leaves a
+// truncated export.
 func writeObservability(traceOut, tsOut, sumOut string, labels []string, recorders []*obs.Recorder) error {
 	if traceOut != "" {
 		var tr obs.Trace
 		for i, rec := range recorders {
 			rec.AppendTrace(&tr, i+1)
 		}
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return err
-		}
-		if err := tr.WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := sweep.WriteFileAtomic(traceOut, tr.WriteJSON); err != nil {
 			return err
 		}
 	}
 	if tsOut != "" {
-		f, err := os.Create(tsOut)
-		if err != nil {
-			return err
-		}
-		tw := obs.NewTimeSeriesWriter(f, "scheduler")
-		for i, rec := range recorders {
-			if err := tw.WriteAll([]string{labels[i]}, rec.Samples()); err != nil {
-				f.Close()
-				return err
+		if err := sweep.WriteFileAtomic(tsOut, func(w io.Writer) error {
+			tw := obs.NewTimeSeriesWriter(w, "scheduler")
+			for i, rec := range recorders {
+				if err := tw.WriteAll([]string{labels[i]}, rec.Samples()); err != nil {
+					return err
+				}
 			}
-		}
-		if err := tw.Flush(); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+			return tw.Flush()
+		}); err != nil {
 			return err
 		}
 	}
@@ -278,15 +319,9 @@ func writeObservability(traceOut, tsOut, sumOut string, labels []string, recorde
 		for i, rec := range recorders {
 			summaries[i] = rec.Summarize()
 		}
-		f, err := os.Create(sumOut)
-		if err != nil {
-			return err
-		}
-		if err := obs.WriteSummaryJSON(f, summaries); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := sweep.WriteFileAtomic(sumOut, func(w io.Writer) error {
+			return obs.WriteSummaryJSON(w, summaries)
+		}); err != nil {
 			return err
 		}
 	}

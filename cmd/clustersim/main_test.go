@@ -150,3 +150,43 @@ func TestBadFlagsFail(t *testing.T) {
 		t.Error("missing scenario accepted")
 	}
 }
+
+// TestTelemetryFlagSmoke: -telemetry-addr binds, prints the address to
+// stderr, and -log-json turns stderr into a JSON record stream.
+func TestTelemetryFlagSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"-jobs", "6", "-telemetry-addr", "127.0.0.1:0", "-log-json",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	text := stderr.String()
+	if !strings.Contains(text, "telemetry: serving on http://") {
+		t.Errorf("stderr missing telemetry address line:\n%s", text)
+	}
+	sawFinished := false
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue // the human-readable telemetry address line
+		}
+		var rec struct {
+			Msg string `json:"msg"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("stderr line is not JSON: %q (%v)", line, err)
+		}
+		if rec.Msg == "run finished" {
+			sawFinished = true
+		}
+	}
+	if !sawFinished {
+		t.Error("no \"run finished\" slog record on stderr")
+	}
+
+	var stderr2 bytes.Buffer
+	if code := realMain([]string{"-jobs", "6", "-telemetry-addr", "256.0.0.1:bad"},
+		&stdout, &stderr2); code != 1 {
+		t.Errorf("bad telemetry addr: exit %d, want 1", code)
+	}
+}

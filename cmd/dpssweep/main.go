@@ -10,7 +10,23 @@
 //	         [-schedulers "equipartition,malleable-hysteresis(epoch_s=45)"]
 //	         [-appmodels "mix,amdahl(f=0.1),roofline(sat=8)"]
 //	         [-timeseries-out ts.csv] [-sample-dt 5]
+//	         [-telemetry-addr 127.0.0.1:9100] [-log-json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -telemetry-addr starts the runtime telemetry server (internal/telemetry)
+// for the duration of the sweep: /metrics serves the process's live
+// metrics in Prometheus text format (cells done, throughput, per-worker
+// busy fractions, fold-frontier lag, Go heap/GC health; ?format=json for
+// JSON), /progress serves a machine-readable progress report with ETA,
+// /healthz answers liveness probes, and /debug/pprof/ exposes the Go
+// profiler for live CPU/heap profiling of a long sweep. The bound
+// address is printed to stderr ("telemetry: serving on http://..."), so
+// ":0" picks a free port. See docs/telemetry.md.
+//
+// -log-json mirrors the run's lifecycle (start, telemetry address, run
+// completion with throughput, each export) as structured log/slog JSON
+// records on stderr — one object per line for log shippers. Without the
+// flag no structured records are emitted.
 //
 // -timeseries-out opts every replication into fixed-interval sampling
 // (internal/obs) and streams the samples as one CSV: the grid-identity
@@ -19,6 +35,11 @@
 // the file is byte-identical for any -workers value; the aggregate
 // exports are unchanged by sampling. -sample-dt sets the interval,
 // falling back to the scenario's observe.sample_dt_s, then 1s.
+//
+// All file exports (-csv, -json, -timeseries-out) are written
+// atomically: content streams into a temp file in the destination
+// directory and is renamed into place only on success, so a killed or
+// failed sweep never leaves a truncated export behind.
 //
 // -cpuprofile and -memprofile write pprof profiles of the sweep (the CPU
 // profile covers the grid run; the heap profile is captured after it),
@@ -50,81 +71,131 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"dpsim/internal/appmodel"
 	"dpsim/internal/obs"
 	"dpsim/internal/scenario"
 	"dpsim/internal/sched"
 	"dpsim/internal/sweep"
+	"dpsim/internal/telemetry"
 )
 
-func usage() {
-	fmt.Fprintf(flag.CommandLine.Output(),
-		"usage: dpssweep -scenario FILE [-replications N] [-workers N] [-schedulers LIST] [-appmodels LIST] [-csv FILE] [-json FILE] [-timeseries-out FILE] [-sample-dt S] [-cpuprofile FILE] [-memprofile FILE]\n")
-	flag.PrintDefaults()
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	scenarioPath := flag.String("scenario", "", "scenario JSON file (required)")
-	replications := flag.Int("replications", 1, "seed replications per grid cell")
-	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-	schedulers := flag.String("schedulers", "",
+// realMain is main with its environment made explicit, so the CLI smoke
+// tests can drive the binary's full path — telemetry server included —
+// in-process.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dpssweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenarioPath := fs.String("scenario", "", "scenario JSON file (required)")
+	replications := fs.Int("replications", 1, "seed replications per grid cell")
+	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	schedulers := fs.String("schedulers", "",
 		"comma-separated scheduler specs forming the grid axis, each NAME or NAME(k=v,...)\n"+
 			"(overrides the scenario's list; valid names: "+strings.Join(sched.Names(), ", ")+")")
-	appmodels := flag.String("appmodels", "",
+	appmodels := fs.String("appmodels", "",
 		"comma-separated application performance-model specs forming the grid axis,\n"+
 			"each NAME or NAME(k=v,...) (overrides the scenario's list; valid names:\n"+
 			"mix, "+strings.Join(appmodel.Names(), ", ")+")")
-	csvPath := flag.String("csv", "", "write aggregate CSV to this file (\"-\" for stdout)")
-	jsonPath := flag.String("json", "", "write aggregate JSON to this file (\"-\" for stdout)")
-	tsPath := flag.String("timeseries-out", "",
+	csvPath := fs.String("csv", "", "write aggregate CSV to this file (\"-\" for stdout)")
+	jsonPath := fs.String("json", "", "write aggregate JSON to this file (\"-\" for stdout)")
+	tsPath := fs.String("timeseries-out", "",
 		"write per-replication time-series samples as CSV (enables per-cell sampling)")
-	sampleDT := flag.Float64("sample-dt", 0,
+	sampleDT := fs.Float64("sample-dt", 0,
 		"time-series sample interval [s] (0 = the scenario's observe.sample_dt_s, else 1)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile (captured after the sweep) to this file")
-	quiet := flag.Bool("q", false, "suppress the progress line and table")
-	flag.Usage = usage
-	flag.Parse()
-	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "dpssweep: unexpected arguments: %v\n", flag.Args())
-		usage()
-		os.Exit(2)
+	telemetryAddr := fs.String("telemetry-addr", "",
+		"serve runtime telemetry on this address while the sweep runs:\n"+
+			strings.Join(telemetry.Endpoints(), ", ")+" (\":0\" picks a free port;\n"+
+			"the bound address is printed to stderr)")
+	logJSON := fs.Bool("log-json", false,
+		"emit structured JSON logs (log/slog) for the run lifecycle on stderr")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (captured after the sweep) to this file")
+	quiet := fs.Bool("q", false, "suppress the progress line and table")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(),
+			"usage: dpssweep -scenario FILE [-replications N] [-workers N] [-schedulers LIST] [-appmodels LIST]\n"+
+				"                [-csv FILE] [-json FILE] [-timeseries-out FILE] [-sample-dt S]\n"+
+				"                [-telemetry-addr ADDR] [-log-json] [-cpuprofile FILE] [-memprofile FILE]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger := telemetry.NewLogger(stderr, *logJSON)
+	fail := func(context string, err error) int {
+		if context != "" {
+			fmt.Fprintf(stderr, "dpssweep: %s: %v\n", context, err)
+		} else {
+			fmt.Fprintf(stderr, "dpssweep: %v\n", err)
+		}
+		logger.Error("sweep failed", "context", context, "err", err.Error())
+		return 1
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "dpssweep: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
 	}
 	if *scenarioPath == "" {
-		fmt.Fprintln(os.Stderr, "dpssweep: -scenario is required")
-		usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dpssweep: -scenario is required")
+		fs.Usage()
+		return 2
 	}
 	if *replications <= 0 {
-		fmt.Fprintln(os.Stderr, "dpssweep: -replications must be positive")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dpssweep: -replications must be positive")
+		return 2
 	}
 
 	spec, err := scenario.Load(*scenarioPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dpssweep: %v\n", err)
-		os.Exit(1)
+		return fail("", err)
 	}
 	if *schedulers != "" {
 		if err := spec.ApplySchedulerOverride(*schedulers); err != nil {
-			fmt.Fprintf(os.Stderr, "dpssweep: %v\n", err)
-			os.Exit(1)
+			return fail("", err)
 		}
 	}
 	if *appmodels != "" {
 		if err := spec.ApplyAppModelOverride(*appmodels); err != nil {
-			fmt.Fprintf(os.Stderr, "dpssweep: %v\n", err)
-			os.Exit(1)
+			return fail("", err)
 		}
 	}
 	cells := sweep.Cells(spec)
 	opt := sweep.Options{Replications: *replications, Workers: *workers}
+	poolSize := opt.Workers
+	if poolSize <= 0 {
+		poolSize = runtime.GOMAXPROCS(0)
+	}
+
+	// Runtime telemetry: metrics registry + HTTP server for the duration
+	// of the sweep. The sweep itself reports through opt.Metrics; Go
+	// runtime health rides along via scrape-time gauges.
+	if *telemetryAddr != "" {
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
+		m := sweep.NewMetrics(reg, poolSize)
+		srv, err := telemetry.NewServer(*telemetryAddr, reg, m)
+		if err != nil {
+			return fail("telemetry", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "telemetry: serving on http://%s\n", srv.Addr())
+		logger.Info("telemetry serving", "addr", srv.Addr())
+		opt.Metrics = m
+	}
+
 	// Per-cell sampling: each replication gets its own recorder, and the
 	// sink drains them at the in-order fold frontier, so the CSV is
 	// byte-identical for any -workers value. Aggregate exports are
-	// untouched — probes observe, they never participate.
-	var tsFile *os.File
+	// untouched — probes observe, they never participate. The file is
+	// written atomically: samples stream into a temp file that is only
+	// renamed onto -timeseries-out after a clean finish.
+	var tsFile *sweep.AtomicFile
 	var tsSink *sweep.TimeSeriesSink
 	if *tsPath != "" {
 		dt := *sampleDT
@@ -134,11 +205,11 @@ func main() {
 		if dt == 0 {
 			dt = 1
 		}
-		f, err := os.Create(*tsPath)
+		f, err := sweep.CreateAtomic(*tsPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dpssweep: timeseries: %v\n", err)
-			os.Exit(1)
+			return fail("timeseries", err)
 		}
+		defer f.Abort()
 		tsFile = f
 		tsSink = sweep.NewTimeSeriesSink(f)
 		opt.SampleDTS = dt
@@ -151,29 +222,39 @@ func main() {
 		}
 		opt.OnObserved = tsSink.OnObserved
 	}
+	start := time.Now()
+	totalRuns := len(cells) * *replications
+	logger.Info("sweep starting", "scenario", spec.Name, "cells", len(cells),
+		"replications", *replications, "runs", totalRuns, "workers", poolSize)
 	if !*quiet {
-		w := opt.Workers
-		if w <= 0 {
-			w = runtime.GOMAXPROCS(0)
-		}
-		fmt.Printf("scenario %q: %d cells × %d replications = %d runs on %d workers\n",
-			spec.Name, len(cells), *replications, len(cells)**replications, w)
+		fmt.Fprintf(stdout, "scenario %q: %d cells × %d replications = %d runs on %d workers\n",
+			spec.Name, len(cells), *replications, totalRuns, poolSize)
+		// The progress line adds live throughput and an ETA extrapolated
+		// from it (the same numbers /progress serves).
 		opt.Progress = func(done, total int) {
-			fmt.Printf("\r%d/%d runs", done, total)
+			elapsed := time.Since(start).Seconds()
+			var rate float64
+			if elapsed > 0 {
+				rate = float64(done) / elapsed
+			}
+			eta := "--"
+			if rate > 0 {
+				eta = (time.Duration(float64(total-done) / rate * float64(time.Second))).Round(time.Second).String()
+			}
+			fmt.Fprintf(stdout, "\r%d/%d runs  %.1f runs/s  ETA %s ", done, total, rate, eta)
 			if done == total {
-				fmt.Println()
+				fmt.Fprintln(stdout)
 			}
 		}
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dpssweep: cpuprofile: %v\n", err)
-			os.Exit(1)
+			return fail("cpuprofile", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "dpssweep: cpuprofile: %v\n", err)
-			os.Exit(1)
+			f.Close()
+			return fail("cpuprofile", err)
 		}
 		defer f.Close()
 	}
@@ -182,18 +263,21 @@ func main() {
 		pprof.StopCPUProfile()
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dpssweep: %v\n", err)
-		os.Exit(1)
+		return fail("", err)
 	}
+	elapsed := time.Since(start)
+	logger.Info("sweep finished", "runs", totalRuns,
+		"elapsed_s", elapsed.Seconds(),
+		"runs_per_second", float64(totalRuns)/elapsed.Seconds())
 	if tsSink != nil {
 		ferr := tsSink.Flush()
-		if cerr := tsFile.Close(); ferr == nil {
-			ferr = cerr
+		if ferr == nil {
+			ferr = tsFile.Commit()
 		}
 		if ferr != nil {
-			fmt.Fprintf(os.Stderr, "dpssweep: timeseries: %v\n", ferr)
-			os.Exit(1)
+			return fail("timeseries", ferr)
 		}
+		logger.Info("export written", "kind", "timeseries", "path", *tsPath)
 	}
 	if *memProfile != "" {
 		f, ferr := os.Create(*memProfile)
@@ -205,29 +289,33 @@ func main() {
 			}
 		}
 		if ferr != nil {
-			fmt.Fprintf(os.Stderr, "dpssweep: memprofile: %v\n", ferr)
-			os.Exit(1)
+			return fail("memprofile", ferr)
 		}
 	}
 
 	if !*quiet {
-		printTable(stats)
+		printTable(stdout, stats)
 	}
-	if err := export(*csvPath, func(w io.Writer) error {
+	if err := export(*csvPath, stdout, func(w io.Writer) error {
 		return sweep.WriteCSV(w, spec.Name, stats)
 	}); err != nil {
-		fmt.Fprintf(os.Stderr, "dpssweep: csv: %v\n", err)
-		os.Exit(1)
+		return fail("csv", err)
 	}
-	if err := export(*jsonPath, func(w io.Writer) error {
+	if *csvPath != "" && *csvPath != "-" {
+		logger.Info("export written", "kind", "csv", "path", *csvPath)
+	}
+	if err := export(*jsonPath, stdout, func(w io.Writer) error {
 		return sweep.WriteJSON(w, spec.Name, stats)
 	}); err != nil {
-		fmt.Fprintf(os.Stderr, "dpssweep: json: %v\n", err)
-		os.Exit(1)
+		return fail("json", err)
 	}
+	if *jsonPath != "" && *jsonPath != "-" {
+		logger.Info("export written", "kind", "json", "path", *jsonPath)
+	}
+	return 0
 }
 
-func printTable(stats []sweep.CellStats) {
+func printTable(stdout io.Writer, stats []sweep.CellStats) {
 	width := len("scheduler")
 	mwidth := len("appmodel")
 	for _, st := range stats {
@@ -238,11 +326,11 @@ func printTable(stats []sweep.CellStats) {
 			mwidth = len(st.AppModel)
 		}
 	}
-	fmt.Printf("\n%-16s %-16s %6s %5s %-*s %-*s %10s %10s %9s %10s %8s %8s %8s %8s %9s %9s\n",
+	fmt.Fprintf(stdout, "\n%-16s %-16s %6s %5s %-*s %-*s %10s %10s %9s %10s %8s %8s %8s %8s %9s %9s\n",
 		"arrival", "availability", "nodes", "load", width, "scheduler", mwidth, "appmodel",
 		"mean resp", "p95 resp", "wait", "makespan", "util", "avutil", "slowdn", "realloc", "lost work", "redist")
 	for _, st := range stats {
-		fmt.Printf("%-16s %-16s %6d %5.2g %-*s %-*s %9.1fs %9.1fs %8.1fs %9.1fs %7.1f%% %7.1f%% %8.2f %8.1f %8.1fs %8.1fs\n",
+		fmt.Fprintf(stdout, "%-16s %-16s %6d %5.2g %-*s %-*s %9.1fs %9.1fs %8.1fs %9.1fs %7.1f%% %7.1f%% %8.2f %8.1f %8.1fs %8.1fs\n",
 			st.Arrival, st.Avail, st.Nodes, st.Load, width, st.Scheduler, mwidth, st.AppModel,
 			st.MeanResponse, st.P95Response, st.MeanWait,
 			st.MeanMakespan, 100*st.MeanUtilization, 100*st.MeanAvailUtilization,
@@ -250,20 +338,15 @@ func printTable(stats []sweep.CellStats) {
 	}
 }
 
-func export(path string, write func(io.Writer) error) error {
+// export renders write's output to path: "" skips, "-" streams to
+// stdout, and a real path is written atomically (temp file + rename) so
+// a failure never leaves a truncated export.
+func export(path string, stdout io.Writer, write func(io.Writer) error) error {
 	switch path {
 	case "":
 		return nil
 	case "-":
-		return write(os.Stdout)
+		return write(stdout)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return sweep.WriteFileAtomic(path, write)
 }

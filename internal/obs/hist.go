@@ -11,6 +11,34 @@ import (
 // everything under 1µs), and the last bucket absorbs the overflow.
 const latencyBuckets = 22
 
+// LatencyBucketCount is the shared log-spaced bucketing scheme's bucket
+// count — internal/telemetry histograms reuse the same layout so
+// simulated-time and wall-clock latencies bucket identically.
+func LatencyBucketCount() int { return latencyBuckets }
+
+// LatencyBucketIndex maps a duration in nanoseconds onto its bucket:
+// power-of-two microsecond buckets, with negatives clamped to bucket 0
+// and the last bucket absorbing the overflow.
+func LatencyBucketIndex(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns) / 1000)
+	if i >= latencyBuckets {
+		i = latencyBuckets - 1
+	}
+	return i
+}
+
+// LatencyBucketBoundUS returns bucket i's inclusive upper bound in
+// microseconds; the final bucket is unbounded and reports 0 ("+Inf").
+func LatencyBucketBoundUS(i int) uint64 {
+	if i >= latencyBuckets-1 {
+		return 0
+	}
+	return uint64(1) << i
+}
+
 // LatencyHist is a streaming latency summary: a power-of-two bucket
 // histogram over microseconds plus the metrics package's Welford and
 // MinMax accumulators for the moments and extremes. The zero value is
@@ -27,12 +55,7 @@ func (h *LatencyHist) Add(ns int64) {
 	if ns < 0 {
 		ns = 0
 	}
-	us := uint64(ns) / 1000
-	i := bits.Len64(us)
-	if i >= latencyBuckets {
-		i = latencyBuckets - 1
-	}
-	h.buckets[i]++
+	h.buckets[LatencyBucketIndex(ns)]++
 	h.w.Add(float64(ns) / 1000)
 	h.mm.Add(float64(ns) / 1000)
 }
@@ -69,11 +92,7 @@ func (h *LatencyHist) Buckets() []LatencyBucket {
 	}
 	out := make([]LatencyBucket, 0, last+1)
 	for i := 0; i <= last; i++ {
-		b := LatencyBucket{Count: h.buckets[i]}
-		if i < latencyBuckets-1 {
-			b.LeUS = uint64(1) << i
-		}
-		out = append(out, b)
+		out = append(out, LatencyBucket{LeUS: LatencyBucketBoundUS(i), Count: h.buckets[i]})
 	}
 	return out
 }

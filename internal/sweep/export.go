@@ -5,10 +5,86 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"dpsim/internal/obs"
 )
+
+// AtomicFile writes a file atomically: content streams into a hidden
+// temp file in the destination directory and only a successful Commit
+// renames it into place, so a killed or failed export never leaves a
+// truncated file behind — a pre-existing file at the destination stays
+// intact until the rename. Abort (or a failed Commit) removes the temp
+// file. This is the groundwork for resumable sweeps: an output file that
+// exists is always complete.
+type AtomicFile struct {
+	f    *os.File
+	path string
+	done bool
+}
+
+// CreateAtomic opens an atomic writer targeting path.
+func CreateAtomic(path string) (*AtomicFile, error) {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, "."+base+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	return &AtomicFile{f: f, path: path}, nil
+}
+
+// Write streams content into the temp file.
+func (a *AtomicFile) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// Commit syncs, closes and renames the temp file onto the destination.
+// On any error the temp file is removed and the destination is left as
+// it was.
+func (a *AtomicFile) Commit() error {
+	if a.done {
+		return nil
+	}
+	a.done = true
+	err := a.f.Sync()
+	if cerr := a.f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(a.f.Name(), a.path)
+	}
+	if err != nil {
+		os.Remove(a.f.Name())
+		return err
+	}
+	return nil
+}
+
+// Abort discards the temp file; the destination is untouched. Safe to
+// call after Commit (a no-op), so `defer a.Abort()` pairs naturally with
+// a final Commit.
+func (a *AtomicFile) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.f.Close()
+	os.Remove(a.f.Name())
+}
+
+// WriteFileAtomic renders write's output into path atomically via
+// AtomicFile: the destination appears complete or not at all.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	a, err := CreateAtomic(path)
+	if err != nil {
+		return err
+	}
+	defer a.Abort()
+	if err := write(a); err != nil {
+		return err
+	}
+	return a.Commit()
+}
 
 // csvHeader is the stable column order of WriteCSV.
 const csvHeader = "scenario,arrival,availability,nodes,load,scheduler,appmodel,replications,jobs,unfinished," +

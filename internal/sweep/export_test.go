@@ -2,6 +2,8 @@ package sweep
 
 import (
 	"encoding/csv"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -54,5 +56,106 @@ func TestOutputDocColumns(t *testing.T) {
 		if !strings.Contains(doc, "`"+col+"`") {
 			t.Errorf("column %q is not documented in docs/output.md", col)
 		}
+	}
+}
+
+// TestWriteFileAtomicSuccess: the destination appears with the full
+// content and no temp droppings remain.
+func TestWriteFileAtomicSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("hello\nworld\n"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello\nworld\n" {
+		t.Errorf("content %q", data)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("temp file left behind: %v", entries)
+	}
+}
+
+// TestWriteFileAtomicFailureLeavesOldFile: a failed export neither
+// truncates nor replaces an existing destination, and the temp file is
+// cleaned up.
+func TestWriteFileAtomicFailureLeavesOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("previous complete export"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("mid-write failure")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("partial gar"))
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "previous complete export" {
+		t.Errorf("destination clobbered: %q", data)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("temp file left behind: %v", entries)
+	}
+}
+
+// TestAtomicFileStreaming: the long-lived streaming path (time-series
+// CSV written during a sweep) — nothing at the destination until
+// Commit, everything after, and Abort after Commit is a no-op.
+func TestAtomicFileStreaming(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ts.csv")
+	a, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Abort()
+	a.Write([]byte("row1\n"))
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("destination exists before Commit")
+	}
+	a.Write([]byte("row2\n"))
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	a.Abort() // must not remove the committed file
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "row1\nrow2\n" {
+		t.Errorf("content %q", data)
+	}
+}
+
+// TestAtomicFileAbort: abort leaves no destination and no temp file.
+func TestAtomicFileAbort(t *testing.T) {
+	dir := t.TempDir()
+	a, err := CreateAtomic(filepath.Join(dir, "x.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Write([]byte("doomed"))
+	a.Abort()
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Errorf("files left behind: %v", entries)
 	}
 }

@@ -1,0 +1,90 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dpsim/internal/telemetry"
+)
+
+func readTelemetryDoc(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "telemetry.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestTelemetryDocMetricNames: every metric family the sweep + runtime
+// schema actually registers must be named in docs/telemetry.md — the doc
+// fails CI when the telemetry schema drifts.
+func TestTelemetryDocMetricNames(t *testing.T) {
+	doc := readTelemetryDoc(t)
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntimeMetrics(reg)
+	m := NewMetrics(reg, 2)
+	snap := reg.Snapshot()
+	if len(snap.Families) < 15 {
+		t.Fatalf("suspicious family count %d", len(snap.Families))
+	}
+	for _, f := range snap.Families {
+		if !strings.Contains(doc, "`"+f.Name) {
+			t.Errorf("metric family %q is not documented in docs/telemetry.md", f.Name)
+		}
+	}
+	// The deterministic subset is a real subset of the registered schema.
+	registered := make(map[string]bool, len(snap.Families))
+	for _, f := range snap.Families {
+		registered[f.Name] = true
+	}
+	det := m.DeterministicMetricNames()
+	if len(det) < 5 {
+		t.Fatalf("suspicious deterministic list: %v", det)
+	}
+	for _, name := range det {
+		if !registered[name] {
+			t.Errorf("DeterministicMetricNames lists unregistered family %q", name)
+		}
+	}
+}
+
+// TestTelemetryDocEndpoints: every endpoint the server actually serves
+// must be documented.
+func TestTelemetryDocEndpoints(t *testing.T) {
+	doc := readTelemetryDoc(t)
+	eps := telemetry.Endpoints()
+	if len(eps) < 4 {
+		t.Fatalf("suspicious endpoint list: %v", eps)
+	}
+	for _, ep := range eps {
+		if !strings.Contains(doc, "`"+ep+"`") {
+			t.Errorf("endpoint %q is not documented in docs/telemetry.md", ep)
+		}
+	}
+}
+
+// TestTelemetryDocProgressKeys: every JSON key of the /progress payload
+// must be documented.
+func TestTelemetryDocProgressKeys(t *testing.T) {
+	doc := readTelemetryDoc(t)
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(telemetry.ProgressInfo{}),
+		reflect.TypeOf(telemetry.WorkerProgress{}),
+	} {
+		for i := 0; i < typ.NumField(); i++ {
+			tag := typ.Field(i).Tag.Get("json")
+			key, _, _ := strings.Cut(tag, ",")
+			if key == "" || key == "-" {
+				continue
+			}
+			if !strings.Contains(doc, "`"+key+"`") {
+				t.Errorf("progress key %q (%s.%s) is not documented in docs/telemetry.md",
+					key, typ.Name(), typ.Field(i).Name)
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"dpsim/internal/metrics"
 	"dpsim/internal/obs"
@@ -189,6 +190,13 @@ type Options struct {
 	// CSV or traces needs no synchronization and its output is
 	// bit-identical across worker counts.
 	OnObserved func(c Cell, rep int, p obs.Probe)
+	// Metrics, when non-nil, instruments the run on its
+	// telemetry.Registry: runs started/finished/errored, per-worker busy
+	// time, the fold frontier, and job totals (see Metrics for the cost
+	// and determinism contracts). Nil leaves the zero-cost path: one nil
+	// check per run, no atomics, no allocations. One Metrics must not be
+	// shared by concurrent Run calls.
+	Metrics *Metrics
 }
 
 // Cells expands the scenario's grid in canonical order: arrival process,
@@ -282,6 +290,10 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 	if workers > total {
 		workers = total
 	}
+	m := opt.Metrics
+	if m != nil {
+		m.begin(len(cells), reps, workers, total)
+	}
 
 	// Completed replications fold into per-cell streaming accumulators as
 	// soon as the fold frontier reaches them: runs must fold in index
@@ -307,16 +319,29 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 		firstErr error
 		done     int
 	)
-	for w := 0; w < workers; w++ {
+	for range workers {
 		wg.Add(1)
+		// The closure takes no arguments on purpose: `go f(w)` would
+		// heap-allocate the argument record even with opt.Metrics nil.
+		// Workers self-number through the Metrics when one is attached.
 		go func() {
 			defer wg.Done()
+			m := opt.Metrics
+			worker := 0
+			if m != nil {
+				worker = m.claimWorker()
+			}
 			for idx := range jobs {
 				ci, rep := idx/reps, idx%reps
 				c := cells[ci]
 				var probe obs.Probe
 				if opt.Observe != nil {
 					probe = opt.Observe(c, rep)
+				}
+				var t0 time.Time
+				if m != nil {
+					m.runsStarted.Inc()
+					t0 = time.Now()
 				}
 				run, err := spec.RunCell(scenario.CellParams{
 					Nodes:        c.Nodes,
@@ -329,6 +354,14 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 					Probe:        probe,
 					SampleDTS:    opt.SampleDTS,
 				})
+				if m != nil {
+					jobsDone, unfinished := 0, 0
+					if run != nil {
+						jobsDone = len(run.Result.PerJob)
+						unfinished = run.Result.Unfinished
+					}
+					m.noteRun(worker, time.Since(t0), jobsDone, unfinished, err != nil)
+				}
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = fmt.Errorf("sweep: cell %s/%s/%d nodes/load %g/%s/%s rep %d: %w",
@@ -356,6 +389,9 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 					foldNext++
 				}
 				done++
+				if m != nil {
+					m.noteFold(foldNext, done, reps)
+				}
 				if opt.Progress != nil {
 					// Under the lock so counts reach the callback in order
 					// (a stale count printed after the final one would

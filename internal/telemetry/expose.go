@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of a registry, ready to serialize.
+// Identical snapshots always serialize to identical bytes: families keep
+// registration order, label sets keep creation order, and values format
+// deterministically.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one metric name's snapshot.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help"`
+	Type    MetricType       `json:"type"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one label set's value. Counters and gauges carry
+// Value; histograms carry cumulative Buckets plus Sum (seconds) and
+// Count.
+type MetricSnapshot struct {
+	Labels  []Label          `json:"labels,omitempty"`
+	Value   float64          `json:"value"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+	Count   uint64           `json:"count,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket: Count observations
+// at most LE seconds. The final bucket's LE is +Inf.
+type BucketSnapshot struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON renders Labels as a {key: value} object and +Inf bucket
+// bounds as the string "+Inf" (JSON has no infinity literal).
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	le := any(b.LE)
+	if math.IsInf(b.LE, 1) {
+		le = "+Inf"
+	}
+	return json.Marshal(map[string]any{"le": le, "count": b.Count})
+}
+
+// Filter returns the sub-snapshot containing only the named families,
+// preserving order. Use it to select the deterministic counter subset
+// when comparing runs (see sweep.Metrics.DeterministicMetricNames).
+func (s Snapshot) Filter(names ...string) Snapshot {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	out := Snapshot{}
+	for _, f := range s.Families {
+		if want[f.Name] {
+			out.Families = append(out.Families, f)
+		}
+	}
+	return out
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ { // bytewise: label values need not be valid UTF-8
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// unescapeLabelValue inverts escapeLabelValue (used by the conformance
+// tests; exported logic stays symmetric with the escaper).
+func unescapeLabelValue(v string) string {
+	if !strings.Contains(v, `\`) {
+		return v
+	}
+	var b strings.Builder
+	esc := false
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if esc {
+			if c == 'n' {
+				b.WriteByte('\n')
+			} else {
+				b.WriteByte(c)
+			}
+			esc = false
+			continue
+		}
+		if c == '\\' {
+			esc = true
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a sample value: integral values (every counter)
+// print as integers so serialization is byte-deterministic, floats use
+// the shortest round-trip form, and infinities use Prometheus spelling.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// writeLabels renders {k="v",...}; extra, when non-empty, is appended
+// last (the histogram "le" label).
+func writeLabels(w *bufio.Writer, labels []Label, extraKey, extraVal string) {
+	if len(labels) == 0 && extraKey == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(l.Key)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabelValue(l.Value))
+		w.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(extraKey)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabelValue(extraVal))
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # HELP and # TYPE comment per family, then
+// one sample line per label set — histograms expand into cumulative
+// _bucket{le=...} series ending at le="+Inf", plus _sum and _count.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range s.Families {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.Help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(string(f.Type))
+		bw.WriteByte('\n')
+		for _, m := range f.Metrics {
+			if f.Type == TypeHistogram {
+				for _, b := range m.Buckets {
+					bw.WriteString(f.Name)
+					bw.WriteString("_bucket")
+					writeLabels(bw, m.Labels, "le", formatValue(b.LE))
+					bw.WriteByte(' ')
+					bw.WriteString(strconv.FormatUint(b.Count, 10))
+					bw.WriteByte('\n')
+				}
+				bw.WriteString(f.Name)
+				bw.WriteString("_sum")
+				writeLabels(bw, m.Labels, "", "")
+				bw.WriteByte(' ')
+				bw.WriteString(formatValue(m.Sum))
+				bw.WriteByte('\n')
+				bw.WriteString(f.Name)
+				bw.WriteString("_count")
+				writeLabels(bw, m.Labels, "", "")
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatUint(m.Count, 10))
+				bw.WriteByte('\n')
+				continue
+			}
+			bw.WriteString(f.Name)
+			writeLabels(bw, m.Labels, "", "")
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(m.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSON renders the snapshot as indented JSON — same content as the
+// Prometheus text format, shaped for scripts.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// MarshalJSON renders a Label pair as {"key": ..., "value": ...} with
+// stable lowercase keys.
+func (l Label) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Key   string `json:"key"`
+		Value string `json:"value"`
+	}{l.Key, l.Value})
+}

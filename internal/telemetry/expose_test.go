@@ -1,0 +1,403 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var (
+	sampleNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*`)
+	labelKeyRE   = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// parsePromLabels parses one `{k="v",...}` block (escapes included) and
+// returns the label map and the remainder of the line.
+func parsePromLabels(t *testing.T, s string) (map[string]string, string) {
+	t.Helper()
+	labels := map[string]string{}
+	if !strings.HasPrefix(s, "{") {
+		return labels, s
+	}
+	s = s[1:]
+	for {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			t.Fatalf("label block without '=': %q", s)
+		}
+		key := s[:eq]
+		if !labelKeyRE.MatchString(key) {
+			t.Fatalf("invalid label key %q", key)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			t.Fatalf("label value not quoted: %q", s)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				t.Fatal("unterminated label value")
+			}
+			c := s[0]
+			if c == '\\' {
+				if len(s) < 2 {
+					t.Fatal("dangling escape")
+				}
+				switch s[1] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[1])
+				default:
+					t.Fatalf("invalid escape \\%c", s[1])
+				}
+				s = s[2:]
+				continue
+			}
+			if c == '"' {
+				s = s[1:]
+				break
+			}
+			if c == '\n' {
+				t.Fatal("raw newline inside label value")
+			}
+			val.WriteByte(c)
+			s = s[1:]
+		}
+		labels[key] = val.String()
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:]
+		}
+		t.Fatalf("malformed label block near %q", s)
+	}
+}
+
+// validatePromText is the Prometheus text exposition conformance check:
+// every sample line parses, every family's HELP and TYPE comments
+// precede its samples, histogram buckets are cumulative and end at
+// le="+Inf" with _count equal to the +Inf bucket.
+func validatePromText(t *testing.T, text string) {
+	t.Helper()
+	types := map[string]string{}
+	helped := map[string]bool{}
+	sampled := map[string]bool{}
+	type histState struct {
+		prev    float64
+		prevLE  float64
+		infSeen bool
+		inf     float64
+		count   float64
+		hasCnt  bool
+	}
+	hists := map[string]*histState{} // per (family + label identity)
+	for ln, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		fail := func(format string, args ...any) {
+			t.Helper()
+			t.Fatalf("line %d %q: %s", ln+1, line, fmt.Sprintf(format, args...))
+		}
+		if line == "" {
+			fail("empty line")
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			name := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)[0]
+			if sampled[name] {
+				fail("HELP after samples of %s", name)
+			}
+			helped[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 {
+				fail("malformed TYPE")
+			}
+			name, typ := parts[0], parts[1]
+			if _, dup := types[name]; dup {
+				fail("duplicate TYPE for %s", name)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				fail("unknown type %q", typ)
+			}
+			if sampled[name] {
+				fail("TYPE after samples of %s", name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fail("unknown comment")
+		}
+		name := sampleNameRE.FindString(line)
+		if name == "" {
+			fail("no metric name")
+		}
+		labels, rest := parsePromLabels(t, line[len(name):])
+		if !strings.HasPrefix(rest, " ") {
+			fail("no space before value")
+		}
+		valStr := strings.TrimPrefix(rest, " ")
+		var val float64
+		switch valStr {
+		case "+Inf", "-Inf":
+			val = 0
+		default:
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				fail("bad value %q: %v", valStr, err)
+			}
+			val = v
+		}
+		family := name
+		suffix := ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name && types[base] == "histogram" {
+				family, suffix = base, sfx
+				break
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			fail("sample before TYPE of %s", family)
+		}
+		if !helped[family] {
+			fail("sample before HELP of %s", family)
+		}
+		sampled[family] = true
+		if typ == "histogram" {
+			if suffix == "" {
+				fail("bare sample of histogram family %s", family)
+			}
+			id := family
+			for k, v := range labels {
+				if k != "le" {
+					id += "|" + k + "=" + v
+				}
+			}
+			st := hists[id]
+			if st == nil {
+				st = &histState{}
+				hists[id] = st
+			}
+			switch suffix {
+			case "_bucket":
+				le, lok := labels["le"]
+				if !lok {
+					fail("histogram bucket without le label")
+				}
+				if st.infSeen {
+					fail("bucket after le=\"+Inf\"")
+				}
+				var bound float64
+				if le == "+Inf" {
+					st.infSeen = true
+					st.inf = val
+				} else {
+					b, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						fail("bad le %q", le)
+					}
+					bound = b
+					if bound <= st.prevLE {
+						fail("le bounds not increasing")
+					}
+					st.prevLE = bound
+				}
+				if val < st.prev {
+					fail("bucket counts not cumulative")
+				}
+				st.prev = val
+			case "_count":
+				st.count = val
+				st.hasCnt = true
+			}
+		}
+		if typ == "counter" && val < 0 {
+			fail("negative counter")
+		}
+	}
+	for id, st := range hists {
+		if !st.infSeen {
+			t.Errorf("histogram %s: no le=\"+Inf\" bucket", id)
+		}
+		if !st.hasCnt {
+			t.Errorf("histogram %s: no _count sample", id)
+		} else if st.count != st.inf {
+			t.Errorf("histogram %s: _count %g != +Inf bucket %g", id, st.count, st.inf)
+		}
+	}
+}
+
+// exerciseRegistry builds a registry covering every metric kind plus
+// label values that need escaping.
+func exerciseRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("expo_runs_total", "Runs completed.", L("status", "ok"))
+	c.Add(7)
+	r.Counter("expo_runs_total", "Runs completed.", L("status", `tricky"quote`)).Inc()
+	r.Counter("expo_runs_total", "Runs completed.", L("status", "back\\slash\nnewline")).Inc()
+	g := r.Gauge("expo_depth", "Queue depth,\nmultiline help \\ escaped.")
+	g.Set(3.25)
+	h := r.Histogram("expo_latency_seconds", "Latency.", L("op", "fold"))
+	for i := 0; i < 5; i++ {
+		h.Observe(time.Duration(1<<uint(i)) * time.Microsecond)
+	}
+	r.GaugeFunc("expo_rate", "Derived rate.", func() float64 { return 12.5 })
+	return r
+}
+
+// TestPrometheusConformance renders every metric kind — awkward label
+// values included — and runs the full text-format validator over it.
+func TestPrometheusConformance(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exerciseRegistry().Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	validatePromText(t, text)
+	for _, want := range []string{
+		`expo_runs_total{status="ok"} 7`,
+		`expo_runs_total{status="tricky\"quote"} 1`,
+		`expo_runs_total{status="back\\slash\nnewline"} 1`,
+		"# TYPE expo_latency_seconds histogram",
+		`expo_latency_seconds_bucket{op="fold",le="+Inf"} 5`,
+		"expo_latency_seconds_count{op=\"fold\"} 5",
+		`# HELP expo_depth Queue depth,\nmultiline help \\ escaped.`,
+		"expo_rate 12.5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestRuntimeMetricsExpose: the Go runtime gauges render as valid
+// exposition with plausible values.
+func TestRuntimeMetricsExpose(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	validatePromText(t, buf.String())
+	snap := r.Snapshot()
+	byName := map[string]float64{}
+	for _, f := range snap.Families {
+		byName[f.Name] = f.Metrics[0].Value
+	}
+	if byName["go_goroutines"] < 1 {
+		t.Errorf("go_goroutines = %g", byName["go_goroutines"])
+	}
+	if byName["go_memstats_heap_alloc_bytes"] <= 0 {
+		t.Errorf("heap_alloc = %g", byName["go_memstats_heap_alloc_bytes"])
+	}
+}
+
+// TestSnapshotDeterministicBytes: the same state always serializes to
+// the same bytes — the property the cross-worker determinism test and
+// cacheable scrapes rely on.
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	r := exerciseRegistry()
+	var a, b bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical state serialized differently")
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exerciseRegistry().Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Families []struct {
+			Name    string `json:"name"`
+			Type    string `json:"type"`
+			Metrics []struct {
+				Labels []struct {
+					Key   string `json:"key"`
+					Value string `json:"value"`
+				} `json:"labels"`
+				Value   float64 `json:"value"`
+				Buckets []struct {
+					LE    any    `json:"le"`
+					Count uint64 `json:"count"`
+				} `json:"buckets"`
+			} `json:"metrics"`
+		} `json:"families"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON exposition does not parse: %v\n%s", err, buf.String())
+	}
+	var hist bool
+	for _, f := range doc.Families {
+		if f.Type != "histogram" {
+			continue
+		}
+		hist = true
+		bs := f.Metrics[0].Buckets
+		if len(bs) == 0 {
+			t.Fatal("histogram without buckets")
+		}
+		if le, ok := bs[len(bs)-1].LE.(string); !ok || le != "+Inf" {
+			t.Errorf("last bucket le = %v, want \"+Inf\"", bs[len(bs)-1].LE)
+		}
+	}
+	if !hist {
+		t.Error("no histogram family in JSON exposition")
+	}
+}
+
+func TestSnapshotFilter(t *testing.T) {
+	snap := exerciseRegistry().Snapshot()
+	got := snap.Filter("expo_depth", "expo_rate")
+	if len(got.Families) != 2 || got.Families[0].Name != "expo_depth" || got.Families[1].Name != "expo_rate" {
+		t.Errorf("Filter kept %+v", got.Families)
+	}
+}
+
+// FuzzPromLabelEscape: escaping any label value yields a string with no
+// raw newlines or unescaped quotes, and unescaping inverts it exactly.
+func FuzzPromLabelEscape(f *testing.F) {
+	for _, seed := range []string{"", "plain", `back\slash`, `"quoted"`, "new\nline", `mix\"ed` + "\n\\", "日本語\x00"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		esc := escapeLabelValue(s)
+		if strings.ContainsRune(esc, '\n') {
+			t.Fatalf("escaped value contains raw newline: %q", esc)
+		}
+		for i := 0; i < len(esc); i++ {
+			if esc[i] != '"' {
+				continue
+			}
+			backslashes := 0
+			for j := i - 1; j >= 0 && esc[j] == '\\'; j-- {
+				backslashes++
+			}
+			if backslashes%2 == 0 {
+				t.Fatalf("unescaped quote at %d in %q", i, esc)
+			}
+		}
+		if got := unescapeLabelValue(esc); got != s {
+			t.Fatalf("round trip %q -> %q -> %q", s, esc, got)
+		}
+	})
+}

@@ -1,0 +1,18 @@
+package telemetry
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns the CLIs' structured logger: with jsonFormat, a
+// log/slog JSON handler writing machine-parseable records to w (one JSON
+// object per line, for log shippers); without it, a discard logger — the
+// CLIs' human-readable output stays exactly as it was, and structured
+// logging is strictly opt-in via their -log-json flag.
+func NewLogger(w io.Writer, jsonFormat bool) *slog.Logger {
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, nil))
+	}
+	return slog.New(slog.DiscardHandler)
+}

@@ -1,0 +1,283 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpsim/internal/obs"
+)
+
+// MetricType is a family's Prometheus type.
+type MetricType string
+
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// Label is one metric label pair. Families sort their label sets by key
+// at registration, so exposition order is canonical regardless of the
+// order handles were requested in.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+var (
+	nameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// histBuckets mirrors internal/obs's bucket count; the two schemes must
+// agree so wall-clock and simulated-time histograms bucket identically
+// (checked at package init).
+const histBuckets = 22
+
+func init() {
+	if histBuckets != obs.LatencyBucketCount() {
+		panic("telemetry: histogram bucketing out of sync with internal/obs")
+	}
+}
+
+// metricEntry is one label set's live value inside a family.
+type metricEntry interface {
+	labelSet() []Label
+	snapshot() MetricSnapshot
+}
+
+// family is one registered metric name: type, help, and a label-set
+// indexed list of live metrics.
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	metrics []metricEntry
+	index   map[string]int // canonical label key → metrics index
+}
+
+// Registry is a set of metric families. Handle registration takes the
+// registry lock; the handles themselves update via single atomic
+// operations with no lock and no allocation, so instrumented hot paths
+// stay lock-free and scrapes (Snapshot) never block writers.
+type Registry struct {
+	mu       sync.RWMutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// canonLabels validates and canonicalizes a label set: keys must match
+// the Prometheus label grammar and the set is sorted by key.
+func canonLabels(name string, labels []Label) ([]Label, string) {
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	key := ""
+	for i, l := range out {
+		if !labelRE.MatchString(l.Key) {
+			panic(fmt.Sprintf("telemetry: metric %q: invalid label name %q", name, l.Key))
+		}
+		if i > 0 && out[i-1].Key == l.Key {
+			panic(fmt.Sprintf("telemetry: metric %q: duplicate label name %q", name, l.Key))
+		}
+		key += l.Key + "\x00" + l.Value + "\x00"
+	}
+	return out, key
+}
+
+// register returns the metric for (name, labels), creating the family
+// and/or label set on first use via mk. Re-registering an existing
+// (name, labels) pair returns the existing handle; changing a family's
+// type is a programming error and panics.
+func (r *Registry) register(name, help string, typ MetricType, labels []Label, mk func(ls []Label) metricEntry) metricEntry {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	ls, key := canonLabels(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, index: make(map[string]int)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s, was %s", name, typ, f.typ))
+	}
+	if i, ok := f.index[key]; ok {
+		return f.metrics[i]
+	}
+	m := mk(ls)
+	f.index[key] = len(f.metrics)
+	f.metrics = append(f.metrics, m)
+	return m
+}
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe for concurrent use and allocation-free.
+type Counter struct {
+	v      atomic.Int64
+	labels []Label
+}
+
+func (c *Counter) labelSet() []Label { return c.labels }
+func (c *Counter) snapshot() MetricSnapshot {
+	return MetricSnapshot{Labels: c.labels, Value: float64(c.v.Load())}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative increments are ignored (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter registers (or looks up) a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.register(name, help, TypeCounter, labels, func(ls []Label) metricEntry {
+		return &Counter{labels: ls}
+	}).(*Counter)
+}
+
+// Gauge is a float metric that can go up and down. All methods are safe
+// for concurrent use and allocation-free.
+type Gauge struct {
+	bits   atomic.Uint64
+	labels []Label
+}
+
+func (g *Gauge) labelSet() []Label { return g.labels }
+func (g *Gauge) snapshot() MetricSnapshot {
+	return MetricSnapshot{Labels: g.labels, Value: g.Value()}
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (compare-and-swap loop; contended adds retry).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Gauge registers (or looks up) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.register(name, help, TypeGauge, labels, func(ls []Label) metricEntry {
+		return &Gauge{labels: ls}
+	}).(*Gauge)
+}
+
+// funcGauge evaluates fn at snapshot time — for derived values (rates,
+// fractions) and runtime stats that are only worth computing on scrape.
+type funcGauge struct {
+	fn     func() float64
+	labels []Label
+}
+
+func (g *funcGauge) labelSet() []Label { return g.labels }
+func (g *funcGauge) snapshot() MetricSnapshot {
+	return MetricSnapshot{Labels: g.labels, Value: g.fn()}
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at snapshot
+// time. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, TypeGauge, labels, func(ls []Label) metricEntry {
+		return &funcGauge{fn: fn, labels: ls}
+	})
+}
+
+// Histogram is a duration histogram over internal/obs's log-spaced
+// bucketing: power-of-two microsecond buckets, the last absorbing the
+// overflow. Observe is a handful of atomic operations — safe for
+// concurrent use, allocation-free, lock-free.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumNS   atomic.Int64
+	labels  []Label
+}
+
+func (h *Histogram) labelSet() []Label { return h.labels }
+func (h *Histogram) snapshot() MetricSnapshot {
+	s := MetricSnapshot{Labels: h.labels, Buckets: make([]BucketSnapshot, histBuckets)}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := math.Inf(1)
+		if us := obs.LatencyBucketBoundUS(i); us != 0 {
+			le = float64(us) / 1e6
+		}
+		s.Buckets[i] = BucketSnapshot{LE: le, Count: cum}
+	}
+	s.Count = h.count.Load()
+	s.Sum = float64(h.sumNS.Load()) / 1e9
+	return s
+}
+
+// Observe folds one duration (negatives clamp to zero).
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[obs.LatencyBucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+}
+
+// Histogram registers (or looks up) a duration histogram.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.register(name, help, TypeHistogram, labels, func(ls []Label) metricEntry {
+		return &Histogram{labels: ls}
+	}).(*Histogram)
+}
+
+// Snapshot copies every family's current values: families in
+// registration order, label sets in creation order, histogram buckets
+// cumulative. Writers are never blocked — values are atomic loads under
+// a read lock that update paths do not take.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := Snapshot{Families: make([]FamilySnapshot, 0, len(r.families))}
+	for _, f := range r.families {
+		fs := FamilySnapshot{
+			Name:    f.name,
+			Help:    f.help,
+			Type:    f.typ,
+			Metrics: make([]MetricSnapshot, 0, len(f.metrics)),
+		}
+		for _, m := range f.metrics {
+			fs.Metrics = append(fs.Metrics, m.snapshot())
+		}
+		out.Families = append(out.Families, fs)
+	}
+	return out
+}

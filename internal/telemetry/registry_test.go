@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogramSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters only go up
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", got)
+	}
+	h := r.Histogram("test_latency_seconds", "latency")
+	h.Observe(3 * time.Microsecond)
+	h.Observe(-time.Second) // clamps to 0
+	s := h.snapshot()
+	if s.Count != 2 {
+		t.Errorf("histogram count = %d, want 2", s.Count)
+	}
+	if s.Sum != 3e-6 {
+		t.Errorf("histogram sum = %g, want 3e-06", s.Sum)
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.Count != 2 {
+		t.Errorf("+Inf bucket = %d, want cumulative 2", last.Count)
+	}
+	// Cumulative buckets never decrease.
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Count < s.Buckets[i-1].Count {
+			t.Fatalf("bucket %d count %d < previous %d", i, s.Buckets[i].Count, s.Buckets[i-1].Count)
+		}
+	}
+}
+
+func TestRegisterDedupAndPanics(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "h", L("worker", "0"))
+	b := r.Counter("dup_total", "h", L("worker", "0"))
+	if a != b {
+		t.Error("same (name, labels) must return the same handle")
+	}
+	if r.Counter("dup_total", "h", L("worker", "1")) == a {
+		t.Error("distinct label set must create a distinct metric")
+	}
+	for name, fn := range map[string]func(){
+		"bad metric name": func() { r.Counter("bad name", "h") },
+		"bad label name":  func() { r.Counter("ok_total", "h", L("bad-key", "v")) },
+		"type mismatch":   func() { r.Gauge("dup_total", "h") },
+		"dup label key":   func() { r.Counter("ok2_total", "h", L("a", "1"), L("a", "2")) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLabelsCanonicalOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("order_total", "h", L("zeta", "1"), L("alpha", "2"))
+	snap := r.Snapshot()
+	m := snap.Families[0].Metrics[0]
+	if m.Labels[0].Key != "alpha" || m.Labels[1].Key != "zeta" {
+		t.Errorf("labels not sorted by key: %+v", m.Labels)
+	}
+	// Same set in the other order resolves to the same handle.
+	c1 := r.Counter("order_total", "h", L("alpha", "2"), L("zeta", "1"))
+	c1.Inc()
+	if got := r.Counter("order_total", "h", L("zeta", "1"), L("alpha", "2")).Value(); got != 1 {
+		t.Errorf("label order changed identity: %d", got)
+	}
+}
+
+// TestMetricOpsZeroAlloc pins the telemetry hot-path contract: updating
+// a registered handle performs zero heap allocations, so nil-gated
+// instrumentation in the sweep worker loop adds no allocation pressure.
+func TestMetricOpsZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_ops_total", "h")
+	g := r.Gauge("alloc_depth", "h")
+	h := r.Histogram("alloc_latency_seconds", "h")
+	for name, fn := range map[string]func(){
+		"Counter.Inc":       func() { c.Inc() },
+		"Counter.Add":       func() { c.Add(3) },
+		"Gauge.Set":         func() { g.Set(1.5) },
+		"Gauge.Add":         func() { g.Add(0.5) },
+		"Histogram.Observe": func() { h.Observe(42 * time.Microsecond) },
+	} {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s: %g allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestRegistryRaceStress hammers every metric kind from many goroutines
+// while others scrape concurrently — the race detector (CI's -race job)
+// certifies the lock-free update paths against Snapshot and both
+// serializers.
+func TestRegistryRaceStress(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	const writers, scrapers, iters = 8, 4, 2000
+	counters := make([]*Counter, writers)
+	for i := range counters {
+		counters[i] = r.Counter("stress_ops_total", "h", L("worker", string(rune('0'+i))))
+	}
+	shared := r.Counter("stress_shared_total", "h")
+	g := r.Gauge("stress_depth", "h")
+	h := r.Histogram("stress_latency_seconds", "h")
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				counters[w].Inc()
+				shared.Add(2)
+				g.Add(1)
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}(w)
+	}
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				snap := r.Snapshot()
+				if err := snap.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+				}
+				if err := snap.WriteJSON(io.Discard); err != nil {
+					t.Error(err)
+				}
+				// Registration concurrent with scrapes must also be safe.
+				r.Counter("stress_late_total", "h", L("scrape", string(rune('0'+i%10))))
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := shared.Value(), int64(2*writers*iters); got != want {
+		t.Errorf("shared counter = %d, want %d", got, want)
+	}
+	for w, c := range counters {
+		if c.Value() != iters {
+			t.Errorf("worker %d counter = %d, want %d", w, c.Value(), iters)
+		}
+	}
+	if got, want := g.Value(), float64(writers*iters); got != want {
+		t.Errorf("gauge = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache rate-limits runtime.ReadMemStats: the call stops the
+// world briefly, so concurrent or rapid scrapes share one reading per
+// 100ms instead of paying it per gauge per scrape.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	live runtime.MemStats
+}
+
+func (c *memStatsCache) read() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); now.Sub(c.at) > 100*time.Millisecond {
+		runtime.ReadMemStats(&c.live)
+		c.at = now
+	}
+	return c.live
+}
+
+// RegisterRuntimeMetrics registers the Go runtime's health gauges on the
+// registry: goroutine count, heap size and occupancy, GC cycle count and
+// cumulative pause time. Values are sampled at scrape time (GaugeFunc) —
+// nothing runs between scrapes, so attaching them costs nothing on any
+// hot path.
+func RegisterRuntimeMetrics(r *Registry) {
+	var cache memStatsCache
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(cache.read().HeapAlloc) })
+	r.GaugeFunc("go_memstats_heap_sys_bytes", "Bytes of heap memory obtained from the OS.",
+		func() float64 { return float64(cache.read().HeapSys) })
+	r.GaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.",
+		func() float64 { return float64(cache.read().HeapObjects) })
+	r.GaugeFunc("go_memstats_total_alloc_bytes_total", "Cumulative bytes allocated for heap objects.",
+		func() float64 { return float64(cache.read().TotalAlloc) })
+	r.GaugeFunc("go_memstats_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return float64(cache.read().NumGC) })
+	r.GaugeFunc("go_memstats_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(cache.read().PauseTotalNs) / 1e9 })
+	r.GaugeFunc("go_memstats_next_gc_bytes", "Heap size at which the next GC cycle triggers.",
+		func() float64 { return float64(cache.read().NextGC) })
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ProgressInfo is the /progress endpoint's payload: a live view of a
+// sweep (or any long-running campaign) in wall-clock terms. Active is
+// false until the producer begins its run.
+type ProgressInfo struct {
+	Active       bool `json:"active"`
+	CellsTotal   int  `json:"cells_total"`
+	CellsDone    int  `json:"cells_done"`
+	Replications int  `json:"replications"`
+	RunsTotal    int  `json:"runs_total"`
+	RunsDone     int  `json:"runs_done"`
+	RunsErrored  int  `json:"runs_errored"`
+	// FoldFrontier counts runs folded into aggregates in index order;
+	// FoldLag counts completed runs parked ahead of the frontier waiting
+	// for an earlier index to finish.
+	FoldFrontier int `json:"fold_frontier"`
+	FoldLag      int `json:"fold_lag"`
+	// Throughput and ETA, from wall-clock elapsed time.
+	ElapsedS       float64 `json:"elapsed_s"`
+	RunsPerSecond  float64 `json:"runs_per_second"`
+	CellsPerSecond float64 `json:"cells_per_second"`
+	ETAS           float64 `json:"eta_s"`
+	// Workers reports each pool worker's cumulative busy time and its
+	// busy fraction of the elapsed wall clock.
+	Workers []WorkerProgress `json:"workers,omitempty"`
+}
+
+// WorkerProgress is one worker's utilization.
+type WorkerProgress struct {
+	Worker       int     `json:"worker"`
+	BusySeconds  float64 `json:"busy_s"`
+	BusyFraction float64 `json:"busy_fraction"`
+}
+
+// ProgressSource supplies /progress; sweep.Metrics implements it.
+// Progress must be safe to call concurrently with the producing run.
+type ProgressSource interface {
+	Progress() ProgressInfo
+}
+
+// Endpoints lists the paths a Server serves — the authoritative list
+// docs/telemetry.md is pinned against.
+func Endpoints() []string {
+	return []string{"/metrics", "/progress", "/healthz", "/debug/pprof/"}
+}
+
+// Server serves a registry over HTTP: /metrics (Prometheus text, or
+// ?format=json), /progress (ProgressInfo JSON), /healthz, and
+// net/http/pprof under /debug/pprof/. It binds eagerly — NewServer
+// returns with the listener open, so Addr is immediately scrapeable —
+// and serves in a background goroutine until Close.
+type Server struct {
+	reg      *Registry
+	progress ProgressSource
+	ln       net.Listener
+	srv      *http.Server
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:9100", or ":0" for an
+// ephemeral port) and starts serving reg. progress may be nil — then
+// /progress reports {"active": false}.
+func NewServer(addr string, reg *Registry, progress ProgressSource) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{reg: reg, progress: progress, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap.WritePrometheus(w)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	var info ProgressInfo
+	if s.progress != nil {
+		info = s.progress.Progress()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(info)
+}

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+type fakeProgress struct{ info ProgressInfo }
+
+func (f fakeProgress) Progress() ProgressInfo { return f.info }
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	reg.Counter("srv_ops_total", "ops").Add(3)
+	src := fakeProgress{info: ProgressInfo{
+		Active: true, CellsTotal: 4, CellsDone: 1, RunsTotal: 8, RunsDone: 2,
+		RunsPerSecond: 10, ETAS: 0.6,
+		Workers: []WorkerProgress{{Worker: 0, BusySeconds: 0.5, BusyFraction: 0.9}},
+	}}
+	srv, err := NewServer("127.0.0.1:0", reg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body, ctype := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	validatePromText(t, body)
+	for _, want := range []string{"srv_ops_total 3", "go_goroutines", "go_memstats_heap_alloc_bytes"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body, ctype = get(t, base+"/metrics?format=json")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/metrics?format=json: %d %q", code, ctype)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Errorf("JSON metrics do not parse: %v", err)
+	}
+
+	code, body, ctype = get(t, base+"/progress")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/progress: %d %q", code, ctype)
+	}
+	var info ProgressInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatal(err)
+	}
+	if !info.Active || info.RunsDone != 2 || len(info.Workers) != 1 || info.Workers[0].BusyFraction != 0.9 {
+		t.Errorf("progress round trip: %+v", info)
+	}
+
+	code, body, _ = get(t, base+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz: %d %q", code, body)
+	}
+
+	code, body, _ = get(t, base+"/debug/pprof/heap?debug=1")
+	if code != http.StatusOK || !strings.Contains(body, "heap profile") {
+		t.Errorf("/debug/pprof/heap: %d", code)
+	}
+}
+
+func TestServerNilProgress(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, body, _ := get(t, "http://"+srv.Addr()+"/progress")
+	var info ProgressInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Active {
+		t.Error("nil progress source must report active=false")
+	}
+}
+
+func TestServerBadAddr(t *testing.T) {
+	if _, err := NewServer("256.0.0.1:bad", NewRegistry(), nil); err == nil {
+		t.Error("expected listen error")
+	}
+}
