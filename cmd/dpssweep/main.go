@@ -10,8 +10,29 @@
 //	         [-schedulers "equipartition,malleable-hysteresis(epoch_s=45)"]
 //	         [-appmodels "mix,amdahl(f=0.1),roofline(sat=8)"]
 //	         [-timeseries-out ts.csv] [-sample-dt 5]
+//	         [-checkpoint ck.json] [-checkpoint-every N] [-no-dedup]
+//	         [-shard i/n -shard-out shard.json | -merge "a.json,b.json"]
 //	         [-telemetry-addr 127.0.0.1:9100] [-log-json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -checkpoint makes the sweep resumable: per-cell aggregate state is
+// restored from the file on start (cells keyed by content hash, so a
+// resume survives scenario edits — only new or edited cells re-run),
+// rewritten atomically during the sweep, and written on completion,
+// error or interrupt. SIGINT stops dispatching, drains in-flight runs,
+// writes the final checkpoint and exits 130; re-running the identical
+// command resumes and produces byte-identical exports. See
+// docs/sweep.md.
+//
+// -shard i/n runs only the cells that content-hash into shard i of n
+// and writes their aggregates as a shard artifact (-shard-out, required;
+// the report exports -csv/-json/-timeseries-out are disallowed). Shards
+// are disjoint and cover the grid, so n processes — on one machine or
+// many — each run one shard, and -merge combines the artifacts into the
+// full report, byte-identical to a single-process run.
+//
+// -no-dedup disables content-hash deduplication (identical cells run
+// once and share results by default; exports are identical either way).
 //
 // -telemetry-addr starts the runtime telemetry server (internal/telemetry)
 // for the duration of the sweep: /metrics serves the process's live
@@ -64,10 +85,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -107,6 +130,20 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		"write per-replication time-series samples as CSV (enables per-cell sampling)")
 	sampleDT := fs.Float64("sample-dt", 0,
 		"time-series sample interval [s] (0 = the scenario's observe.sample_dt_s, else 1)")
+	checkpointPath := fs.String("checkpoint", "",
+		"resumable fold checkpoint file: restored on start, rewritten during the sweep,\n"+
+			"written on completion, error or interrupt (SIGINT exits 130 after checkpointing)")
+	checkpointEvery := fs.Int("checkpoint-every", 0,
+		"checkpoint cadence in executed runs (0 = default "+fmt.Sprint(sweep.DefaultCheckpointEvery)+")")
+	noDedup := fs.Bool("no-dedup", false,
+		"run duplicate grid cells instead of deduplicating them by content hash")
+	shardSpec := fs.String("shard", "",
+		"run only shard i/n of the grid (content-hash partition) and write a shard\n"+
+			"artifact to -shard-out instead of report exports")
+	shardOut := fs.String("shard-out", "", "shard artifact output file (required with -shard)")
+	mergeList := fs.String("merge", "",
+		"merge comma-separated shard artifacts into the full report instead of running\n"+
+			"(requires the -scenario the shards ran)")
 	telemetryAddr := fs.String("telemetry-addr", "",
 		"serve runtime telemetry on this address while the sweep runs:\n"+
 			strings.Join(telemetry.Endpoints(), ", ")+" (\":0\" picks a free port;\n"+
@@ -120,6 +157,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(fs.Output(),
 			"usage: dpssweep -scenario FILE [-replications N] [-workers N] [-schedulers LIST] [-appmodels LIST]\n"+
 				"                [-csv FILE] [-json FILE] [-timeseries-out FILE] [-sample-dt S]\n"+
+				"                [-checkpoint FILE] [-checkpoint-every N] [-no-dedup]\n"+
+				"                [-shard I/N -shard-out FILE | -merge FILES]\n"+
 				"                [-telemetry-addr ADDR] [-log-json] [-cpuprofile FILE] [-memprofile FILE]\n")
 		fs.PrintDefaults()
 	}
@@ -150,6 +189,28 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "dpssweep: -replications must be positive")
 		return 2
 	}
+	if *shardSpec != "" && *mergeList != "" {
+		fmt.Fprintln(stderr, "dpssweep: -shard and -merge are mutually exclusive")
+		return 2
+	}
+	if *shardSpec != "" {
+		if *shardOut == "" {
+			fmt.Fprintln(stderr, "dpssweep: -shard requires -shard-out")
+			return 2
+		}
+		if *csvPath != "" || *jsonPath != "" || *tsPath != "" {
+			fmt.Fprintln(stderr, "dpssweep: -shard writes a shard artifact; -csv/-json/-timeseries-out belong to the merged report")
+			return 2
+		}
+	}
+	if *shardSpec == "" && *shardOut != "" {
+		fmt.Fprintln(stderr, "dpssweep: -shard-out requires -shard")
+		return 2
+	}
+	if *mergeList != "" && (*tsPath != "" || *checkpointPath != "") {
+		fmt.Fprintln(stderr, "dpssweep: -merge combines existing artifacts; -timeseries-out/-checkpoint do not apply")
+		return 2
+	}
 
 	spec, err := scenario.Load(*scenarioPath)
 	if err != nil {
@@ -165,8 +226,74 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			return fail("", err)
 		}
 	}
+	// writeReports renders the aggregate table and the -csv/-json exports;
+	// shared by the run and merge paths.
+	writeReports := func(stats []sweep.CellStats) int {
+		if !*quiet {
+			printTable(stdout, stats)
+		}
+		if err := export(*csvPath, stdout, func(w io.Writer) error {
+			return sweep.WriteCSV(w, spec.Name, stats)
+		}); err != nil {
+			return fail("csv", err)
+		}
+		if *csvPath != "" && *csvPath != "-" {
+			logger.Info("export written", "kind", "csv", "path", *csvPath)
+		}
+		if err := export(*jsonPath, stdout, func(w io.Writer) error {
+			return sweep.WriteJSON(w, spec.Name, stats)
+		}); err != nil {
+			return fail("json", err)
+		}
+		if *jsonPath != "" && *jsonPath != "-" {
+			logger.Info("export written", "kind", "json", "path", *jsonPath)
+		}
+		return 0
+	}
+
+	// Merge mode: no simulation — combine shard artifacts into the full
+	// grid report (byte-identical to a single-process run).
+	if *mergeList != "" {
+		paths := strings.Split(*mergeList, ",")
+		stats, reps, err := sweep.MergeShards(spec, paths)
+		if err != nil {
+			return fail("merge", err)
+		}
+		logger.Info("shards merged", "artifacts", len(paths), "cells", len(stats), "replications", reps)
+		return writeReports(stats)
+	}
+
 	cells := sweep.Cells(spec)
-	opt := sweep.Options{Replications: *replications, Workers: *workers}
+	opt := sweep.Options{
+		Replications:    *replications,
+		Workers:         *workers,
+		NoDedup:         *noDedup,
+		Checkpoint:      *checkpointPath,
+		CheckpointEvery: *checkpointEvery,
+	}
+	if *shardSpec != "" {
+		sel, err := sweep.ParseShard(*shardSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "dpssweep: %v\n", err)
+			return 2
+		}
+		opt.Shard = sel
+	}
+	// SIGINT stops the sweep gracefully: dispatching halts, in-flight
+	// runs drain, the final checkpoint is written, and dpssweep exits
+	// 130. A second SIGINT falls back to the default hard kill.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	defer signal.Stop(sigc)
+	opt.Interrupted = func() bool {
+		select {
+		case <-sigc:
+			signal.Stop(sigc)
+			return true
+		default:
+			return false
+		}
+	}
 	poolSize := opt.Workers
 	if poolSize <= 0 {
 		poolSize = runtime.GOMAXPROCS(0)
@@ -258,11 +385,26 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 		defer f.Close()
 	}
-	stats, err := sweep.Run(spec, opt)
+	var stats []sweep.CellStats
+	var art *sweep.ShardArtifact
+	if *shardSpec != "" {
+		art, err = sweep.RunShard(spec, opt)
+	} else {
+		stats, err = sweep.Run(spec, opt)
+	}
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
 	}
 	if err != nil {
+		if errors.Is(err, sweep.ErrInterrupted) {
+			msg := "interrupted"
+			if *checkpointPath != "" {
+				msg += "; checkpoint written to " + *checkpointPath + " (rerun the same command to resume)"
+			}
+			fmt.Fprintf(stderr, "dpssweep: %s\n", msg)
+			logger.Error("sweep interrupted", "checkpoint", *checkpointPath)
+			return 130
+		}
 		return fail("", err)
 	}
 	elapsed := time.Since(start)
@@ -293,26 +435,18 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if !*quiet {
-		printTable(stdout, stats)
+	if art != nil {
+		if err := sweep.WriteShard(*shardOut, art); err != nil {
+			return fail("shard", err)
+		}
+		logger.Info("export written", "kind", "shard", "path", *shardOut)
+		if !*quiet {
+			fmt.Fprintf(stdout, "shard %d/%d: %d unique cells -> %s\n",
+				opt.Shard.Index, opt.Shard.Count, len(art.Cells), *shardOut)
+		}
+		return 0
 	}
-	if err := export(*csvPath, stdout, func(w io.Writer) error {
-		return sweep.WriteCSV(w, spec.Name, stats)
-	}); err != nil {
-		return fail("csv", err)
-	}
-	if *csvPath != "" && *csvPath != "-" {
-		logger.Info("export written", "kind", "csv", "path", *csvPath)
-	}
-	if err := export(*jsonPath, stdout, func(w io.Writer) error {
-		return sweep.WriteJSON(w, spec.Name, stats)
-	}); err != nil {
-		return fail("json", err)
-	}
-	if *jsonPath != "" && *jsonPath != "-" {
-		logger.Info("export written", "kind", "json", "path", *jsonPath)
-	}
-	return 0
+	return writeReports(stats)
 }
 
 func printTable(stdout io.Writer, stats []sweep.CellStats) {

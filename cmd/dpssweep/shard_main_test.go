@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRealMainShardMerge drives the sharded workflow end to end through
+// the CLI: two shard runs plus a merge export byte-identical CSV and
+// JSON to a single-process run.
+func TestRealMainShardMerge(t *testing.T) {
+	dir := t.TempDir()
+	singleCSV := filepath.Join(dir, "single.csv")
+	singleJSON := filepath.Join(dir, "single.json")
+	common := []string{"-scenario", scenarioPath(t), "-replications", "2", "-q"}
+	var stdout, stderr bytes.Buffer
+	if code := realMain(append(common, "-csv", singleCSV, "-json", singleJSON), &stdout, &stderr); code != 0 {
+		t.Fatalf("single run exit %d: %s", code, stderr.String())
+	}
+
+	var shardPaths []string
+	for i := 0; i < 2; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("s%d.json", i))
+		stdout.Reset()
+		stderr.Reset()
+		args := append(common, "-shard", fmt.Sprintf("%d/2", i), "-shard-out", p)
+		if code := realMain(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("shard %d exit %d: %s", i, code, stderr.String())
+		}
+		shardPaths = append(shardPaths, p)
+	}
+
+	mergedCSV := filepath.Join(dir, "merged.csv")
+	mergedJSON := filepath.Join(dir, "merged.json")
+	stdout.Reset()
+	stderr.Reset()
+	args := append(common, "-merge", strings.Join(shardPaths, ","),
+		"-csv", mergedCSV, "-json", mergedJSON)
+	if code := realMain(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("merge exit %d: %s", code, stderr.String())
+	}
+
+	if !bytes.Equal(mustRead(t, mergedCSV), mustRead(t, singleCSV)) {
+		t.Error("merged CSV differs from the single-process run")
+	}
+	if !bytes.Equal(mustRead(t, mergedJSON), mustRead(t, singleJSON)) {
+		t.Error("merged JSON differs from the single-process run")
+	}
+}
+
+// TestRealMainCheckpointResume: a completed checkpointed run leaves a
+// checkpoint file, and rerunning the same command resumes from it and
+// reproduces the export bytes.
+func TestRealMainCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "ck.json")
+	firstCSV := filepath.Join(dir, "first.csv")
+	secondCSV := filepath.Join(dir, "second.csv")
+	common := []string{"-scenario", scenarioPath(t), "-replications", "2", "-q",
+		"-checkpoint", ck, "-checkpoint-every", "4"}
+	var stdout, stderr bytes.Buffer
+	if code := realMain(append(common, "-csv", firstCSV), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := realMain(append(common, "-csv", secondCSV), &stdout, &stderr); code != 0 {
+		t.Fatalf("resume exit %d: %s", code, stderr.String())
+	}
+	if !bytes.Equal(mustRead(t, firstCSV), mustRead(t, secondCSV)) {
+		t.Error("resumed export differs")
+	}
+}
+
+// TestRealMainShardFlagErrors: the shard/merge/checkpoint flag surface
+// rejects contradictory combinations with usage errors (exit 2).
+func TestRealMainShardFlagErrors(t *testing.T) {
+	sc := scenarioPath(t)
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"shard without shard-out", []string{"-scenario", sc, "-shard", "0/2"}},
+		{"shard-out without shard", []string{"-scenario", sc, "-shard-out", "s.json"}},
+		{"bad shard spec", []string{"-scenario", sc, "-shard", "2/2", "-shard-out", "s.json"}},
+		{"shard with csv", []string{"-scenario", sc, "-shard", "0/2", "-shard-out", "s.json", "-csv", "o.csv"}},
+		{"shard with merge", []string{"-scenario", sc, "-shard", "0/2", "-shard-out", "s.json", "-merge", "a.json"}},
+		{"merge with checkpoint", []string{"-scenario", sc, "-merge", "a.json", "-checkpoint", "ck.json"}},
+		{"merge with timeseries", []string{"-scenario", sc, "-merge", "a.json", "-timeseries-out", "ts.csv"}},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := realMain(tc.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", tc.name, code, stderr.String())
+		}
+	}
+}

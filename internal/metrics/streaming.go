@@ -6,7 +6,10 @@ package metrics
 // and the Welford variance yields the confidence intervals the sweep
 // exports.
 
-import "math"
+import (
+	"encoding/json"
+	"math"
+)
 
 // Welford accumulates count, mean and variance in one numerically stable
 // pass (Welford's online algorithm). The zero value is ready to use.
@@ -48,6 +51,34 @@ func (w *Welford) Variance() float64 {
 // Stddev returns the sample standard deviation.
 func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
 
+// welfordState is the serialized form of a Welford accumulator. JSON
+// float64 encoding is shortest-round-trip, so a marshal/unmarshal cycle
+// restores the exact bits — checkpointed sweep aggregates resume
+// bit-identical (finite values only, which is all Add can produce from
+// finite inputs).
+type welfordState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// MarshalJSON implements json.Marshaler, exposing the accumulator state
+// for checkpointing.
+func (w Welford) MarshalJSON() ([]byte, error) {
+	return json.Marshal(welfordState{N: w.n, Mean: w.mean, M2: w.m2})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring a checkpointed
+// accumulator bit-exactly.
+func (w *Welford) UnmarshalJSON(data []byte) error {
+	var st welfordState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	*w = Welford{n: st.N, mean: st.Mean, m2: st.M2}
+	return nil
+}
+
 // CI95 returns the half-width of the normal-approximation 95% confidence
 // interval of the mean, 1.96·s/√n — 0 for fewer than two observations.
 // (For replication counts below ~30 the true Student-t interval is
@@ -86,3 +117,26 @@ func (m *MinMax) Min() float64 { return m.min }
 
 // Max returns the largest observation (0 for an empty stream).
 func (m *MinMax) Max() float64 { return m.max }
+
+// minMaxState is the serialized form of a MinMax tracker (see
+// welfordState for the exact-restore contract).
+type minMaxState struct {
+	N   int     `json:"n"`
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m MinMax) MarshalJSON() ([]byte, error) {
+	return json.Marshal(minMaxState{N: m.n, Min: m.min, Max: m.max})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *MinMax) UnmarshalJSON(data []byte) error {
+	var st minMaxState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	*m = MinMax{n: st.N, min: st.Min, max: st.Max}
+	return nil
+}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 )
@@ -109,5 +110,73 @@ func TestPercentileEdges(t *testing.T) {
 	}
 	if got := Percentile([]float64{1, 2}, math.NaN()); !math.IsNaN(got) {
 		t.Errorf("NaN p = %g, want NaN", got)
+	}
+}
+
+// TestWelfordJSONRoundTrip: checkpointed accumulators must restore to
+// the exact bit pattern, or a resumed sweep's exports drift from the
+// uninterrupted run.
+func TestWelfordJSONRoundTrip(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{3.1, 1.0 / 3.0, -2.5e-17, 41.99999999999999} {
+		w.Add(x)
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Welford
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != w.N() ||
+		math.Float64bits(got.Mean()) != math.Float64bits(w.Mean()) ||
+		math.Float64bits(got.Variance()) != math.Float64bits(w.Variance()) {
+		t.Fatalf("round trip lost bits: %+v vs %+v", got, w)
+	}
+	var zero Welford
+	data, err = json.Marshal(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Welford
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 0 || back.Mean() != 0 {
+		t.Fatalf("zero value did not round trip: %+v", back)
+	}
+}
+
+// TestMinMaxJSONRoundTrip: same exactness contract for the extremes
+// tracker, including the empty state that renders as null extremes.
+func TestMinMaxJSONRoundTrip(t *testing.T) {
+	var m MinMax
+	for _, x := range []float64{0.1, -7.25, 1e300} {
+		m.Add(x)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got MinMax
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != m.N() ||
+		math.Float64bits(got.Min()) != math.Float64bits(m.Min()) ||
+		math.Float64bits(got.Max()) != math.Float64bits(m.Max()) {
+		t.Fatalf("round trip lost bits: %+v vs %+v", got, m)
+	}
+	var zero, back MinMax
+	data, err = json.Marshal(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 0 {
+		t.Fatalf("zero value did not round trip: %+v", back)
 	}
 }

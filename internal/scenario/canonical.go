@@ -1,0 +1,84 @@
+package scenario
+
+// Canonical serialization of the resolved experiment parameters, the
+// foundation of content-hash cell identity (internal/sweep): every blob
+// is a deterministic byte string — JSON with declaration-ordered struct
+// fields, or a registry spec label with sorted parameters — so two specs
+// that resolve to the same experiment serialize identically regardless
+// of how they were written, loaded or edited.
+//
+// The blobs deliberately cover only what determines a replication's
+// simulated result: the master seed, job budget, horizon, mix,
+// reconfiguration costs, and the per-axis process specs. Display-only
+// fields (the scenario name, observe block) and file *contents* behind
+// trace paths are excluded — a trace replay's identity is its path
+// string, not the bytes behind it.
+
+import "encoding/json"
+
+// canonicalWorkload is the cell-independent part of a replication's
+// identity: everything outside the grid axes that shapes the simulated
+// job stream and its pricing.
+type canonicalWorkload struct {
+	Seed     uint64        `json:"seed"`
+	Jobs     int           `json:"jobs"`
+	HorizonS float64       `json:"horizon_s"`
+	Mix      []MixSpec     `json:"mix"`
+	Reconfig *ReconfigSpec `json:"reconfig"`
+}
+
+// mustJSON marshals a plain data struct; the inputs are maps-free value
+// types, so failure is impossible.
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic("scenario: canonical marshal: " + err.Error())
+	}
+	return data
+}
+
+// CanonicalWorkload serializes the cell-independent workload parameters
+// (master seed, job budget, horizon, mix, reconfiguration costs).
+// Validate must have run, so mix defaults are already filled.
+func (s *Spec) CanonicalWorkload() []byte {
+	return mustJSON(canonicalWorkload{
+		Seed: s.Seed, Jobs: s.Jobs, HorizonS: s.HorizonS,
+		Mix: s.Mix, Reconfig: s.Reconfig,
+	})
+}
+
+// CanonicalArrival serializes one arrival-process spec.
+func (s *Spec) CanonicalArrival(i int) []byte {
+	return mustJSON(s.Arrivals[i])
+}
+
+// canonicalNone is the fixed-pool sentinel blob for AvailIdx -1.
+var canonicalNone = []byte(`"none"`)
+
+// CanonicalAvailability serializes one availability-process spec;
+// i < 0 is the fixed-pool baseline. The loader-injected trace directory
+// is excluded (json:"-"), so moving a scenario file does not change cell
+// identity as long as the relative trace path is unchanged.
+func (s *Spec) CanonicalAvailability(i int) []byte {
+	if i < 0 || len(s.Availability) == 0 {
+		return canonicalNone
+	}
+	return mustJSON(s.Availability[i])
+}
+
+// CanonicalScheduler serializes one scheduler spec: the registry label
+// with sorted parameters, which round-trips through sched.ParseSpec to
+// the identical policy.
+func (s *Spec) CanonicalScheduler(i int) []byte {
+	return []byte(s.Schedulers[i].Label())
+}
+
+// CanonicalAppModel serializes one application performance-model spec;
+// i < 0 is the native "mix" baseline. Like CanonicalScheduler, the blob
+// is the sorted-parameter registry label.
+func (s *Spec) CanonicalAppModel(i int) []byte {
+	if i < 0 || len(s.AppModels) == 0 {
+		return []byte(MixModel)
+	}
+	return []byte(s.AppModels[i].Label())
+}

@@ -1,0 +1,163 @@
+package sweep
+
+// Resumable fold checkpoints. A checkpoint is a JSON snapshot of the
+// sweep's fold frontier — every owned cell's streaming accumulator plus
+// the count of replications it has absorbed — keyed by the cell's
+// content hash. Because per-cell folds are independent and strictly
+// replication-ordered, restoring an accumulator and folding the
+// remaining replications yields bit-identical aggregates to an
+// uninterrupted run (float64 values survive the JSON round-trip
+// exactly: Go emits the shortest representation that parses back to the
+// same bits).
+//
+// Content-hash keying is what makes a checkpoint robust:
+//
+//   - A resume after a grid edit restores only the cells whose hash
+//     still appears, so an incremental re-sweep runs just the new or
+//     edited cells.
+//   - Any change to the workload (seed, jobs, mix, horizon) changes
+//     every hash, so a stale checkpoint is ignored rather than merged —
+//     no explicit scenario-fingerprint check is needed.
+//
+// Files are written through the PR 7 atomic-rename path, so a crash
+// mid-write leaves the previous complete checkpoint in place.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+
+	"dpsim/internal/metrics"
+)
+
+// CheckpointVersion is the format version of the sweep checkpoint file;
+// readers reject other versions.
+const CheckpointVersion = 1
+
+// checkpointFile is the on-disk checkpoint layout.
+type checkpointFile struct {
+	Version      int    `json:"version"`
+	Scenario     string `json:"scenario"`
+	Replications int    `json:"replications"`
+	// FoldNext is the fold frontier at snapshot time (informational:
+	// restore derives everything from the per-cell entries).
+	FoldNext int `json:"fold_next"`
+	// Cells maps each cell's content hash (lowercase hex) to its folded
+	// accumulator state. Cells with nothing folded are omitted.
+	Cells map[string]checkpointCell `json:"cells"`
+}
+
+// checkpointCell is one cell's resumable state.
+type checkpointCell struct {
+	// Folded counts the replications already absorbed by Accum, in
+	// replication order; the resumed sweep executes reps [Folded, reps).
+	Folded int        `json:"folded"`
+	Accum  accumState `json:"accum"`
+}
+
+// accumState is cellAccum's serialized mirror. The pooled responses ride
+// along so percentile columns survive the resume — the dominant cost of
+// a checkpoint, proportional to jobs folded so far.
+type accumState struct {
+	Unfinished int             `json:"unfinished"`
+	RespSum    float64         `json:"resp_sum"`
+	WaitSum    float64         `json:"wait_sum"`
+	SlowSum    float64         `json:"slow_sum"`
+	SlowN      int             `json:"slow_n"`
+	Responses  []float64       `json:"responses"`
+	Makespan   float64         `json:"makespan_s"`
+	Util       float64         `json:"utilization"`
+	AvailUtil  float64         `json:"avail_utilization"`
+	Reallocs   float64         `json:"reallocations"`
+	CapEvents  float64         `json:"capacity_events"`
+	LostWork   float64         `json:"lost_work_s"`
+	RedistS    float64         `json:"redistribution_s"`
+	RespW      metrics.Welford `json:"resp_welford"`
+	MakespanW  metrics.Welford `json:"makespan_welford"`
+	RespMM     metrics.MinMax  `json:"resp_minmax"`
+}
+
+// state snapshots the accumulator. The responses slice is shared, not
+// copied: callers serialize the state before releasing the sweep lock.
+func (a *cellAccum) state() accumState {
+	return accumState{
+		Unfinished: a.unfinished,
+		RespSum:    a.respSum,
+		WaitSum:    a.waitSum,
+		SlowSum:    a.slowSum,
+		SlowN:      a.slowN,
+		Responses:  a.responses,
+		Makespan:   a.makespan,
+		Util:       a.util,
+		AvailUtil:  a.availUtil,
+		Reallocs:   a.reallocs,
+		CapEvents:  a.capEvents,
+		LostWork:   a.lostWork,
+		RedistS:    a.redistS,
+		RespW:      a.respW,
+		MakespanW:  a.makespanW,
+		RespMM:     a.respMM,
+	}
+}
+
+// restore rebuilds the accumulator from a checkpointed snapshot.
+func (a *cellAccum) restore(st accumState) {
+	*a = cellAccum{
+		unfinished: st.Unfinished,
+		respSum:    st.RespSum,
+		waitSum:    st.WaitSum,
+		slowSum:    st.SlowSum,
+		slowN:      st.SlowN,
+		responses:  st.Responses,
+		makespan:   st.Makespan,
+		util:       st.Util,
+		availUtil:  st.AvailUtil,
+		reallocs:   st.Reallocs,
+		capEvents:  st.CapEvents,
+		lostWork:   st.LostWork,
+		redistS:    st.RedistS,
+		respW:      st.RespW,
+		makespanW:  st.MakespanW,
+		respMM:     st.RespMM,
+	}
+}
+
+// loadCheckpoint reads a checkpoint file; a missing file is a fresh
+// start (nil, nil), anything unreadable or of a foreign version is an
+// error — silently discarding a corrupt checkpoint would silently
+// re-run the whole sweep.
+func loadCheckpoint(path string) (*checkpointFile, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+	var ck checkpointFile
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint %s: %w", path, err)
+	}
+	if ck.Version != CheckpointVersion {
+		return nil, fmt.Errorf("sweep: checkpoint %s: version %d, want %d", path, ck.Version, CheckpointVersion)
+	}
+	return &ck, nil
+}
+
+// saveCheckpointFile writes the checkpoint through the atomic-rename
+// path: the previous checkpoint stays intact until the new one is
+// durably complete.
+func saveCheckpointFile(path string, ck *checkpointFile) error {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

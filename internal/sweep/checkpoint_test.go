@@ -1,0 +1,181 @@
+package sweep
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dpsim/internal/scenario"
+)
+
+// ckSpec is a 4-cell grid (2 loads × 2 schedulers) whose loads axis the
+// incremental-resweep test widens.
+func ckSpec(t *testing.T, loads string) *scenario.Spec {
+	t.Helper()
+	return parseSpec(t, `{
+		"name": "ckgrid",
+		"nodes": [4],
+		"loads": `+loads+`,
+		"schedulers": ["equipartition", "rigid-fcfs"],
+		"seed": 11,
+		"jobs": 5,
+		"mix": [{"kind": "synthetic", "phases": 2, "work_s": 12, "comm": 0.05, "cv": 0.3}],
+		"arrivals": {"process": "poisson", "mean_interarrival_s": 4}
+	}`)
+}
+
+// TestInterruptResumeByteIdentical is the crash-resume contract: a sweep
+// interrupted mid-run and resumed from its checkpoint exports CSV and
+// JSON byte-identical to an uninterrupted run — without re-executing
+// the folded replications.
+func TestInterruptResumeByteIdentical(t *testing.T) {
+	spec := ckSpec(t, "[0.5, 1.0]")
+	const reps = 3
+	full, err := Run(spec, Options{Replications: reps, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, wantJSON := exportBoth(t, spec, full)
+
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	polls := 0
+	_, err = Run(spec, Options{
+		Replications: reps, Workers: 2, Checkpoint: ck, CheckpointEvery: 1,
+		Interrupted: func() bool { polls++; return polls > 4 },
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("no checkpoint after interrupt: %v", err)
+	}
+
+	executed := -1
+	stats, err := Run(spec, Options{
+		Replications: reps, Workers: 2, Checkpoint: ck,
+		Progress: func(done, total int) { executed = total },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(Cells(spec)) * reps
+	if executed < 0 || executed >= total {
+		t.Fatalf("resume executed %d of %d runs — nothing restored", executed, total)
+	}
+	gotCSV, gotJSON := exportBoth(t, spec, stats)
+	if gotCSV != wantCSV {
+		t.Fatalf("resumed CSV differs\n%s\nvs\n%s", gotCSV, wantCSV)
+	}
+	if gotJSON != wantJSON {
+		t.Fatal("resumed JSON differs")
+	}
+}
+
+// TestIncrementalResweep: after a grid edit, a checkpointed re-sweep
+// runs only the cells whose hash is new and still exports byte-identical
+// to a fresh full run of the edited scenario.
+func TestIncrementalResweep(t *testing.T) {
+	const reps = 2
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	if _, err := Run(ckSpec(t, "[0.5, 1.0]"), Options{Replications: reps, Checkpoint: ck}); err != nil {
+		t.Fatal(err)
+	}
+
+	edited := ckSpec(t, "[0.5, 0.75, 1.0]")
+	fresh, err := Run(edited, Options{Replications: reps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, wantJSON := exportBoth(t, edited, fresh)
+
+	executed := -1
+	stats, err := Run(ckSpec(t, "[0.5, 0.75, 1.0]"), Options{
+		Replications: reps, Checkpoint: ck,
+		Progress: func(done, total int) { executed = total },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the two load-0.75 cells are new.
+	if want := 2 * reps; executed != want {
+		t.Fatalf("incremental re-sweep executed %d runs, want %d", executed, want)
+	}
+	gotCSV, gotJSON := exportBoth(t, edited, stats)
+	if gotCSV != wantCSV || gotJSON != wantJSON {
+		t.Fatal("incremental re-sweep exports differ from a fresh run")
+	}
+}
+
+// TestCompletedCheckpointSkipsAllWork: re-running an already-complete
+// checkpointed sweep executes nothing and reproduces the exports.
+func TestCompletedCheckpointSkipsAllWork(t *testing.T) {
+	spec := ckSpec(t, "[0.5, 1.0]")
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	first, err := Run(spec, Options{Replications: 2, Checkpoint: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, _ := exportBoth(t, spec, first)
+	calls := 0
+	again, err := Run(spec, Options{Replications: 2, Checkpoint: ck,
+		Progress: func(done, total int) { calls++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("fully-checkpointed sweep still executed %d runs", calls)
+	}
+	gotCSV, _ := exportBoth(t, spec, again)
+	if gotCSV != wantCSV {
+		t.Fatal("restored exports differ")
+	}
+}
+
+// TestCheckpointRepsMismatchIgnored: a checkpoint taken at a different
+// replication count aggregates a different run set, so it must be
+// ignored wholesale rather than merged.
+func TestCheckpointRepsMismatchIgnored(t *testing.T) {
+	spec := ckSpec(t, "[0.5, 1.0]")
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	if _, err := Run(spec, Options{Replications: 2, Checkpoint: ck}); err != nil {
+		t.Fatal(err)
+	}
+	executed := -1
+	fresh, err := Run(spec, Options{Replications: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(spec, Options{Replications: 3, Checkpoint: ck,
+		Progress: func(done, total int) { executed = total }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(Cells(spec)) * 3; executed != want {
+		t.Fatalf("executed %d runs, want full %d (mismatched checkpoint must not restore)", executed, want)
+	}
+	wantCSV, _ := exportBoth(t, spec, fresh)
+	gotCSV, _ := exportBoth(t, spec, stats)
+	if gotCSV != wantCSV {
+		t.Fatal("exports differ")
+	}
+}
+
+// TestCheckpointCorruptRejected: an unreadable checkpoint is an error,
+// not a silent full re-run.
+func TestCheckpointCorruptRejected(t *testing.T) {
+	spec := ckSpec(t, "[0.5]")
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	if err := os.WriteFile(ck, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, Options{Replications: 1, Checkpoint: ck}); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+	if err := os.WriteFile(ck, []byte(`{"version": 99, "cells": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, Options{Replications: 1, Checkpoint: ck}); err == nil {
+		t.Fatal("foreign checkpoint version accepted")
+	}
+}

@@ -97,10 +97,20 @@ const csvHeader = "scenario,arrival,availability,nodes,load,scheduler,appmodel,r
 // list docs/output.md is pinned against (see TestOutputDocColumns).
 func CSVColumns() []string { return strings.Split(csvHeader, ",") }
 
+// optG renders an optional float: %g for a value, an empty field for
+// nil (an empty cell has no extremes — see docs/output.md).
+func optG(v *float64) string {
+	if v == nil {
+		return ""
+	}
+	return fmt.Sprintf("%g", *v)
+}
+
 // WriteCSV renders the aggregates as CSV, one row per cell in grid order.
 // Fields are RFC 4180-quoted when needed (scenario names and trace labels
 // may contain commas); floats use %g, so identical aggregates always
-// serialize identically.
+// serialize identically. min/max_response_s are empty for cells that
+// finished no jobs.
 func WriteCSV(w io.Writer, scenarioName string, stats []CellStats) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(strings.Split(csvHeader, ",")); err != nil {
@@ -120,7 +130,7 @@ func WriteCSV(w io.Writer, scenarioName string, stats []CellStats) error {
 			fmt.Sprintf("%g", st.MeanReallocations), fmt.Sprintf("%g", st.MeanCapacityEvents),
 			fmt.Sprintf("%g", st.MeanLostWork), fmt.Sprintf("%g", st.MeanRedistribution),
 			fmt.Sprintf("%g", st.CI95Response), fmt.Sprintf("%g", st.CI95Makespan),
-			fmt.Sprintf("%g", st.MinResponse), fmt.Sprintf("%g", st.MaxResponse),
+			optG(st.MinResponse), optG(st.MaxResponse),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

@@ -37,6 +37,8 @@ type Metrics struct {
 
 	cellsTotal   *telemetry.Gauge
 	cellsDone    *telemetry.Gauge
+	cellsDeduped *telemetry.Gauge
+	cellsResumed *telemetry.Gauge
 	replications *telemetry.Gauge
 	runsTotal    *telemetry.Gauge
 	workersG     *telemetry.Gauge
@@ -80,10 +82,14 @@ func NewMetrics(reg *telemetry.Registry, workersHint int) *Metrics {
 			"Grid cells in the sweep."),
 		cellsDone: reg.Gauge("dpsim_sweep_cells_done",
 			"Grid cells whose every replication has folded into aggregates."),
+		cellsDeduped: reg.Gauge("dpsim_sweep_cells_deduped",
+			"Grid cells skipped because an identical cell executes for them (content-hash dedup)."),
+		cellsResumed: reg.Gauge("dpsim_sweep_cells_resumed",
+			"Grid cells restored, fully or partially, from the fold checkpoint."),
 		replications: reg.Gauge("dpsim_sweep_replications",
 			"Replications per grid cell."),
 		runsTotal: reg.Gauge("dpsim_sweep_runs_total",
-			"Total replications in the sweep (cells x replications)."),
+			"Replications this process executes (after dedup, resume and shard planning)."),
 		workersG: reg.Gauge("dpsim_sweep_workers",
 			"Workers in the pool."),
 		foldFrontier: reg.Gauge("dpsim_sweep_fold_frontier",
@@ -118,6 +124,8 @@ func (m *Metrics) DeterministicMetricNames() []string {
 		"dpsim_sweep_jobs_unfinished_total",
 		"dpsim_sweep_cells_total",
 		"dpsim_sweep_cells_done",
+		"dpsim_sweep_cells_deduped",
+		"dpsim_sweep_cells_resumed",
 		"dpsim_sweep_replications",
 		"dpsim_sweep_runs_total",
 		"dpsim_sweep_fold_frontier",
@@ -167,6 +175,15 @@ func (m *Metrics) begin(cells, reps, workers, total int) {
 	m.startNS.Store(time.Now().UnixNano())
 }
 
+// notePlan records the sweep plan's dedup and resume outcome: cells
+// skipped because an identical cell executes for them, and cells whose
+// accumulators restored from the fold checkpoint. Called once by Run
+// after begin.
+func (m *Metrics) notePlan(deduped, resumed int) {
+	m.cellsDeduped.Set(float64(deduped))
+	m.cellsResumed.Set(float64(resumed))
+}
+
 // claimWorker returns the next free worker index; each pool goroutine
 // calls it once when metrics are attached.
 func (m *Metrics) claimWorker() int {
@@ -191,12 +208,15 @@ func (m *Metrics) noteRun(worker int, elapsed time.Duration, jobs, unfinished in
 	m.jobsUnfinished.Add(int64(unfinished))
 }
 
-// noteFold publishes the fold frontier's position. Called under the
-// sweep's fold lock, so reads of done/foldNext are already ordered.
-func (m *Metrics) noteFold(foldNext, done, reps int) {
+// noteFold publishes the fold frontier's position. marked counts the
+// slots satisfied so far — executed, fanned out to a duplicate, or
+// pre-satisfied by shard/checkpoint planning — so the lag never goes
+// negative on resumed or sharded sweeps. Called under the sweep's fold
+// lock, so reads of marked/foldNext are already ordered.
+func (m *Metrics) noteFold(foldNext, marked, reps int) {
 	m.foldFrontier.Set(float64(foldNext))
 	m.cellsDone.Set(float64(foldNext / reps))
-	m.foldLag.Set(float64(done - foldNext))
+	m.foldLag.Set(float64(marked - foldNext))
 }
 
 // Progress implements telemetry.ProgressSource for the /progress

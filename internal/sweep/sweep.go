@@ -1,24 +1,29 @@
 // Package sweep expands a scenario into an experiment grid — arrival
 // process × availability process × cluster size × offered load ×
-// scheduler — and runs every cell, replicated over derived seeds, across
-// a pool of parallel workers.
+// scheduler × application model — and runs every cell, replicated over
+// derived seeds, across a pool of parallel workers.
 //
-// Results are bit-identical for identical seeds regardless of worker
-// count: every replication's seed is a pure function of (master seed, cell
-// index, replication index), workers only fill pre-indexed slots, and
-// aggregation always folds replications in index order.
+// Results are bit-identical for identical scenarios regardless of
+// worker count, sharding, deduplication or resume: every cell carries a
+// canonical content hash of its resolved parameters (hash.go), every
+// replication's seed is a pure function of (cell hash, replication
+// index), workers only fill pre-indexed slots, and aggregation always
+// folds replications in index order. The same hash keys the resumable
+// fold checkpoints (checkpoint.go) and the cross-process shard
+// artifacts (shard.go).
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dpsim/internal/metrics"
 	"dpsim/internal/obs"
-	"dpsim/internal/rng"
 	"dpsim/internal/scenario"
 )
 
@@ -28,6 +33,12 @@ import (
 // AppModel likewise labels the cell's application performance model
 // (scenario.AppModelSpec.Label()) — "mix" is the native baseline where
 // every mix component keeps its own registered model.
+//
+// Labels are for display: when an axis holds two identical specs, the
+// duplicates' labels get a "#idx" suffix so exported rows stay
+// distinguishable. Cell identity — seeding, dedup, checkpoint and shard
+// keys — comes from the undecorated specs via the content hash
+// (CellHashes), so decorated duplicates still hash identically.
 type Cell struct {
 	Arrival      string  `json:"arrival"`
 	ArrivalIdx   int     `json:"-"`
@@ -83,9 +94,12 @@ type CellStats struct {
 	// than two observations exist.
 	CI95Response float64 `json:"ci95_response_s"`
 	CI95Makespan float64 `json:"ci95_makespan_s"`
-	// Extremes of the pooled per-job responses (streamed, exact).
-	MinResponse float64 `json:"min_response_s"`
-	MaxResponse float64 `json:"max_response_s"`
+	// Extremes of the pooled per-job responses (streamed, exact). Nil
+	// when the cell finished no jobs — exported as empty CSV fields and
+	// JSON nulls, since a literal 0 would be indistinguishable from a
+	// genuine zero-second response.
+	MinResponse *float64 `json:"min_response_s"`
+	MaxResponse *float64 `json:"max_response_s"`
 }
 
 // cellAccum streams one cell's replications into running aggregates as
@@ -93,7 +107,9 @@ type CellStats struct {
 // pooled computation are kept as running sums folded in replication
 // order (the addition order matches the old pooled-slice walk exactly);
 // only the response quantiles still pool values, since an exact
-// percentile needs the full sample.
+// percentile needs the full sample. The accumulator round-trips through
+// JSON exactly (checkpoint.go), which is what makes resumed sweeps
+// byte-identical to uninterrupted ones.
 type cellAccum struct {
 	unfinished int
 	respSum    float64
@@ -113,8 +129,13 @@ type cellAccum struct {
 	respMM     metrics.MinMax
 }
 
-// fold absorbs one completed replication.
-func (a *cellAccum) fold(run *scenario.CellRun) {
+// fold absorbs one completed replication. reps sizes the pooled
+// response buffer on first use: per-job counts are near-constant across
+// a cell's replications, so one allocation usually serves the cell.
+func (a *cellAccum) fold(run *scenario.CellRun, reps int) {
+	if a.responses == nil && len(run.Result.PerJob) > 0 {
+		a.responses = make([]float64, 0, len(run.Result.PerJob)*reps)
+	}
 	for _, j := range run.Result.PerJob {
 		a.respSum += j.Response
 		a.waitSum += j.Wait
@@ -160,10 +181,22 @@ func (a *cellAccum) stats(c Cell, reps int) CellStats {
 	st.MeanRedistribution = a.redistS / float64(reps)
 	st.CI95Response = a.respW.CI95()
 	st.CI95Makespan = a.makespanW.CI95()
-	st.MinResponse = a.respMM.Min()
-	st.MaxResponse = a.respMM.Max()
+	if a.respMM.N() > 0 {
+		mn, mx := a.respMM.Min(), a.respMM.Max()
+		st.MinResponse, st.MaxResponse = &mn, &mx
+	}
 	return st
 }
+
+// ErrInterrupted reports a sweep stopped by Options.Interrupted. When a
+// Checkpoint path is configured, the final checkpoint has been written,
+// so re-running with the same path resumes where the sweep stopped.
+var ErrInterrupted = errors.New("sweep: interrupted")
+
+// DefaultCheckpointEvery is the checkpoint cadence when
+// Options.CheckpointEvery is unset: the checkpoint file is rewritten
+// after this many executed runs.
+const DefaultCheckpointEvery = 256
 
 // Options tunes a sweep run.
 type Options struct {
@@ -171,14 +204,19 @@ type Options struct {
 	Replications int
 	// Workers caps the worker pool (default GOMAXPROCS).
 	Workers int
-	// Progress, when non-nil, is called after each completed run with
-	// (done, total). Calls arrive from worker goroutines.
+	// Progress, when non-nil, is called after each executed run with
+	// (done, total), where total counts the runs this process actually
+	// executes — deduplicated, checkpoint-restored and other-shard runs
+	// are excluded. Calls arrive from worker goroutines.
 	Progress func(done, total int)
 	// Observe, when non-nil, constructs the observability probe of each
 	// replication before it runs. It is called from worker goroutines and
 	// must be safe for concurrent use; returning nil leaves that
 	// replication unobserved (the zero-cost path). The sample interval
 	// comes from the scenario's observe block (Spec.Observe.SampleDTS).
+	// Observation disables dedup (probes are per-run side effects that
+	// fan-out would skip), and checkpoint-restored replications are not
+	// re-observed.
 	Observe func(c Cell, rep int) obs.Probe
 	// SampleDTS overrides the observed replications' time-series sample
 	// interval in virtual seconds; 0 uses the scenario's
@@ -197,6 +235,84 @@ type Options struct {
 	// check per run, no atomics, no allocations. One Metrics must not be
 	// shared by concurrent Run calls.
 	Metrics *Metrics
+	// NoDedup disables content-hash deduplication. By default, cells
+	// with identical content hashes execute once and the completed runs
+	// fan out to every duplicate's fold slots — exported aggregates are
+	// identical either way (identical hash means identical seeds), so
+	// NoDedup mainly serves A/B verification. Dedup also turns itself
+	// off while Observe is set.
+	NoDedup bool
+	// Shard restricts execution to one content-hash partition of the
+	// grid. The zero value runs the whole grid. Sharded execution is
+	// driven through RunShard; Run rejects a non-trivial Shard because
+	// its full-grid report would cover only the owned cells.
+	Shard ShardSel
+	// Checkpoint, when non-empty, is the path of the resumable fold
+	// checkpoint: the sweep restores matching per-cell state from it on
+	// start, rewrites it every CheckpointEvery executed runs and on
+	// completion, error or interrupt (atomic rename — never torn).
+	// Entries are keyed by cell content hash, so a resume survives grid
+	// edits: cells whose hash is unchanged restore, new or edited cells
+	// run from scratch.
+	Checkpoint string
+	// CheckpointEvery is the checkpoint cadence in executed runs
+	// (default DefaultCheckpointEvery). Ignored without Checkpoint.
+	CheckpointEvery int
+	// Interrupted, when non-nil, is polled between job dispatches; once
+	// it returns true the sweep stops handing out runs, drains the
+	// in-flight ones, writes a final checkpoint and returns
+	// ErrInterrupted.
+	Interrupted func() bool
+}
+
+// axisLabels resolves one axis's display labels, suffixing duplicates
+// with "#idx" so every exported row names its cell unambiguously.
+// Duplicate detection runs against the undecorated labels, and identity
+// (hashing, seeding, dedup) never sees the decoration.
+func axisLabels(n int, label func(int) string) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = label(i)
+	}
+	if n < 2 {
+		return out
+	}
+	dup := make([]bool, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if out[i] == out[j] {
+				dup[i], dup[j] = true, true
+			}
+		}
+	}
+	for i := range out {
+		if dup[i] {
+			out[i] = fmt.Sprintf("%s#%d", out[i], i)
+		}
+	}
+	return out
+}
+
+// axisEntry pairs an axis entry's display label with its spec index
+// (-1 for the pseudo-entry of an empty axis).
+type axisEntry struct {
+	label string
+	idx   int
+}
+
+// axisEntries expands one optional axis: empty axes collapse to the
+// single pseudo-entry `none` (so legacy grids keep their historical
+// cell order), populated axes get disambiguated labels.
+func axisEntries(n int, none string, label func(int) string) []axisEntry {
+	if n == 0 {
+		return []axisEntry{{label: none, idx: -1}}
+	}
+	labels := axisLabels(n, label)
+	out := make([]axisEntry, n)
+	for i := range out {
+		out[i] = axisEntry{label: labels[i], idx: i}
+	}
+	return out
 }
 
 // Cells expands the scenario's grid in canonical order: arrival process,
@@ -205,42 +321,18 @@ type Options struct {
 // processes gets the single fixed-pool pseudo-entry "none"; one without
 // appmodels gets the single native-model pseudo-entry "mix" — in both
 // cases the axis adds no cells, so legacy grids keep their historical
-// cell order and derived seeds.
+// cell order. Two axis entries may share a spec (e.g. spot with and
+// without notice, or A/B copies of one scheduler): duplicates keep
+// their position but their labels get a "#idx" suffix.
 func Cells(spec *scenario.Spec) []Cell {
-	type availEntry struct {
-		label string
-		idx   int
-	}
-	avail := []availEntry{{label: "none", idx: -1}}
-	if len(spec.Availability) > 0 {
-		avail = avail[:0]
-		seen := make(map[string]int)
-		for vi, v := range spec.Availability {
-			label := v.Label()
-			seen[label]++
-			avail = append(avail, availEntry{label: label, idx: vi})
-		}
-		// Two axis entries may share a process (e.g. spot with and
-		// without notice); suffix duplicates with their index so every
-		// exported row names its cell unambiguously.
-		for i := range avail {
-			if seen[avail[i].label] > 1 {
-				avail[i].label = fmt.Sprintf("%s#%d", avail[i].label, avail[i].idx)
-			}
-		}
-	}
-	type modelEntry struct {
-		label string
-		idx   int
-	}
-	models := []modelEntry{{label: "mix", idx: -1}}
-	if len(spec.AppModels) > 0 {
-		models = models[:0]
-		for mi, m := range spec.AppModels {
-			models = append(models, modelEntry{label: m.Label(), idx: mi})
-		}
-	}
-	var out []Cell
+	avail := axisEntries(len(spec.Availability), "none",
+		func(i int) string { return spec.Availability[i].Label() })
+	models := axisEntries(len(spec.AppModels), "mix",
+		func(i int) string { return spec.AppModels[i].Label() })
+	scheds := axisLabels(len(spec.Schedulers),
+		func(i int) string { return spec.Schedulers[i].Label() })
+	out := make([]Cell, 0,
+		len(spec.Arrivals)*len(avail)*len(spec.Nodes)*len(spec.Loads)*len(scheds)*len(models))
 	for ai, a := range spec.Arrivals {
 		for _, v := range avail {
 			for _, n := range spec.Nodes {
@@ -251,7 +343,7 @@ func Cells(spec *scenario.Spec) []Cell {
 								Arrival: a.Label(), ArrivalIdx: ai,
 								Avail: v.label, AvailIdx: v.idx,
 								Nodes: n, Load: l,
-								Scheduler: spec.Schedulers[si].Label(), SchedulerIdx: si,
+								Scheduler: scheds[si], SchedulerIdx: si,
 								AppModel: m.label, AppModelIdx: m.idx,
 							})
 						}
@@ -263,17 +355,36 @@ func Cells(spec *scenario.Spec) []Cell {
 	return out
 }
 
-// runSeed derives the seed of one replication as a pure function of the
-// master seed and the run's grid coordinates, so results do not depend on
-// scheduling order. Two splitmix rounds decorrelate neighboring cells.
-func runSeed(master uint64, cell, rep int) uint64 {
-	h := rng.New(master ^ (uint64(cell+1) * 0x9e3779b97f4a7c15)).Uint64()
-	return rng.New(h ^ (uint64(rep+1) * 0xbf58476d1ce4e5b9)).Uint64()
-}
-
 // Run executes the full grid and returns one aggregate per cell, in
 // Cells() order.
 func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
+	if opt.Shard.Count > 1 {
+		return nil, fmt.Errorf("sweep: Run covers the whole grid; use RunShard for shard %d/%d",
+			opt.Shard.Index, opt.Shard.Count)
+	}
+	g, err := runGrid(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return g.stats, nil
+}
+
+// gridResult is the internal outcome of runGrid: the expanded grid, its
+// content hashes, the shard-ownership mask and the finalized per-cell
+// aggregates (zero-valued for cells the shard does not own).
+type gridResult struct {
+	cells  []Cell
+	hashes []CellHash
+	owned  []bool
+	reps   int
+	stats  []CellStats
+}
+
+// runGrid plans and executes a sweep: hash the grid, filter to the
+// owned shard, restore checkpointed cells, group duplicates, run what
+// remains, and fold everything — executed, restored and fanned-out —
+// through the in-order frontier.
+func runGrid(spec *scenario.Spec, opt Options) (*gridResult, error) {
 	reps := opt.Replications
 	if reps <= 0 {
 		reps = 1
@@ -286,39 +397,207 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 	if len(cells) == 0 {
 		return nil, fmt.Errorf("sweep: empty grid")
 	}
+	hashes := CellHashes(spec, cells)
 	total := len(cells) * reps
-	if workers > total {
-		workers = total
-	}
-	m := opt.Metrics
-	if m != nil {
-		m.begin(len(cells), reps, workers, total)
+
+	// Shard ownership: cells partition by content hash, so every process
+	// of an n-way sharded sweep derives the same disjoint split.
+	owned := make([]bool, len(cells))
+	if n := opt.Shard.Count; n > 1 {
+		if opt.Shard.Index < 0 || opt.Shard.Index >= n {
+			return nil, fmt.Errorf("sweep: shard index %d outside 0..%d", opt.Shard.Index, n-1)
+		}
+		for i, h := range hashes {
+			owned[i] = h.ShardOf(n) == opt.Shard.Index
+		}
+	} else {
+		for i := range owned {
+			owned[i] = true
+		}
 	}
 
-	// Completed replications fold into per-cell streaming accumulators as
-	// soon as the fold frontier reaches them: runs must fold in index
-	// order (the float sums are order-sensitive and the exports are
-	// pinned bit-for-bit across worker counts), so out-of-order
-	// completions park in the pending buffer until the frontier catches
-	// up — memory stays bounded by the in-flight spread instead of the
-	// whole grid's per-job data.
+	// Dedup plan: cells with identical hashes run once — the lowest
+	// owned index is the representative, and its completed runs fan out
+	// to every duplicate's slots. Hash-partitioned sharding puts a
+	// duplicate group entirely in one shard, so the plan never needs a
+	// run from another process.
+	dedup := !opt.NoDedup && opt.Observe == nil
+	repOf := make([]int, len(cells))
+	for i := range repOf {
+		repOf[i] = i
+	}
+	var dupsOf map[int][]int
+	dedupedCells := 0
+	if dedup {
+		byHash := make(map[CellHash]int, len(cells))
+		for i, h := range hashes {
+			if !owned[i] {
+				continue
+			}
+			if r, ok := byHash[h]; ok {
+				repOf[i] = r
+				if dupsOf == nil {
+					dupsOf = make(map[int][]int)
+				}
+				dupsOf[r] = append(dupsOf[r], i)
+				dedupedCells++
+			} else {
+				byHash[h] = i
+			}
+		}
+	}
+
+	accums := make([]cellAccum, len(cells))
+
+	// Checkpoint restore: per-cell accumulator state keyed by content
+	// hash, so a resume survives grid edits — unchanged cells restore,
+	// new or edited cells (fresh hashes) run from scratch. A checkpoint
+	// with a different replication count is ignored wholesale: its
+	// accumulators fold a different run set.
+	restored := make([]int, len(cells))
+	resumedCells := 0
+	if opt.Checkpoint != "" {
+		ck, err := loadCheckpoint(opt.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		if ck != nil && ck.Replications == reps {
+			for ci := range cells {
+				if !owned[ci] {
+					continue
+				}
+				entry, ok := ck.Cells[hashes[ci].String()]
+				if !ok || entry.Folded <= 0 || entry.Folded > reps {
+					continue
+				}
+				accums[ci].restore(entry.Accum)
+				restored[ci] = entry.Folded
+				resumedCells++
+			}
+		}
+	}
+
+	// Slot plan. Every (cell, replication) keeps one pre-indexed slot;
+	// slots this process will not execute — other shards' cells,
+	// restored replications — are pre-marked folded so the frontier
+	// passes them, and a duplicate's remaining slots fill when its
+	// representative's run completes. execIdx is what actually runs.
 	pending := make([]*scenario.CellRun, total)
 	folded := make([]bool, total)
-	accums := make([]cellAccum, len(cells))
+	marked := 0 // folded[] entries set; foldLag = marked - foldNext
+	execIdx := make([]int, 0, total)
+	for ci := range cells {
+		base := ci * reps
+		if !owned[ci] {
+			for r := 0; r < reps; r++ {
+				folded[base+r] = true
+			}
+			marked += reps
+			continue
+		}
+		k := restored[ci]
+		for r := 0; r < k; r++ {
+			folded[base+r] = true
+		}
+		marked += k
+		if repOf[ci] != ci {
+			continue // reps k..reps-1 arrive by fan-out from the representative
+		}
+		for r := k; r < reps; r++ {
+			execIdx = append(execIdx, base+r)
+		}
+	}
+	execTotal := len(execIdx)
+	if workers > execTotal {
+		workers = execTotal
+	}
+
+	m := opt.Metrics
+	if m != nil {
+		m.begin(len(cells), reps, workers, execTotal)
+		m.notePlan(dedupedCells, resumedCells)
+	}
+
 	// probes parks each observed replication's probe until the fold
 	// frontier reaches it, giving OnObserved its deterministic order.
 	var probes []obs.Probe
 	if opt.Observe != nil {
 		probes = make([]obs.Probe, total)
 	}
+	ckEvery := opt.CheckpointEvery
+	if ckEvery <= 0 {
+		ckEvery = DefaultCheckpointEvery
+	}
 	foldNext := 0
-	jobs := make(chan int)
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		done     int
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstErr  error
+		done      int
+		sinceSave int
+		stopped   atomic.Bool
 	)
+
+	// advance moves the fold frontier over every contiguous completed
+	// slot, releasing each run's per-job data as it is absorbed: runs
+	// must fold in index order (the float sums are order-sensitive and
+	// the exports are pinned bit-for-bit across worker counts), so
+	// out-of-order completions park in pending until the frontier
+	// catches up — memory stays bounded by the in-flight spread instead
+	// of the whole grid's per-job data. Called under mu.
+	advance := func() {
+		for foldNext < total && folded[foldNext] {
+			if r := pending[foldNext]; r != nil {
+				accums[foldNext/reps].fold(r, reps)
+				pending[foldNext] = nil
+			}
+			if probes != nil && probes[foldNext] != nil {
+				if opt.OnObserved != nil {
+					opt.OnObserved(cells[foldNext/reps], foldNext%reps, probes[foldNext])
+				}
+				probes[foldNext] = nil
+			}
+			foldNext++
+		}
+	}
+
+	// saveNow snapshots every owned cell's accumulator keyed by content
+	// hash and rewrites the checkpoint atomically. Called under mu, so
+	// the snapshot is a consistent fold-frontier cut. Duplicate hashes
+	// keep the least-folded entry: restore applies one entry to every
+	// duplicate, so it must not overstate any of them.
+	saveNow := func() error {
+		ck := &checkpointFile{
+			Version:      CheckpointVersion,
+			Scenario:     spec.Name,
+			Replications: reps,
+			FoldNext:     foldNext,
+			Cells:        make(map[string]checkpointCell, len(cells)),
+		}
+		for ci := range cells {
+			if !owned[ci] {
+				continue
+			}
+			fi := foldNext - ci*reps
+			if fi > reps {
+				fi = reps
+			}
+			if fi < restored[ci] {
+				fi = restored[ci] // restored ahead of the frontier
+			}
+			if fi <= 0 {
+				continue
+			}
+			key := hashes[ci].String()
+			if prev, ok := ck.Cells[key]; ok && prev.Folded <= fi {
+				continue
+			}
+			ck.Cells[key] = checkpointCell{Folded: fi, Accum: accums[ci].state()}
+		}
+		return saveCheckpointFile(opt.Checkpoint, ck)
+	}
+
+	jobs := make(chan int)
 	for range workers {
 		wg.Add(1)
 		// The closure takes no arguments on purpose: `go f(w)` would
@@ -350,7 +629,7 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 					ArrivalIdx:   c.ArrivalIdx,
 					AvailIdx:     c.AvailIdx,
 					AppModelIdx:  c.AppModelIdx,
-					Seed:         runSeed(spec.Seed, ci, rep),
+					Seed:         runSeed(hashes[ci], rep),
 					Probe:        probe,
 					SampleDTS:    opt.SampleDTS,
 				})
@@ -366,54 +645,100 @@ func Run(spec *scenario.Spec, opt Options) ([]CellStats, error) {
 				if err != nil && firstErr == nil {
 					firstErr = fmt.Errorf("sweep: cell %s/%s/%d nodes/load %g/%s/%s rep %d: %w",
 						c.Arrival, c.Avail, c.Nodes, c.Load, c.Scheduler, c.AppModel, rep, err)
+					// Fail fast: the dispatcher stops handing out runs; the
+					// in-flight ones drain so the fold frontier stays
+					// consistent for the final checkpoint.
+					stopped.Store(true)
 				}
 				pending[idx] = run
 				folded[idx] = true
+				marked++
 				if probes != nil && run != nil {
 					probes[idx] = probe
 				}
-				// Advance the fold frontier over every contiguous
-				// completed run, releasing each run's per-job data as it
-				// is absorbed.
-				for foldNext < total && folded[foldNext] {
-					if r := pending[foldNext]; r != nil {
-						accums[foldNext/reps].fold(r)
-						pending[foldNext] = nil
+				// Fan the completed run out to every duplicate cell's
+				// matching slot: identical hash means identical seeds, so
+				// one execution stands in for all of them.
+				if dupsOf != nil {
+					for _, d := range dupsOf[ci] {
+						slot := d*reps + rep
+						pending[slot] = run
+						folded[slot] = true
+						marked++
 					}
-					if probes != nil && probes[foldNext] != nil {
-						if opt.OnObserved != nil {
-							opt.OnObserved(cells[foldNext/reps], foldNext%reps, probes[foldNext])
-						}
-						probes[foldNext] = nil
-					}
-					foldNext++
 				}
+				advance()
 				done++
 				if m != nil {
-					m.noteFold(foldNext, done, reps)
+					m.noteFold(foldNext, marked, reps)
+				}
+				if opt.Checkpoint != "" {
+					sinceSave++
+					if sinceSave >= ckEvery {
+						sinceSave = 0
+						if err := saveNow(); err != nil && firstErr == nil {
+							firstErr = fmt.Errorf("sweep: checkpoint: %w", err)
+							stopped.Store(true)
+						}
+					}
 				}
 				if opt.Progress != nil {
 					// Under the lock so counts reach the callback in order
 					// (a stale count printed after the final one would
 					// corrupt progress displays).
-					opt.Progress(done, total)
+					opt.Progress(done, execTotal)
 				}
 				mu.Unlock()
 			}
 		}()
 	}
-	for idx := 0; idx < total; idx++ {
+
+	// Pre-marked slots at the head of the grid (other shards' cells,
+	// restored replications) fold before any run completes — and, when
+	// everything restored, without any worker at all.
+	mu.Lock()
+	advance()
+	if m != nil {
+		m.noteFold(foldNext, marked, reps)
+	}
+	mu.Unlock()
+
+	for _, idx := range execIdx {
+		if stopped.Load() {
+			break
+		}
+		if opt.Interrupted != nil && opt.Interrupted() {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = ErrInterrupted
+			}
+			mu.Unlock()
+			break
+		}
 		jobs <- idx
 	}
 	close(jobs)
 	wg.Wait()
+
+	// The final checkpoint lands on every exit path — completion, error,
+	// interrupt — so the next run never re-executes folded work.
+	if opt.Checkpoint != "" {
+		mu.Lock()
+		err := saveNow()
+		mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("sweep: checkpoint: %w", err)
+		}
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
 
-	out := make([]CellStats, len(cells))
+	stats := make([]CellStats, len(cells))
 	for ci, c := range cells {
-		out[ci] = accums[ci].stats(c, reps)
+		if owned[ci] {
+			stats[ci] = accums[ci].stats(c, reps)
+		}
 	}
-	return out, nil
+	return &gridResult{cells: cells, hashes: hashes, owned: owned, reps: reps, stats: stats}, nil
 }

@@ -247,7 +247,10 @@ func TestRunAggregates(t *testing.T) {
 		if st.P50Response > st.P95Response || st.P95Response > st.P99Response {
 			t.Fatalf("percentiles out of order: %+v", st)
 		}
-		if st.MinResponse > st.P50Response || st.P99Response > st.MaxResponse {
+		if st.MinResponse == nil || st.MaxResponse == nil {
+			t.Fatalf("extremes nil with %d pooled jobs: %+v", st.Jobs, st)
+		}
+		if *st.MinResponse > st.P50Response || st.P99Response > *st.MaxResponse {
 			t.Fatalf("streamed extremes disagree with percentiles: %+v", st)
 		}
 		if st.CI95Response <= 0 {
@@ -278,10 +281,12 @@ func TestRunProgress(t *testing.T) {
 }
 
 func TestRunSeedDerivation(t *testing.T) {
-	if runSeed(1, 0, 0) == runSeed(1, 0, 1) || runSeed(1, 0, 0) == runSeed(1, 1, 0) {
+	h1 := CellHash{1}
+	h2 := CellHash{2}
+	if runSeed(h1, 0) == runSeed(h1, 1) || runSeed(h1, 0) == runSeed(h2, 0) {
 		t.Fatal("replication seeds collide")
 	}
-	if runSeed(1, 2, 3) != runSeed(1, 2, 3) {
+	if runSeed(h1, 3) != runSeed(h1, 3) {
 		t.Fatal("seed derivation not deterministic")
 	}
 }
