@@ -21,8 +21,10 @@
 // rewritten atomically during the sweep, and written on completion,
 // error or interrupt. SIGINT stops dispatching, drains in-flight runs,
 // writes the final checkpoint and exits 130; re-running the identical
-// command resumes and produces byte-identical exports. See
-// docs/sweep.md.
+// command resumes and produces byte-identical exports. -checkpoint is
+// rejected alongside -timeseries-out: checkpoint-restored replications
+// are not re-observed, so a resumed sweep would write an incomplete
+// time-series. See docs/sweep.md.
 //
 // -shard i/n runs only the cells that content-hash into shard i of n
 // and writes their aggregates as a shard artifact (-shard-out, required;
@@ -209,6 +211,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if *mergeList != "" && (*tsPath != "" || *checkpointPath != "") {
 		fmt.Fprintln(stderr, "dpssweep: -merge combines existing artifacts; -timeseries-out/-checkpoint do not apply")
+		return 2
+	}
+	if *checkpointPath != "" && *tsPath != "" {
+		fmt.Fprintln(stderr, "dpssweep: -checkpoint cannot be combined with -timeseries-out: checkpoint-restored replications are not re-observed, so a resumed sweep would write an incomplete time-series")
 		return 2
 	}
 

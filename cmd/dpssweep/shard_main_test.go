@@ -94,6 +94,7 @@ func TestRealMainShardFlagErrors(t *testing.T) {
 		{"shard with merge", []string{"-scenario", sc, "-shard", "0/2", "-shard-out", "s.json", "-merge", "a.json"}},
 		{"merge with checkpoint", []string{"-scenario", sc, "-merge", "a.json", "-checkpoint", "ck.json"}},
 		{"merge with timeseries", []string{"-scenario", sc, "-merge", "a.json", "-timeseries-out", "ts.csv"}},
+		{"checkpoint with timeseries", []string{"-scenario", sc, "-checkpoint", "ck.json", "-timeseries-out", "ts.csv"}},
 	} {
 		var stdout, stderr bytes.Buffer
 		if code := realMain(tc.args, &stdout, &stderr); code != 2 {

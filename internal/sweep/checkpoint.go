@@ -103,7 +103,11 @@ func (a *cellAccum) state() accumState {
 	}
 }
 
-// restore rebuilds the accumulator from a checkpointed snapshot.
+// restore rebuilds the accumulator from a checkpointed snapshot. The
+// responses slice is copied, not adopted: dedup restores the same
+// decoded entry into the representative and every duplicate cell, and
+// each accumulator later appends to and sorts its buffer in place —
+// sharing one backing array would alias them.
 func (a *cellAccum) restore(st accumState) {
 	*a = cellAccum{
 		unfinished: st.Unfinished,
@@ -111,7 +115,7 @@ func (a *cellAccum) restore(st accumState) {
 		waitSum:    st.WaitSum,
 		slowSum:    st.SlowSum,
 		slowN:      st.SlowN,
-		responses:  st.Responses,
+		responses:  append([]float64(nil), st.Responses...),
 		makespan:   st.Makespan,
 		util:       st.Util,
 		availUtil:  st.AvailUtil,

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"dpsim/internal/scenario"
+	"dpsim/internal/trace"
 )
 
 // ckSpec is a 4-cell grid (2 loads × 2 schedulers) whose loads axis the
@@ -158,6 +159,103 @@ func TestCheckpointRepsMismatchIgnored(t *testing.T) {
 	gotCSV, _ := exportBoth(t, spec, stats)
 	if gotCSV != wantCSV {
 		t.Fatal("exports differ")
+	}
+}
+
+// TestErrorResumeByteIdentical: a replication that fails must not be
+// recorded as folded by the final checkpoint, so resuming after a
+// transient error (here a missing trace file that appears before the
+// retry) re-runs it and still exports byte-identical to a clean run.
+func TestErrorResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "jobs.csv")
+	// The trace path rides in the cell hash, so the spec identifies the
+	// same cells whether or not the file exists yet.
+	spec := func() *scenario.Spec {
+		return parseSpec(t, `{
+			"name": "errgrid",
+			"nodes": [4],
+			"loads": [0.5, 1.0],
+			"schedulers": ["equipartition", "rigid-fcfs"],
+			"seed": 17,
+			"jobs": 4,
+			"mix": [{"kind": "synthetic", "phases": 1, "work_s": 10}],
+			"arrivals": [
+				{"process": "poisson", "mean_interarrival_s": 4},
+				{"process": "trace", "path": "`+tracePath+`"}
+			]
+		}`)
+	}
+	const reps = 2
+	ck := filepath.Join(dir, "ck.json")
+
+	// With the trace file missing, the four poisson cells (first in grid
+	// order) fold and checkpoint, then the first trace-replay cell fails
+	// with an I/O error and the sweep fail-fasts.
+	_, err := Run(spec(), Options{Replications: reps, Workers: 1, Checkpoint: ck, CheckpointEvery: 1})
+	if err == nil {
+		t.Fatal("expected a trace I/O error")
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("no checkpoint after the failed sweep: %v", err)
+	}
+
+	// The transient error goes away: the trace file appears.
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJobs(f, []trace.JobRecord{
+		{ID: 0, Arrival: 0, MaxNodes: 4, Phases: []trace.PhaseRecord{{Work: 10, Comm: 0.1}}},
+		{ID: 1, Arrival: 6, Phases: []trace.PhaseRecord{{Work: 8, Comm: 0.05}}},
+		{ID: 2, Arrival: 15, Phases: []trace.PhaseRecord{{Work: 5, Comm: 0}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	fresh, err := Run(spec(), Options{Replications: reps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, wantJSON := exportBoth(t, spec(), fresh)
+
+	executed := -1
+	stats, err := Run(spec(), Options{
+		Replications: reps, Checkpoint: ck,
+		Progress: func(done, total int) { executed = total },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The four poisson cells restore; all four trace cells re-run —
+	// including the replication that errored. If the failed run had been
+	// checkpointed as folded, the resume would skip it and export
+	// aggregates silently missing its data.
+	if want := 4 * reps; executed != want {
+		t.Fatalf("resume executed %d runs, want %d (every trace replication)", executed, want)
+	}
+	gotCSV, gotJSON := exportBoth(t, spec(), stats)
+	if gotCSV != wantCSV {
+		t.Fatalf("error-resumed CSV differs\n%s\nvs\n%s", gotCSV, wantCSV)
+	}
+	if gotJSON != wantJSON {
+		t.Fatal("error-resumed JSON differs")
+	}
+}
+
+// TestRestoreCopiesResponses: dedup restores one decoded checkpoint
+// entry into the representative and every duplicate cell, and each
+// accumulator appends to and sorts its buffer in place — so restore
+// must copy the responses slice, not adopt it.
+func TestRestoreCopiesResponses(t *testing.T) {
+	st := accumState{Responses: []float64{3, 1, 2}}
+	var a, b cellAccum
+	a.restore(st)
+	b.restore(st)
+	a.responses[0] = 99
+	if b.responses[0] != 3 || st.Responses[0] != 3 {
+		t.Fatalf("restored accumulators alias one responses buffer: %v, %v", b.responses, st.Responses)
 	}
 }
 

@@ -129,8 +129,11 @@ func readShard(path string) (*ShardArtifact, error) {
 // and each cell takes its numbers from whichever artifact owns its
 // hash. Returns the aggregates and the shards' replication count.
 //
-// The artifacts must come from the same scenario and replication count;
-// a cell whose hash no artifact covers is an error (the scenario was
+// The artifacts must come from the same scenario, replication count and
+// shard split — the same shard_count, each shard_index at most once —
+// so a stale artifact from a different split (say a 0/3 mixed into a
+// 0/2 + 1/2 merge) is rejected instead of silently overwriting cells.
+// A cell whose hash no artifact covers is an error (the scenario was
 // edited after the shards ran, or a shard is missing).
 func MergeShards(spec *scenario.Spec, paths []string) ([]CellStats, int, error) {
 	if len(paths) == 0 {
@@ -138,6 +141,8 @@ func MergeShards(spec *scenario.Spec, paths []string) ([]CellStats, int, error) 
 	}
 	byHash := make(map[string]CellStats)
 	reps := 0
+	count := 0
+	indexSeen := make(map[int]string, len(paths))
 	for _, path := range paths {
 		art, err := readShard(path)
 		if err != nil {
@@ -152,6 +157,21 @@ func MergeShards(spec *scenario.Spec, paths []string) ([]CellStats, int, error) 
 			return nil, 0, fmt.Errorf("sweep: shard artifact %s: %d replications, other shards ran %d",
 				path, art.Replications, reps)
 		}
+		if count == 0 {
+			count = art.ShardCount
+		} else if art.ShardCount != count {
+			return nil, 0, fmt.Errorf("sweep: shard artifact %s: shard split %d/%d, other artifacts are from an n=%d split",
+				path, art.ShardIndex, art.ShardCount, count)
+		}
+		if art.ShardIndex < 0 || art.ShardIndex >= art.ShardCount {
+			return nil, 0, fmt.Errorf("sweep: shard artifact %s: shard index %d outside 0..%d",
+				path, art.ShardIndex, art.ShardCount-1)
+		}
+		if prev, ok := indexSeen[art.ShardIndex]; ok {
+			return nil, 0, fmt.Errorf("sweep: shard artifact %s: shard %d/%d already merged from %s",
+				path, art.ShardIndex, art.ShardCount, prev)
+		}
+		indexSeen[art.ShardIndex] = path
 		for _, sc := range art.Cells {
 			byHash[sc.Hash] = sc.Stats
 		}

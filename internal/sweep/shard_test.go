@@ -115,6 +115,43 @@ func TestMergeShardsRepsMismatch(t *testing.T) {
 	}
 }
 
+// TestMergeShardsRejectsMixedSplits: artifacts must come from one shard
+// split — a stale artifact from a different n, or the same shard twice,
+// would silently overwrite cells last-wins in the merge.
+func TestMergeShardsRejectsMixedSplits(t *testing.T) {
+	spec := dupSpec(t)
+	dir := t.TempDir()
+	write := func(name string, idx, count int) string {
+		t.Helper()
+		art, err := RunShard(spec, Options{Replications: 1, Shard: ShardSel{Index: idx, Count: count}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := WriteShard(p, art); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	s0of2 := write("s0of2.json", 0, 2)
+	s1of2 := write("s1of2.json", 1, 2)
+	s0of3 := write("s0of3.json", 0, 3)
+
+	if _, _, err := MergeShards(spec, []string{s0of2, s1of2}); err != nil {
+		t.Fatalf("clean 2-way merge failed: %v", err)
+	}
+	if _, _, err := MergeShards(spec, []string{s0of2, s1of2, s0of3}); err == nil {
+		t.Fatal("artifacts from different shard splits merged silently")
+	} else if !strings.Contains(err.Error(), "split") {
+		t.Fatalf("unhelpful mixed-split error: %v", err)
+	}
+	if _, _, err := MergeShards(spec, []string{s0of2, s0of2, s1of2}); err == nil {
+		t.Fatal("the same shard index merged twice silently")
+	} else if !strings.Contains(err.Error(), "already merged") {
+		t.Fatalf("unhelpful duplicate-index error: %v", err)
+	}
+}
+
 func TestParseShard(t *testing.T) {
 	for _, tc := range []struct {
 		in   string

@@ -642,32 +642,39 @@ func runGrid(spec *scenario.Spec, opt Options) (*gridResult, error) {
 					m.noteRun(worker, time.Since(t0), jobsDone, unfinished, err != nil)
 				}
 				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("sweep: cell %s/%s/%d nodes/load %g/%s/%s rep %d: %w",
-						c.Arrival, c.Avail, c.Nodes, c.Load, c.Scheduler, c.AppModel, rep, err)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("sweep: cell %s/%s/%d nodes/load %g/%s/%s rep %d: %w",
+							c.Arrival, c.Avail, c.Nodes, c.Load, c.Scheduler, c.AppModel, rep, err)
+					}
 					// Fail fast: the dispatcher stops handing out runs; the
 					// in-flight ones drain so the fold frontier stays
-					// consistent for the final checkpoint.
+					// consistent for the final checkpoint. The errored slot
+					// (and its duplicates) stays unfolded — the frontier
+					// stalls before it, so the checkpoint records only
+					// replications whose data was actually absorbed and a
+					// resume re-runs this one.
 					stopped.Store(true)
-				}
-				pending[idx] = run
-				folded[idx] = true
-				marked++
-				if probes != nil && run != nil {
-					probes[idx] = probe
-				}
-				// Fan the completed run out to every duplicate cell's
-				// matching slot: identical hash means identical seeds, so
-				// one execution stands in for all of them.
-				if dupsOf != nil {
-					for _, d := range dupsOf[ci] {
-						slot := d*reps + rep
-						pending[slot] = run
-						folded[slot] = true
-						marked++
+				} else {
+					pending[idx] = run
+					folded[idx] = true
+					marked++
+					if probes != nil && run != nil {
+						probes[idx] = probe
 					}
+					// Fan the completed run out to every duplicate cell's
+					// matching slot: identical hash means identical seeds, so
+					// one execution stands in for all of them.
+					if dupsOf != nil {
+						for _, d := range dupsOf[ci] {
+							slot := d*reps + rep
+							pending[slot] = run
+							folded[slot] = true
+							marked++
+						}
+					}
+					advance()
 				}
-				advance()
 				done++
 				if m != nil {
 					m.noteFold(foldNext, marked, reps)
