@@ -97,11 +97,13 @@ func TestModelAttachedBitIdentical(t *testing.T) {
 // 2, reclaiming 2 nodes from each:
 //
 //   - lost work = (LostWorkS + ckpt_s) × 2 nodes per job = (1+2)·2·2 = 12
-//   - redistribution = migrate_s per resize of a running job; four
-//     resizes happen — job 0 shrinks 8→4 when job 1 arrives, both shrink
-//     4→2 at the drop, and the first finisher's release regrows the
-//     survivor 2→4 — so 4·1.5 = 6 (the cluster-wide per-node rate is
-//     zero, so the pause is pure model)
+//   - redistribution = migrate_s per resize of a running job; exactly
+//     two resizes happen — both jobs shrink 4→2 at the drop — so
+//     2·1.5 = 3 (the cluster-wide per-node rate is zero, so the pause
+//     is pure model). The jobs arrive together and finish together, so
+//     equal-instant coalescing admits both in one invocation (no 8→4
+//     transient for job 0) and sees both release at once (no 2→4
+//     regrow for a "survivor") — same-instant churn is not charged.
 func TestModelReconfigHooksCharged(t *testing.T) {
 	model, err := appmodel.New("synthetic", appmodel.Params{"comm": 0, "migrate_s": 1.5, "ckpt_s": 2})
 	if err != nil {
@@ -139,8 +141,8 @@ func TestModelReconfigHooksCharged(t *testing.T) {
 	if hooked.LostWorkS != 12 {
 		t.Errorf("hooked lost work = %g, want 12", hooked.LostWorkS)
 	}
-	if hooked.RedistributionS != 6 {
-		t.Errorf("hooked redistribution = %g, want 6", hooked.RedistributionS)
+	if hooked.RedistributionS != 3 {
+		t.Errorf("hooked redistribution = %g, want 3", hooked.RedistributionS)
 	}
 }
 

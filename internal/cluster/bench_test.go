@@ -8,10 +8,31 @@ import (
 	"dpsim/internal/sched"
 )
 
+// batchBenchWorkload is the equal-instant burst shape (batch trace
+// replay, bursty-MMPP): waves of identical jobs all arriving at exactly
+// the same instant. Identical jobs under equipartition stay in lockstep,
+// so every phase boundary is a simultaneous-completion burst too — the
+// workload the per-instant scheduler coalescing exists for.
+func batchBenchWorkload(waves, perWave int, intervalS float64) []*Job {
+	out := make([]*Job, 0, waves*perWave)
+	for w := 0; w < waves; w++ {
+		for i := 0; i < perWave; i++ {
+			out = append(out, &Job{
+				ID:       w*perWave + i,
+				Arrival:  float64(w) * intervalS,
+				Phases:   SyntheticProfile(6, 120, 0.05),
+				MaxNodes: 4,
+			})
+		}
+	}
+	return out
+}
+
 // BenchmarkClusterStep measures the event-loop hot path: one op is a full
-// 60-job open-workload run stepped event by event, on a fixed pool and on
-// a volatile one with reconfiguration costs, so regressions in either the
-// classic path or the availability machinery show up in the trajectory.
+// open-workload run stepped event by event — on a fixed pool, on a
+// volatile one with reconfiguration costs, and on an equal-instant burst
+// workload — so regressions in the classic path, the availability
+// machinery and the coalescing path all show up in the trajectory.
 func BenchmarkClusterStep(b *testing.B) {
 	spec := availability.Spec{Process: "failures", MTTFS: 300, MTTRS: 80, HorizonS: 3000}
 	changes, err := spec.Generate(16, rng.New(9))
@@ -37,8 +58,109 @@ func BenchmarkClusterStep(b *testing.B) {
 				events++
 			}
 		}
-		b.ReportMetric(float64(events)/float64(b.N), "events/op")
+		reportEventRates(b, events)
 	}
 	b.Run("fixed", func(b *testing.B) { run(b, false) })
 	b.Run("volatile", func(b *testing.B) { run(b, true) })
+	b.Run("burst", func(b *testing.B) {
+		events := 0
+		for i := 0; i < b.N; i++ {
+			sim, err := NewSim(16, sched.Equipartition{}, batchBenchWorkload(8, 32, 50))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for sim.ProcessNextEvent() {
+				events++
+			}
+		}
+		reportEventRates(b, events)
+	})
+}
+
+// reportEventRates attaches the throughput metrics of a stepped
+// benchmark: events per op (workload size sanity) and events per second
+// (the number the million-cell sweep target is stated in).
+func reportEventRates(b *testing.B, events int) {
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+}
+
+// scaleSim builds a warmed-up simulation holding n active jobs — the
+// equal-instant arrival batch at t=0 is coalesced into one admission, so
+// even the 10k warm-up is cheap — with enough phases left to sustain a
+// long measurement.
+func scaleSim(tb testing.TB, policy Scheduler, n int) *Sim {
+	tb.Helper()
+	jobs := make([]*Job, n)
+	for i := range jobs {
+		jobs[i] = &Job{
+			ID:       i,
+			Arrival:  0,
+			Phases:   SyntheticProfile(400, float64(100+7*i), 0.02+0.01*float64(i%5)),
+			MaxNodes: 1 + i%32,
+		}
+	}
+	sim, err := NewSim(32, policy, jobs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n+32; i++ {
+		if !sim.ProcessNextEvent() {
+			tb.Fatal("workload drained during warm-up")
+		}
+	}
+	return sim
+}
+
+// benchScales are the active-set sizes of the scaling benchmarks: the
+// per-event cost is O(active), so superlinear growth across these rungs
+// exposes accidental O(active²) work that the 24- and 60-job fixtures
+// would hide.
+var benchScales = []struct {
+	name string
+	n    int
+}{{"active-100", 100}, {"active-1k", 1000}, {"active-10k", 10000}}
+
+// BenchmarkClusterStepScale measures the per-event cost of the stepped
+// drive at growing active-set sizes; one op is one steady-state event.
+func BenchmarkClusterStepScale(b *testing.B) {
+	for _, sc := range benchScales {
+		b.Run(sc.name, func(b *testing.B) {
+			sim := scaleSim(b, &sched.EfficiencyGreedy{}, sc.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !sim.ProcessNextEvent() {
+					b.StopTimer()
+					sim = scaleSim(b, &sched.EfficiencyGreedy{}, sc.n)
+					b.StartTimer()
+				}
+			}
+			reportEventRates(b, b.N)
+		})
+	}
+}
+
+// BenchmarkSchedulerInvokeScale is the scaling companion of
+// BenchmarkSchedulerInvoke: the same steady-state invocation cost, but
+// over 100/1k/10k active jobs under equipartition — the O(active)
+// settle/snapshot/apply loops dominate here, not the policy.
+func BenchmarkSchedulerInvokeScale(b *testing.B) {
+	for _, sc := range benchScales {
+		b.Run(sc.name, func(b *testing.B) {
+			sim := scaleSim(b, sched.Equipartition{}, sc.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !sim.ProcessNextEvent() {
+					b.StopTimer()
+					sim = scaleSim(b, sched.Equipartition{}, sc.n)
+					b.StartTimer()
+				}
+			}
+			reportEventRates(b, b.N)
+		})
+	}
 }

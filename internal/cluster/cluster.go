@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"math"
 	"slices"
-	"sort"
 	"time"
 
 	"dpsim/internal/appmodel"
@@ -163,7 +162,10 @@ type Result struct {
 	// scheduler cannot work around.
 	Unfinished int
 	// Reallocations counts per-job allocation changes applied over the
-	// run: admissions, resizes and preemptions.
+	// run: admissions, resizes and preemptions. Changes are counted once
+	// per coalesced scheduler invocation — the net delta across all
+	// events of an instant — so a job admitted and resized within one
+	// equal-instant burst counts once, not per event.
 	Reallocations int
 	// CapacityEvents counts the capacity changes applied to the pool.
 	CapacityEvents int
@@ -246,6 +248,15 @@ type Sim struct {
 	// the makespan of the workload, independent of capacity events that
 	// may outlive the jobs.
 	lastJobEvent eventq.Time
+
+	// dirty marks that job or capacity events have fired at the current
+	// instant without a scheduler invocation yet: ProcessNextEvent defers
+	// the reallocation until the last same-instant event has been
+	// processed, so a burst of k simultaneous events costs one coalesced
+	// invocation instead of k (see docs/performance.md). The queue can
+	// never drain while dirty — the flush runs inline before control
+	// returns whenever the next pending event sits at a later instant.
+	dirty bool
 
 	reallocs  int
 	capEvents int
@@ -522,7 +533,7 @@ func (s *Sim) announceCapacity(idx, target int) {
 	s.pendingDrains[idx] = target
 	if next := s.effectiveSchedCap(); next < s.schedCap {
 		s.schedCap = next
-		s.reallocate()
+		s.markDirty()
 	}
 }
 
@@ -538,13 +549,14 @@ func (s *Sim) applyCapacity(idx, cap int, graceful bool) {
 	delete(s.pendingDrains, idx)
 	s.nextChange = idx + 1
 	if cap < s.capNow && !graceful {
-		s.abruptNodes = s.capNow - cap
+		// Same-instant abrupt drops pool their lost-work budgets: the
+		// coalesced reallocation charges against the total node count
+		// reclaimed at the instant, and the budget expires in the flush.
+		s.abruptNodes += s.capNow - cap
 	}
 	s.capNow = cap
 	s.schedCap = s.effectiveSchedCap()
-	s.reallocate()
-	s.abruptNodes = 0
-	s.maybeSuspendCapacity()
+	s.markDirty()
 }
 
 // effectiveSchedCap is the capacity the scheduler may use right now: the
@@ -572,9 +584,45 @@ func (s *Sim) PeekNextEventTime() (eventq.Time, bool) {
 
 // ProcessNextEvent fires the earliest pending event, advancing the clock.
 // It reports false when no events remain.
+//
+// Scheduler invocations are coalesced per instant: job and capacity
+// events mark the simulation dirty, and the single reallocation fires
+// after the last same-instant event — within the same ProcessNextEvent
+// call — so stepped drivers still observe fully-settled state between
+// calls whenever the next event sits at a later instant.
 func (s *Sim) ProcessNextEvent() bool {
 	s.start()
-	return s.q.Step()
+	if !s.q.Step() {
+		return false
+	}
+	if s.dirty {
+		s.maybeFlush()
+	}
+	return true
+}
+
+// markDirty defers the scheduler invocation for the current instant.
+func (s *Sim) markDirty() { s.dirty = true }
+
+// maybeFlush runs the coalesced reallocation unless another event is
+// pending at the current instant (its effects belong in the same
+// invocation). Called with s.dirty set.
+func (s *Sim) maybeFlush() {
+	if t, ok := s.q.NextTime(); ok && t == s.q.Now() {
+		return
+	}
+	s.flushRealloc()
+}
+
+// flushRealloc performs the deferred reallocation for the instant: one
+// scheduler invocation covering every job/capacity event that fired at
+// it, then the post-instant bookkeeping (the abrupt-drop lost-work
+// budget expires, an exhausted workload suspends the capacity timeline).
+func (s *Sim) flushRealloc() {
+	s.dirty = false
+	s.reallocate()
+	s.abruptNodes = 0
+	s.maybeSuspendCapacity()
 }
 
 // Now returns the current virtual time of the simulation clock.
@@ -642,7 +690,7 @@ func (s *Sim) Result() Result {
 			res.MaxResponse = resp
 		}
 	}
-	sort.Slice(res.PerJob, func(i, j int) bool { return res.PerJob[i].ID < res.PerJob[j].ID })
+	slices.SortFunc(res.PerJob, func(a, b JobOutcome) int { return cmp.Compare(a.ID, b.ID) })
 	if len(s.finished) > 0 {
 		res.MeanResponse = sum / float64(len(s.finished))
 		res.MeanWait = waitSum / float64(len(s.finished))
@@ -651,26 +699,50 @@ func (s *Sim) Result() Result {
 	// finished jobs plus the settled progress of still-active ones.
 	// Stranded or pending jobs must not inflate utilization. (With every
 	// job finished this sums TotalWork over s.jobs in order, exactly the
-	// fixed-pool computation.)
+	// fixed-pool computation.) The accumulation iterates s.jobs — its
+	// order fixes the float sum's last bits — while membership comes from
+	// a merged walk over the two ID-sorted views that already exist: the
+	// just-sorted PerJob outcomes (the finished set) and the active list.
+	// No lookup map, no per-job binary search; the cursors fall back to a
+	// point search only if the workload's job IDs are out of order.
 	res.Unfinished = len(s.jobs) - len(s.finished)
-	done := make(map[int]bool, len(s.finished))
-	for _, js := range s.finished {
-		done[js.Job.ID] = true
-	}
 	var work float64
+	fi, ai := 0, 0
+	prevID := math.MinInt
 	for _, j := range s.jobs {
+		var js *jobState
+		finished := false
+		if j.ID < prevID { // out-of-order IDs: cursors are past this one
+			_, finished = slices.BinarySearchFunc(res.PerJob, j.ID,
+				func(o JobOutcome, id int) int { return cmp.Compare(o.ID, id) })
+			if !finished {
+				js = s.findActive(j.ID)
+			}
+		} else {
+			prevID = j.ID
+			for fi < len(res.PerJob) && res.PerJob[fi].ID < j.ID {
+				fi++
+			}
+			finished = fi < len(res.PerJob) && res.PerJob[fi].ID == j.ID
+			if !finished {
+				for ai < len(s.actives) && s.actives[ai].Job.ID < j.ID {
+					ai++
+				}
+				if ai < len(s.actives) && s.actives[ai].Job.ID == j.ID {
+					js = s.actives[ai]
+				}
+			}
+		}
 		switch {
-		case done[j.ID]:
+		case finished:
 			work += j.TotalWork()
-		default:
-			if js := s.findActive(j.ID); js != nil {
-				completed := j.TotalWork() - js.Remaining
-				for k := js.PhaseIdx + 1; k < len(j.Phases); k++ {
-					completed -= j.Phases[k].Work
-				}
-				if completed > 0 {
-					work += completed
-				}
+		case js != nil:
+			completed := j.TotalWork() - js.Remaining
+			for k := js.PhaseIdx + 1; k < len(j.Phases); k++ {
+				completed -= j.Phases[k].Work
+			}
+			if completed > 0 {
+				work += completed
 			}
 		}
 	}
@@ -721,7 +793,7 @@ func (s *Sim) arrive(j *Job) {
 	js.phaseFn = func() { s.phaseDone(js) }
 	s.insertActive(js)
 	s.lastJobEvent = s.q.Now()
-	s.reallocate()
+	s.markDirty()
 }
 
 // searchActive locates id in the ID-sorted active list.
@@ -786,35 +858,39 @@ func (s *Sim) reallocate() {
 	// and any other walk order would make their last bits depend on
 	// iteration order, breaking bit-reproducibility across runs. The
 	// sorted active list IS that order.
-	for _, js := range s.actives {
-		dt := (now - progressStart(js, now)).Seconds()
-		if dt > 0 && js.rate > 0 {
-			done := js.rate * dt
-			if done > js.Remaining {
-				done = js.Remaining
-			}
-			js.Remaining -= done
-			// Efficiency accounting: work done at current allocation.
-			// The Model branch sits at the call site so the comm formula
-			// inlines — this loop runs for every active job at every
-			// scheduling event.
-			if js.Alloc > 0 {
-				s.effNum += done
-				if m := js.Job.Model; m == nil {
-					s.effDen += done / js.Phase().Efficiency(js.Alloc)
-				} else {
-					s.effDen += done / m.Efficiency(js.Phase().Work, js.Alloc)
-				}
-			}
-		}
-		js.last = now
-	}
-	// Snapshot pre-event allocations: reconfiguration costs are charged on
-	// the net per-job delta across the preemption pass and the scheduler.
+	// The same pass snapshots pre-event allocations: reconfiguration
+	// costs are charged on the net per-job delta across the preemption
+	// pass and the scheduler.
 	n := len(s.actives)
 	s.oldAlloc = grow(s.oldAlloc, n)
 	total := 0
 	for i, js := range s.actives {
+		// Skip the settle arithmetic for jobs already settled at this
+		// instant (a same-instant arrival, or a phase boundary that
+		// credited its slice): dt is exactly zero.
+		if js.last != now {
+			dt := (now - progressStart(js, now)).Seconds()
+			if dt > 0 && js.rate > 0 {
+				done := js.rate * dt
+				if done > js.Remaining {
+					done = js.Remaining
+				}
+				js.Remaining -= done
+				// Efficiency accounting: work done at current allocation.
+				// The Model branch sits at the call site so the comm
+				// formula inlines — this loop runs for every active job at
+				// every scheduling event.
+				if js.Alloc > 0 {
+					s.effNum += done
+					if m := js.Job.Model; m == nil {
+						s.effDen += done / js.Phase().Efficiency(js.Alloc)
+					} else {
+						s.effDen += done / m.Efficiency(js.Phase().Work, js.Alloc)
+					}
+				}
+			}
+			js.last = now
+		}
 		s.oldAlloc[i] = js.Alloc
 		total += js.Alloc
 	}
@@ -962,17 +1038,17 @@ func (s *Sim) reallocate() {
 		} else {
 			js.rate = m.Rate(js.Phase().Work, js.Alloc)
 		}
-		if js.ev != nil && js.ev.Scheduled() {
-			s.q.Cancel(js.ev)
-		}
 		if js.rate > 0 {
 			eta := eventq.DurationOf(js.Remaining / js.rate)
 			if js.pausedUntil > now {
 				eta += eventq.Duration(js.pausedUntil - now)
 			}
-			// The fired/cancelled event object is recycled; phaseFn was
-			// bound at arrival. Zero allocations per reschedule.
-			js.ev = s.q.ReuseAfter(js.ev, eta, js.phaseFn)
+			// The pending completion is moved in place (or the fired/
+			// cancelled event object recycled); phaseFn was bound at
+			// arrival. Zero allocations per reschedule.
+			js.ev = s.q.RescheduleAfter(js.ev, eta, js.phaseFn)
+		} else if js.ev != nil && js.ev.Scheduled() {
+			s.q.Cancel(js.ev)
 		}
 	}
 	if s.probe != nil {
@@ -1028,8 +1104,7 @@ func (s *Sim) phaseDone(js *jobState) {
 	} else {
 		js.Remaining = js.Job.Phases[js.PhaseIdx].Work
 	}
-	s.reallocate()
-	s.maybeSuspendCapacity()
+	s.markDirty()
 }
 
 // PoissonWorkload generates a reproducible stream of LU-profile jobs with

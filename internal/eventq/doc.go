@@ -1,6 +1,9 @@
 // Package eventq implements the discrete-event core shared by the DPS
 // simulator and the virtual cluster testbed: a virtual clock and a
-// binary min-heap of timestamped events with deterministic tie-breaking.
+// 4-ary min-heap of timestamped events with deterministic tie-breaking.
+// (The ordering key is a strict total order, so pop order — and thus
+// every simulation outcome — is independent of the heap's arity and
+// internal arrangement; the wide layout just halves the sift depth.)
 //
 // Virtual time is an int64 count of nanoseconds. Fluid models (network
 // bandwidth sharing, processor sharing) compute rates in float64 and
@@ -18,5 +21,7 @@
 // the caller passes the dead event back and the queue re-arms the same
 // object, so a hot loop that continually reschedules one logical event
 // — the cluster's per-job phase completion — allocates nothing in
-// steady state.
+// steady state. A still-pending event is cheaper yet to move:
+// RescheduleAfter repositions the existing heap entry with a single
+// sift, equivalent to (but half the heap traffic of) cancel-and-reuse.
 package eventq

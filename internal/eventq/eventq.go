@@ -174,6 +174,31 @@ func (q *Queue) ReuseAfter(e *Event, d Duration, fn func()) *Event {
 	return q.ReuseAtTier(e, q.now.Add(d), 0, fn)
 }
 
+// RescheduleAfter moves e to the instant d from now (tier 0). It is
+// exactly equivalent to Cancel(e) followed by ReuseAfter(e, d, fn) — the
+// event takes a fresh sequence number, so its same-instant FIFO position
+// is that of a newly scheduled event — but when e is still pending it
+// repositions the existing heap entry with a single sift instead of a
+// removal plus a push. This is the hot-path API for the one-pending-
+// event-per-entity pattern (a job's next phase completion): every
+// scheduling event moves the entity's deadline, and half the heap
+// traffic of the cancel-and-repush idiom is pure overhead.
+func (q *Queue) RescheduleAfter(e *Event, d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	if e == nil || !e.Scheduled() {
+		return q.ReuseAtTier(e, q.now.Add(d), 0, fn)
+	}
+	e.when, e.tier, e.fn = q.now.Add(d), 0, fn
+	e.seq = q.nextSq
+	q.nextSq++
+	if !q.up(e.index) {
+		q.down(e.index)
+	}
+	return e
+}
+
 // Cancel removes a pending event. Cancelling an already-fired or
 // already-cancelled event is a no-op; Cancel reports whether the event
 // was actually removed.
@@ -240,10 +265,23 @@ func (q *Queue) RunUntil(deadline Time) {
 	}
 }
 
-// --- heap internals (specialized to avoid interface boxing) ---
+// --- heap internals ---
+//
+// The pending set is a 4-ary array heap with hole-based sifting,
+// specialized to *Event to avoid interface boxing. The wider fan-out
+// halves the tree depth of the binary layout (fewer cache lines touched
+// per sift on pop-heavy loads), and sifting a hole writes each displaced
+// entry once instead of three-way swapping. The ordering key
+// (when, tier, seq) is a strict total order — no two pending events
+// compare equal — so pop order is independent of the heap's internal
+// arrangement and the arity is free to change without affecting any
+// simulation outcome.
 
-func (q *Queue) less(i, j int) bool {
-	a, b := q.heap[i], q.heap[j]
+// dary is the heap fan-out.
+const dary = 4
+
+// lessEv is the event ordering: instant, then tier, then FIFO seq.
+func lessEv(a, b *Event) bool {
 	if a.when != b.when {
 		return a.when < b.when
 	}
@@ -251,12 +289,6 @@ func (q *Queue) less(i, j int) bool {
 		return a.tier < b.tier
 	}
 	return a.seq < b.seq
-}
-
-func (q *Queue) swap(i, j int) {
-	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
-	q.heap[i].index = i
-	q.heap[j].index = j
 }
 
 func (q *Queue) push(e *Event) {
@@ -270,10 +302,12 @@ func (q *Queue) peek() *Event { return q.heap[0] }
 func (q *Queue) pop() *Event {
 	e := q.heap[0]
 	last := len(q.heap) - 1
-	q.swap(0, last)
+	tail := q.heap[last]
 	q.heap[last] = nil
 	q.heap = q.heap[:last]
 	if last > 0 {
+		q.heap[0] = tail
+		tail.index = 0
 		q.down(0)
 	}
 	e.index = -1
@@ -283,12 +317,12 @@ func (q *Queue) pop() *Event {
 func (q *Queue) remove(e *Event) {
 	i := e.index
 	last := len(q.heap) - 1
-	if i != last {
-		q.swap(i, last)
-	}
+	tail := q.heap[last]
 	q.heap[last] = nil
 	q.heap = q.heap[:last]
 	if i < last {
+		q.heap[i] = tail
+		tail.index = i
 		if !q.up(i) {
 			q.down(i)
 		}
@@ -296,35 +330,60 @@ func (q *Queue) remove(e *Event) {
 	e.index = -1
 }
 
+// up sifts the entry at i toward the root, reporting whether it moved.
+// The entry is held in a register while its ancestors shift down into
+// the hole, then written once at its final slot.
 func (q *Queue) up(i int) bool {
-	moved := false
+	e := q.heap[i]
+	start := i
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		p := (i - 1) / dary
+		pe := q.heap[p]
+		if !lessEv(e, pe) {
 			break
 		}
-		q.swap(i, parent)
-		i = parent
-		moved = true
+		q.heap[i] = pe
+		pe.index = i
+		i = p
 	}
-	return moved
+	if i == start {
+		return false
+	}
+	q.heap[i] = e
+	e.index = i
+	return true
 }
 
+// down sifts the entry at i toward the leaves: at each level the least
+// of up to dary children shifts up into the hole.
 func (q *Queue) down(i int) {
+	e := q.heap[i]
 	n := len(q.heap)
+	start := i
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && q.less(l, smallest) {
-			smallest = l
+		c := dary*i + 1
+		if c >= n {
+			break
 		}
-		if r < n && q.less(r, smallest) {
-			smallest = r
+		end := c + dary
+		if end > n {
+			end = n
 		}
-		if smallest == i {
-			return
+		m, me := c, q.heap[c]
+		for j := c + 1; j < end; j++ {
+			if je := q.heap[j]; lessEv(je, me) {
+				m, me = j, je
+			}
 		}
-		q.swap(i, smallest)
-		i = smallest
+		if !lessEv(me, e) {
+			break
+		}
+		q.heap[i] = me
+		me.index = i
+		i = m
+	}
+	if i != start {
+		q.heap[i] = e
+		e.index = i
 	}
 }

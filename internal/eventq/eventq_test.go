@@ -452,3 +452,89 @@ func TestReuseAtTierPastPanics(t *testing.T) {
 	}()
 	q.ReuseAtTier(nil, 5, 0, func() {})
 }
+
+// TestRescheduleAfterMovesInPlace: rescheduling a pending event must
+// reuse the same object, land it at the new instant, and give it a fresh
+// FIFO position — exactly as if it had been cancelled and re-armed.
+func TestRescheduleAfterMovesInPlace(t *testing.T) {
+	q := New()
+	var order []int
+	e := q.After(30, func() { order = append(order, 0) })
+	q.At(20, func() { order = append(order, 1) })
+	// Move the pending event from t=30 to t=20: it must fire after the
+	// event already scheduled there (fresh seq ⇒ FIFO behind it).
+	if e2 := q.RescheduleAfter(e, 20, e.fn); e2 != e {
+		t.Fatal("pending event not moved in place")
+	}
+	if e.Time() != 20 {
+		t.Fatalf("rescheduled instant = %v, want 20ns", e.Time())
+	}
+	q.Run(0)
+	if len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Fatalf("firing order = %v, want [1 0]", order)
+	}
+	// A fired event falls back to the recycle path.
+	e3 := q.RescheduleAfter(e, 5, func() { order = append(order, 2) })
+	if e3 != e {
+		t.Fatal("fired event not recycled")
+	}
+	q.Run(0)
+	if len(order) != 3 || order[2] != 2 {
+		t.Fatalf("firing order = %v, want [1 0 2]", order)
+	}
+}
+
+// TestPropertyRescheduleEquivalence: for random schedules and random
+// reschedules, RescheduleAfter must produce the identical firing
+// sequence to Cancel followed by ReuseAfter on a mirror queue.
+func TestPropertyRescheduleEquivalence(t *testing.T) {
+	prop := func(seed uint64, sizeRaw uint16) bool {
+		size := int(sizeRaw%100) + 2
+		r := rng.New(seed)
+		qa, qb := New(), New()
+		var fa, fb []int
+		ea := make([]*Event, size)
+		eb := make([]*Event, size)
+		for i := 0; i < size; i++ {
+			i := i
+			when := Time(r.Intn(500))
+			ea[i] = qa.At(when, func() { fa = append(fa, i) })
+			eb[i] = qb.At(when, func() { fb = append(fb, i) })
+		}
+		for k := 0; k < size/2; k++ {
+			i := r.Intn(size)
+			d := Duration(r.Intn(500))
+			qa.RescheduleAfter(ea[i], d, ea[i].fn)
+			qb.Cancel(eb[i])
+			eb[i] = qb.ReuseAfter(eb[i], d, eb[i].fn)
+		}
+		qa.Run(0)
+		qb.Run(0)
+		if len(fa) != len(fb) {
+			return false
+		}
+		for i := range fa {
+			if fa[i] != fb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRescheduleAfterZeroAlloc: moving a pending event allocates nothing.
+func TestRescheduleAfterZeroAlloc(t *testing.T) {
+	q := New()
+	fn := func() {}
+	q.At(1000000, fn) // keep the queue non-empty so e stays pending
+	e := q.After(1, fn)
+	allocs := testing.AllocsPerRun(200, func() {
+		e = q.RescheduleAfter(e, 2, fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("reschedule allocates %v per move, want 0", allocs)
+	}
+}

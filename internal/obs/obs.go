@@ -99,7 +99,10 @@ type Probe interface {
 	// JobFinish fires when a job completes its last phase.
 	JobFinish(t float64, jobID int)
 	// SchedulerInvoke fires after every scheduler call with its
-	// wall-clock cost and allocation delta.
+	// wall-clock cost and allocation delta. The simulator coalesces
+	// scheduling per instant — all job and capacity events at one
+	// virtual instant share a single invocation — so this hook fires
+	// once per dirty instant, not once per event (docs/performance.md).
 	SchedulerInvoke(t float64, inv SchedulerInvocation)
 	// CapacityNotice fires when a reclaim-notice window opens: the
 	// scheduler's usable pool shrinks to target ahead of the drop.
