@@ -26,6 +26,17 @@
 // Like the availability axis, only the first grid point runs here — run
 // cmd/dpssweep to cover a multi-model grid.
 //
+// A scenario with a "federation" block (see docs/federation.md) switches
+// the comparison from schedulers to federation policies: the fixed
+// multi-cluster fleet runs once per admission × routing pair, sharing the
+// open arrival stream through the federation orchestrator
+// (internal/federation). -admissions and -routings override the compared
+// policy lists. The table and -json report the merged fleet metrics plus
+// per-pair rejected/routed job counts; observability exports carry one
+// track per member cluster ("<pair>:<cluster>"), and -telemetry-addr
+// additionally serves dpsim_federation_routed_jobs_total{cluster=...} and
+// dpsim_federation_rejected_jobs_total.
+//
 // -telemetry-addr serves the runtime telemetry endpoints
 // (internal/telemetry: /metrics, /progress, /healthz, /debug/pprof/)
 // while the comparison runs — counters for completed runs and finished
@@ -49,6 +60,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -56,6 +68,7 @@ import (
 
 	"dpsim/internal/appmodel"
 	"dpsim/internal/cluster"
+	"dpsim/internal/federation"
 	"dpsim/internal/obs"
 	"dpsim/internal/scenario"
 	"dpsim/internal/sched"
@@ -84,6 +97,14 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		"comma-separated application performance-model specs, each NAME or NAME(k=v,...)\n"+
 			"(overrides the scenario's list; the first entry runs here; valid names:\n"+
 			"mix, "+strings.Join(appmodel.Names(), ", ")+")")
+	admissionsFlag := fs.String("admissions", "",
+		"comma-separated federation admission-policy specs to compare, each NAME or\n"+
+			"NAME(k=v,...) (requires a federated scenario; valid names: "+
+			strings.Join(federation.AdmissionNames(), ", ")+")")
+	routingsFlag := fs.String("routings", "",
+		"comma-separated federation routing-policy specs to compare, each NAME or\n"+
+			"NAME(k=v,...) (requires a federated scenario; valid names: "+
+			strings.Join(federation.RouterNames(), ", ")+")")
 	jsonOut := fs.Bool("json", false, "print machine-readable JSON results")
 	traceOut := fs.String("trace-out", "",
 		"write a Chrome trace-event JSON file for Perfetto / chrome://tracing")
@@ -102,6 +123,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(),
 			"usage: clustersim [-nodes N] [-jobs N] [-interarrival S] [-seed N] [-scenario FILE] [-schedulers LIST] [-json]\n"+
+				"                  [-admissions LIST] [-routings LIST]\n"+
 				"                  [-trace-out FILE] [-timeseries-out FILE] [-summary-out FILE] [-sample-dt S]\n"+
 				"                  [-telemetry-addr ADDR] [-log-json]\n")
 		fs.PrintDefaults()
@@ -155,6 +177,16 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 	}
+	if *admissionsFlag != "" {
+		if err := spec.ApplyAdmissionOverride(*admissionsFlag); err != nil {
+			return fail(err)
+		}
+	}
+	if *routingsFlag != "" {
+		if err := spec.ApplyRoutingOverride(*routingsFlag); err != nil {
+			return fail(err)
+		}
+	}
 
 	// Recorders are attached only when an observability export was
 	// requested: the default path runs with no probe, the simulator's
@@ -173,8 +205,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	// source and /progress reports inactive.
 	var runsMetric, jobsMetric *telemetry.Counter
 	var runDur *telemetry.Histogram
+	var reg *telemetry.Registry
 	if *telemetryAddr != "" {
-		reg := telemetry.NewRegistry()
+		reg = telemetry.NewRegistry()
 		telemetry.RegisterRuntimeMetrics(reg)
 		runsMetric = reg.Counter("dpsim_clustersim_runs_total",
 			"Completed scheduler-comparison runs.")
@@ -189,6 +222,15 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		defer srv.Close()
 		fmt.Fprintf(stderr, "telemetry: serving on http://%s\n", srv.Addr())
 		logger.Info("telemetry serving", "addr", srv.Addr())
+	}
+
+	if spec.Federation != nil {
+		return runFederated(spec, fedEnv{
+			stdout: stdout, logger: logger, fail: fail,
+			jsonOut: *jsonOut, observing: observing, dt: dt,
+			traceOut: *traceOut, tsOut: *tsOut, sumOut: *sumOut,
+			reg: reg, runsMetric: runsMetric, jobsMetric: jobsMetric, runDur: runDur,
+		})
 	}
 
 	n := spec.Nodes[0]
@@ -283,6 +325,163 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, "\nDynamic node allocation (equipartition, efficiency-greedy) raises the")
 	fmt.Fprintln(stdout, "cluster's service rate over rigid FCFS — the paper's §1/§9 motivation.")
+	return 0
+}
+
+// fedEnv carries the already-resolved CLI environment into the
+// federated comparison path.
+type fedEnv struct {
+	stdout    io.Writer
+	logger    *slog.Logger
+	fail      func(error) int
+	jsonOut   bool
+	observing bool
+	dt        float64
+	traceOut  string
+	tsOut     string
+	sumOut    string
+
+	reg        *telemetry.Registry
+	runsMetric *telemetry.Counter
+	jobsMetric *telemetry.Counter
+	runDur     *telemetry.Histogram
+}
+
+// runFederated compares the federated scenario's admission × routing
+// policy pairs over its fixed multi-cluster fleet. Each pair is one
+// orchestrated run of the shared arrival stream; the report carries the
+// merged fleet result plus the pair's rejected count and per-cluster
+// routed counts.
+func runFederated(spec *scenario.Spec, env fedEnv) int {
+	f := spec.Federation
+	n := spec.Nodes[0]
+	load := spec.Loads[0]
+	clusters := make([]string, len(f.Clusters))
+	for i := range f.Clusters {
+		clusters[i] = f.Clusters[i].Name
+	}
+	var fedRouted []*telemetry.Counter
+	var fedRejected *telemetry.Counter
+	if env.reg != nil {
+		for _, cn := range clusters {
+			fedRouted = append(fedRouted, env.reg.Counter("dpsim_federation_routed_jobs_total",
+				"Jobs the federation routing policy placed on each member cluster.",
+				telemetry.L("cluster", cn)))
+		}
+		fedRejected = env.reg.Counter("dpsim_federation_rejected_jobs_total",
+			"Jobs turned away by the federation admission policy.")
+	}
+	env.logger.Info("federated comparison starting", "scenario", spec.Name,
+		"nodes", n, "clusters", len(clusters),
+		"admissions", len(f.Admissions), "routings", len(f.Routings))
+
+	type fedRun struct {
+		Admission string `json:"admission"`
+		Routing   string `json:"routing"`
+		// RejectedJobs and RoutedJobs (federation.clusters order) account
+		// for every offered job: rejected + sum(routed) == offered.
+		RejectedJobs int   `json:"rejected_jobs"`
+		RoutedJobs   []int `json:"routed_jobs"`
+		cluster.Result
+	}
+	var runs []fedRun
+	var labels []string
+	var recorders []*obs.Recorder
+	for ai := range f.Admissions {
+		for ri := range f.Routings {
+			pair := f.Admissions[ai].Label() + "/" + f.Routings[ri].Label()
+			params := scenario.CellParams{
+				Nodes: n, Load: load, ArrivalIdx: 0,
+				AdmissionIdx: ai, RoutingIdx: ri,
+				Seed: spec.Seed,
+			}
+			if env.observing {
+				// One recorder per member cluster: the federated exports get
+				// one track per "<pair>:<cluster>" instead of one per run.
+				probes := make([]obs.Probe, len(clusters))
+				for i, cn := range clusters {
+					label := pair + ":" + cn
+					cfg := obs.Config{Label: label}
+					if spec.Observe != nil {
+						cfg = spec.Observe.RecorderConfig(label)
+					}
+					rec := obs.NewRecorder(cfg)
+					labels = append(labels, label)
+					recorders = append(recorders, rec)
+					probes[i] = rec
+				}
+				params.MemberProbes = probes
+				params.SampleDTS = env.dt
+			}
+			t0 := time.Now()
+			run, err := spec.RunCell(params)
+			if err != nil {
+				return env.fail(err)
+			}
+			if env.runsMetric != nil {
+				env.runsMetric.Inc()
+				env.jobsMetric.Add(int64(len(run.Result.PerJob)))
+				env.runDur.Observe(time.Since(t0))
+			}
+			if fedRejected != nil {
+				fedRejected.Add(int64(run.Rejected))
+				for i, routed := range run.Routed {
+					fedRouted[i].Add(int64(routed))
+				}
+			}
+			env.logger.Info("run finished", "admission", f.Admissions[ai].Label(),
+				"routing", f.Routings[ri].Label(), "elapsed_s", time.Since(t0).Seconds(),
+				"jobs", len(run.Result.PerJob), "rejected", run.Rejected)
+			runs = append(runs, fedRun{
+				Admission:    f.Admissions[ai].Label(),
+				Routing:      f.Routings[ri].Label(),
+				RejectedJobs: run.Rejected,
+				RoutedJobs:   run.Routed,
+				Result:       run.Result,
+			})
+		}
+	}
+
+	if env.observing {
+		if err := writeObservability(env.traceOut, env.tsOut, env.sumOut, labels, recorders); err != nil {
+			return env.fail(err)
+		}
+	}
+
+	if env.jsonOut {
+		enc := json.NewEncoder(env.stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(runs); err != nil {
+			return env.fail(err)
+		}
+		return 0
+	}
+
+	fmt.Fprintf(env.stdout, "scenario %q: federated fleet of %d nodes (%s), %s arrivals\n\n",
+		spec.Name, n, strings.Join(clusters, ", "), spec.Arrivals[0].Label())
+	awidth, rwidth := len("admission"), len("routing")
+	for _, r := range runs {
+		if len(r.Admission) > awidth {
+			awidth = len(r.Admission)
+		}
+		if len(r.Routing) > rwidth {
+			rwidth = len(r.Routing)
+		}
+	}
+	fmt.Fprintf(env.stdout, "%-*s  %-*s  %10s  %12s  %10s  %11s  %8s  %s\n",
+		awidth, "admission", rwidth, "routing",
+		"makespan", "mean resp.", "mean wait", "utilization", "rejected", "routed")
+	for _, r := range runs {
+		routed := make([]string, len(r.RoutedJobs))
+		for i, c := range r.RoutedJobs {
+			routed[i] = fmt.Sprintf("%s=%d", clusters[i], c)
+		}
+		fmt.Fprintf(env.stdout, "%-*s  %-*s  %9.1fs  %11.1fs  %9.1fs  %10.1f%%  %8d  %s\n",
+			awidth, r.Admission, rwidth, r.Routing, r.Makespan, r.MeanResponse, r.MeanWait,
+			100*r.Utilization, r.RejectedJobs, strings.Join(routed, " "))
+	}
+	fmt.Fprintln(env.stdout, "\nAdmission throttling trades rejected jobs for responsiveness; routing")
+	fmt.Fprintln(env.stdout, "decides how the shared stream spreads over the heterogeneous fleet.")
 	return 0
 }
 

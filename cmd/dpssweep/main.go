@@ -9,6 +9,7 @@
 //	         [-workers N] [-csv out.csv] [-json out.json]
 //	         [-schedulers "equipartition,malleable-hysteresis(epoch_s=45)"]
 //	         [-appmodels "mix,amdahl(f=0.1),roofline(sat=8)"]
+//	         [-admissions "always,token-bucket(rate=0.5)"] [-routings "round-robin,least-loaded"]
 //	         [-timeseries-out ts.csv] [-sample-dt 5]
 //	         [-checkpoint ck.json] [-checkpoint-every N] [-no-dedup]
 //	         [-shard i/n -shard-out shard.json | -merge "a.json,b.json"]
@@ -84,6 +85,12 @@
 // the same way: a comma-separated list of model specs from the appmodel
 // registry (internal/appmodel), plus the sentinel "mix" for each mix
 // component's native model.
+//
+// -admissions and -routings override a federated scenario's admission
+// and routing policy axes (internal/federation registries; the scenario
+// must carry a "federation" block — see docs/federation.md). A federated
+// sweep fixes the per-cluster topology and sweeps admission × routing
+// instead of the scheduler/appmodel/availability axes.
 package main
 
 import (
@@ -99,6 +106,7 @@ import (
 	"time"
 
 	"dpsim/internal/appmodel"
+	"dpsim/internal/federation"
 	"dpsim/internal/obs"
 	"dpsim/internal/scenario"
 	"dpsim/internal/sched"
@@ -126,6 +134,14 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		"comma-separated application performance-model specs forming the grid axis,\n"+
 			"each NAME or NAME(k=v,...) (overrides the scenario's list; valid names:\n"+
 			"mix, "+strings.Join(appmodel.Names(), ", ")+")")
+	admissionsFlag := fs.String("admissions", "",
+		"comma-separated federation admission-policy specs forming the grid axis,\n"+
+			"each NAME or NAME(k=v,...) (requires a federated scenario; valid names: "+
+			strings.Join(federation.AdmissionNames(), ", ")+")")
+	routingsFlag := fs.String("routings", "",
+		"comma-separated federation routing-policy specs forming the grid axis,\n"+
+			"each NAME or NAME(k=v,...) (requires a federated scenario; valid names: "+
+			strings.Join(federation.RouterNames(), ", ")+")")
 	csvPath := fs.String("csv", "", "write aggregate CSV to this file (\"-\" for stdout)")
 	jsonPath := fs.String("json", "", "write aggregate JSON to this file (\"-\" for stdout)")
 	tsPath := fs.String("timeseries-out", "",
@@ -158,6 +174,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(),
 			"usage: dpssweep -scenario FILE [-replications N] [-workers N] [-schedulers LIST] [-appmodels LIST]\n"+
+				"                [-admissions LIST] [-routings LIST]\n"+
 				"                [-csv FILE] [-json FILE] [-timeseries-out FILE] [-sample-dt S]\n"+
 				"                [-checkpoint FILE] [-checkpoint-every N] [-no-dedup]\n"+
 				"                [-shard I/N -shard-out FILE | -merge FILES]\n"+
@@ -229,6 +246,16 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if *appmodels != "" {
 		if err := spec.ApplyAppModelOverride(*appmodels); err != nil {
+			return fail("", err)
+		}
+	}
+	if *admissionsFlag != "" {
+		if err := spec.ApplyAdmissionOverride(*admissionsFlag); err != nil {
+			return fail("", err)
+		}
+	}
+	if *routingsFlag != "" {
+		if err := spec.ApplyRoutingOverride(*routingsFlag); err != nil {
 			return fail("", err)
 		}
 	}
@@ -458,6 +485,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 func printTable(stdout io.Writer, stats []sweep.CellStats) {
 	width := len("scheduler")
 	mwidth := len("appmodel")
+	awidth, rwidth := len("admission"), len("routing")
+	federated := false
 	for _, st := range stats {
 		if len(st.Scheduler) > width {
 			width = len(st.Scheduler)
@@ -465,13 +494,34 @@ func printTable(stdout io.Writer, stats []sweep.CellStats) {
 		if len(st.AppModel) > mwidth {
 			mwidth = len(st.AppModel)
 		}
+		if len(st.Admission) > awidth {
+			awidth = len(st.Admission)
+		}
+		if len(st.Routing) > rwidth {
+			rwidth = len(st.Routing)
+		}
+		if st.Admission != "none" || st.Routing != "none" {
+			federated = true
+		}
 	}
-	fmt.Fprintf(stdout, "\n%-16s %-16s %6s %5s %-*s %-*s %10s %10s %9s %10s %8s %8s %8s %8s %9s %9s\n",
-		"arrival", "availability", "nodes", "load", width, "scheduler", mwidth, "appmodel",
+	// The admission/routing columns only exist for federated grids —
+	// legacy sweeps keep their historical table layout.
+	policy := func(st sweep.CellStats) string {
+		if !federated {
+			return ""
+		}
+		return fmt.Sprintf(" %-*s %-*s", awidth, st.Admission, rwidth, st.Routing)
+	}
+	policyHeader := ""
+	if federated {
+		policyHeader = fmt.Sprintf(" %-*s %-*s", awidth, "admission", rwidth, "routing")
+	}
+	fmt.Fprintf(stdout, "\n%-16s %-16s %6s %5s %-*s %-*s%s %10s %10s %9s %10s %8s %8s %8s %8s %9s %9s\n",
+		"arrival", "availability", "nodes", "load", width, "scheduler", mwidth, "appmodel", policyHeader,
 		"mean resp", "p95 resp", "wait", "makespan", "util", "avutil", "slowdn", "realloc", "lost work", "redist")
 	for _, st := range stats {
-		fmt.Fprintf(stdout, "%-16s %-16s %6d %5.2g %-*s %-*s %9.1fs %9.1fs %8.1fs %9.1fs %7.1f%% %7.1f%% %8.2f %8.1f %8.1fs %8.1fs\n",
-			st.Arrival, st.Avail, st.Nodes, st.Load, width, st.Scheduler, mwidth, st.AppModel,
+		fmt.Fprintf(stdout, "%-16s %-16s %6d %5.2g %-*s %-*s%s %9.1fs %9.1fs %8.1fs %9.1fs %7.1f%% %7.1f%% %8.2f %8.1f %8.1fs %8.1fs\n",
+			st.Arrival, st.Avail, st.Nodes, st.Load, width, st.Scheduler, mwidth, st.AppModel, policy(st),
 			st.MeanResponse, st.P95Response, st.MeanWait,
 			st.MeanMakespan, 100*st.MeanUtilization, 100*st.MeanAvailUtilization,
 			st.MeanSlowdown, st.MeanReallocations, st.MeanLostWork, st.MeanRedistribution)

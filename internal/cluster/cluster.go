@@ -628,6 +628,41 @@ func (s *Sim) flushRealloc() {
 // Now returns the current virtual time of the simulation clock.
 func (s *Sim) Now() eventq.Time { return s.q.Now() }
 
+// LoadInfo is a read-only snapshot of the cluster's instantaneous load
+// gauges — the same quantities the time-series sampler reads — for
+// outer drivers that place work across clusters (internal/federation's
+// routing policies).
+type LoadInfo struct {
+	// Nodes is the configured pool size (the NewSim argument).
+	Nodes int
+	// Capacity is the usable capacity currently in effect (≤ Nodes under
+	// a volatile availability timeline).
+	Capacity int
+	// Waiting counts active jobs holding no nodes; Running counts jobs
+	// holding at least one.
+	Waiting int
+	Running int
+	// Allocated is the total nodes currently granted to jobs.
+	Allocated int
+}
+
+// LoadInfo reads the cluster's current load gauges. It mutates nothing
+// and allocates nothing, so routing layers may call it per arrival
+// without perturbing the simulation or its steady-state allocation
+// contract.
+func (s *Sim) LoadInfo() LoadInfo {
+	li := LoadInfo{Nodes: s.nodes, Capacity: s.capNow}
+	for _, js := range s.actives {
+		if js.Alloc > 0 {
+			li.Running++
+			li.Allocated += js.Alloc
+		} else {
+			li.Waiting++
+		}
+	}
+	return li
+}
+
 // Inject adds a job while the simulation is running (an open arrival).
 // The job's Arrival must not precede the current clock; its MaxNodes is
 // normalized exactly as NewSim does for the initial workload.

@@ -1,0 +1,295 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+
+	"dpsim/internal/cluster"
+	"dpsim/internal/eventq"
+)
+
+// Member is one cluster in a federation: an independently configured
+// cluster.Sim (its own scheduler, pool size, availability timeline,
+// reconfiguration model) plus a display name for telemetry and traces.
+type Member struct {
+	// Name labels the member in views, telemetry and traces. The
+	// scenario layer defaults it to "c<index>".
+	Name string
+	// Sim is the member's simulator. The federation drives it solely
+	// through the step primitives and must be its only driver.
+	Sim *cluster.Sim
+}
+
+// Sim orchestrates N member clusters on one shared virtual clock. It
+// always advances the member holding the globally earliest pending
+// event (ties broken by member index), so no member's local clock ever
+// passes the federation clock, and an outer arrival loop that injects
+// at the event-vs-arrival frontier — exactly the scenario.RunCell loop —
+// composes with any number of members without reordering events.
+//
+// Arrivals flow through Offer (admission + routing decision) and
+// InjectInto (delivery); Dispatch combines the two. The zero value is
+// not usable; construct with NewSim.
+type Sim struct {
+	members []Member
+	admit   Admission
+	route   Router
+
+	// views is the scratch slice rebuilt for each routing decision so
+	// the steady-state Offer path allocates nothing.
+	views  []ClusterView
+	routed []int
+
+	offered  int
+	admitted int
+	rejected int
+	now      eventq.Time
+}
+
+// NewSim builds a federation over the given members. Members must be
+// non-empty with non-nil sims, and both policies must be non-nil; the
+// caller keeps ownership of nothing — the federation becomes the sole
+// driver of every member sim.
+func NewSim(members []Member, admit Admission, route Router) (*Sim, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("federation: NewSim: no members")
+	}
+	for i, m := range members {
+		if m.Sim == nil {
+			return nil, fmt.Errorf("federation: NewSim: member %d (%s) has nil Sim", i, m.Name)
+		}
+	}
+	if admit == nil {
+		return nil, fmt.Errorf("federation: NewSim: nil admission policy")
+	}
+	if route == nil {
+		return nil, fmt.Errorf("federation: NewSim: nil routing policy")
+	}
+	f := &Sim{
+		members: members,
+		admit:   admit,
+		route:   route,
+		views:   make([]ClusterView, len(members)),
+		routed:  make([]int, len(members)),
+	}
+	return f, nil
+}
+
+// Members returns the federation's member count.
+func (f *Sim) Members() int { return len(f.members) }
+
+// Member returns the i-th member.
+func (f *Sim) Member(i int) Member { return f.members[i] }
+
+// PeekNextEventTime reports the earliest pending event time across all
+// members, or ok=false when every member queue is empty.
+func (f *Sim) PeekNextEventTime() (eventq.Time, bool) {
+	var best eventq.Time
+	found := false
+	for i := range f.members {
+		if t, ok := f.members[i].Sim.PeekNextEventTime(); ok && (!found || t < best) {
+			best, found = t, true
+		}
+	}
+	return best, found
+}
+
+// ProcessNextEvent advances the member holding the globally earliest
+// pending event (lowest member index on ties) by one event. The shared
+// clock advances to that event's time when it is ahead — an injection
+// into a previously idle member may legally resume that member's
+// suspended capacity timeline behind the frontier, and those replayed
+// events never move the clock backwards. It returns false when no
+// member has pending events.
+func (f *Sim) ProcessNextEvent() bool {
+	_, _, ok := f.step()
+	return ok
+}
+
+// step is ProcessNextEvent exposing which member advanced and to what
+// time, for the invariant harness.
+func (f *Sim) step() (int, eventq.Time, bool) {
+	best := -1
+	var bestT eventq.Time
+	for i := range f.members {
+		if t, ok := f.members[i].Sim.PeekNextEventTime(); ok && (best < 0 || t < bestT) {
+			best, bestT = i, t
+		}
+	}
+	if best < 0 {
+		return -1, 0, false
+	}
+	f.members[best].Sim.ProcessNextEvent()
+	if bestT > f.now {
+		f.now = bestT
+	}
+	return best, bestT, true
+}
+
+// Now reports the shared federation clock: the time of the latest event
+// processed (or arrival injected) anywhere in the federation.
+func (f *Sim) Now() eventq.Time { return f.now }
+
+// Offer runs the admission and routing policies for an arriving job
+// without injecting it. It returns the chosen member index and
+// admitted=true, or admitted=false (idx -1) for a rejection. An error
+// means the routing policy faulted (returned an out-of-range index);
+// the job is still counted as admitted but routed nowhere, so callers
+// must treat an error as fatal to the run.
+func (f *Sim) Offer(j *cluster.Job) (idx int, admitted bool, err error) {
+	if j == nil {
+		return -1, false, fmt.Errorf("federation: Offer: nil job")
+	}
+	f.offered++
+	if !f.admit.Admit(j.Arrival, j) {
+		f.rejected++
+		return -1, false, nil
+	}
+	f.admitted++
+	for i := range f.members {
+		li := f.members[i].Sim.LoadInfo()
+		f.views[i] = ClusterView{
+			Index:     i,
+			Name:      f.members[i].Name,
+			Nodes:     li.Nodes,
+			Capacity:  li.Capacity,
+			Waiting:   li.Waiting,
+			Running:   li.Running,
+			Allocated: li.Allocated,
+			Routed:    f.routed[i],
+		}
+	}
+	idx = f.route.Route(j.Arrival, j, f.views)
+	if idx < 0 || idx >= len(f.members) {
+		return -1, false, fmt.Errorf("federation: router %s returned member %d (valid: 0..%d)",
+			f.route.Name(), idx, len(f.members)-1)
+	}
+	return idx, true, nil
+}
+
+// InjectInto delivers an admitted job to the chosen member, advancing
+// the shared clock to the job's arrival instant. Injecting behind the
+// shared clock is an error: the federation has already processed an
+// event later than this arrival, so admitting it would let one member's
+// history depend on another member's future.
+func (f *Sim) InjectInto(idx int, j *cluster.Job) error {
+	if idx < 0 || idx >= len(f.members) {
+		return fmt.Errorf("federation: InjectInto: member %d out of range (valid: 0..%d)", idx, len(f.members)-1)
+	}
+	at := eventq.Time(eventq.DurationOf(j.Arrival))
+	if at < f.now {
+		return fmt.Errorf("federation: InjectInto: arrival at %v regresses the shared clock (now %v)", at, f.now)
+	}
+	if err := f.members[idx].Sim.Inject(j); err != nil {
+		return err
+	}
+	f.routed[idx]++
+	f.now = at
+	return nil
+}
+
+// Dispatch is Offer followed by InjectInto for the admitted case: the
+// one-call path for drivers that don't need to inspect the routing
+// decision before delivery.
+func (f *Sim) Dispatch(j *cluster.Job) (idx int, admitted bool, err error) {
+	idx, admitted, err = f.Offer(j)
+	if err != nil || !admitted {
+		return idx, admitted, err
+	}
+	return idx, true, f.InjectInto(idx, j)
+}
+
+// Offered, Admitted and Rejected report the admission counters:
+// Offered == Admitted + Rejected always holds.
+func (f *Sim) Offered() int  { return f.offered }
+func (f *Sim) Admitted() int { return f.admitted }
+func (f *Sim) Rejected() int { return f.rejected }
+
+// Routed returns a copy of the per-member delivered-job counts; the
+// counts sum to Admitted once every admitted job has been injected.
+func (f *Sim) Routed() []int {
+	out := make([]int, len(f.routed))
+	copy(out, f.routed)
+	return out
+}
+
+// Results collects each member's cluster.Result in member order.
+// Call only after the event loop has drained.
+func (f *Sim) Results() []cluster.Result {
+	out := make([]cluster.Result, len(f.members))
+	for i := range f.members {
+		out[i] = f.members[i].Sim.Result()
+	}
+	return out
+}
+
+// Merged folds the member results into one federation-level
+// cluster.Result. For a single member it returns that member's Result
+// verbatim — the golden guarantee that a 1-cluster federation is
+// byte-identical to the plain cluster path. For multiple members,
+// per-job outcomes concatenate (re-sorted by job ID), response/wait
+// means re-weight by finished-job counts, Makespan is the max, counters
+// sum, and the utilization family re-weights by each member's total
+// useful work:
+//
+//   - Utilization = Σ work_i / (Σ nodes_i × max makespan), recovering
+//     work_i from member i's own utilization identity;
+//   - AvailWeightedUtilization divides the same work sum by the summed
+//     available-capacity integrals;
+//   - MeanAllocEfficiency is the work-weighted mean of member means.
+//
+// Scheduler is reported as "federated" since members may disagree.
+func (f *Sim) Merged() cluster.Result {
+	if len(f.members) == 1 {
+		return f.members[0].Sim.Result()
+	}
+	var out cluster.Result
+	out.Scheduler = "federated"
+	var respSum, waitSum float64
+	var work, nodesSum, capIntegral float64
+	var effNum float64
+	for i := range f.members {
+		r := f.members[i].Sim.Result()
+		nodes := f.members[i].Sim.LoadInfo().Nodes
+		out.PerJob = append(out.PerJob, r.PerJob...)
+		n := float64(len(r.PerJob))
+		respSum += r.MeanResponse * n
+		waitSum += r.MeanWait * n
+		if r.MaxResponse > out.MaxResponse {
+			out.MaxResponse = r.MaxResponse
+		}
+		if r.Makespan > out.Makespan {
+			out.Makespan = r.Makespan
+		}
+		out.Unfinished += r.Unfinished
+		out.Reallocations += r.Reallocations
+		out.CapacityEvents += r.CapacityEvents
+		out.LostWorkS += r.LostWorkS
+		out.RedistributionS += r.RedistributionS
+
+		w := r.Utilization * float64(nodes) * r.Makespan
+		work += w
+		nodesSum += float64(nodes)
+		if r.AvailWeightedUtilization > 0 {
+			capIntegral += w / r.AvailWeightedUtilization
+		} else {
+			capIntegral += float64(nodes) * r.Makespan
+		}
+		effNum += r.MeanAllocEfficiency * w
+	}
+	sort.Slice(out.PerJob, func(a, b int) bool { return out.PerJob[a].ID < out.PerJob[b].ID })
+	if n := float64(len(out.PerJob)); n > 0 {
+		out.MeanResponse = respSum / n
+		out.MeanWait = waitSum / n
+	}
+	if nodesSum > 0 && out.Makespan > 0 {
+		out.Utilization = work / (nodesSum * out.Makespan)
+	}
+	if capIntegral > 0 {
+		out.AvailWeightedUtilization = work / capIntegral
+	}
+	if work > 0 {
+		out.MeanAllocEfficiency = effNum / work
+	}
+	return out
+}

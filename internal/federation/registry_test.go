@@ -1,0 +1,149 @@
+package federation
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRegisteredNames(t *testing.T) {
+	wantA := []string{"always", "quota", "token-bucket"}
+	if got := AdmissionNames(); !reflect.DeepEqual(got, wantA) {
+		t.Errorf("AdmissionNames() = %v, want %v", got, wantA)
+	}
+	wantR := []string{"least-loaded", "round-robin", "weighted"}
+	if got := RouterNames(); !reflect.DeepEqual(got, wantR) {
+		t.Errorf("RouterNames() = %v, want %v", got, wantR)
+	}
+}
+
+func TestNewCaseInsensitive(t *testing.T) {
+	a, err := NewAdmission("ALWAYS", nil)
+	if err != nil || a.Name() != "always" {
+		t.Errorf("NewAdmission(ALWAYS) = %v, %v", a, err)
+	}
+	r, err := NewRouter("Round-Robin", nil)
+	if err != nil || r.Name() != "round-robin" {
+		t.Errorf("NewRouter(Round-Robin) = %v, %v", r, err)
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := NewAdmission("nope", nil); err == nil ||
+		!strings.Contains(err.Error(), "unknown admission policy") ||
+		!strings.Contains(err.Error(), "always") {
+		t.Errorf("unknown admission error = %v", err)
+	}
+	if _, err := NewRouter("nope", nil); err == nil ||
+		!strings.Contains(err.Error(), "unknown router policy") ||
+		!strings.Contains(err.Error(), "round-robin") {
+		t.Errorf("unknown router error = %v", err)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	r := &registry[int]{kind: "Test"}
+	r.register("x", func(Params) (int, error) { return 0, nil })
+	mustPanic("duplicate", func() { r.register("X", func(Params) (int, error) { return 0, nil }) })
+	mustPanic("empty name", func() { r.register("", func(Params) (int, error) { return 0, nil }) })
+	mustPanic("nil factory", func() { r.register("y", nil) })
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec   string
+		name   string
+		params Params
+	}{
+		{"always", "always", nil},
+		{"  weighted  ", "weighted", nil},
+		{"token-bucket()", "token-bucket", Params{}},
+		{"token-bucket(rate=0.5,burst=3)", "token-bucket", Params{"rate": 0.5, "burst": 3}},
+		{"quota( tenants = 2 , jobs = 8 )", "quota", Params{"tenants": 2, "jobs": 8}},
+	}
+	for _, c := range cases {
+		name, params, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if name != c.name || !reflect.DeepEqual(params, c.params) {
+			t.Errorf("ParseSpec(%q) = %q, %v; want %q, %v", c.spec, name, params, c.name, c.params)
+		}
+	}
+	bad := []struct{ spec, frag string }{
+		{"", "empty policy spec"},
+		{"token-bucket(rate=1", "missing ')'"},
+		{"(rate=1)", "has no name"},
+		{"quota(tenants)", "not key=value"},
+		{"quota(=3)", "bad parameter"},
+		{"quota(tenants=zzz)", "bad parameter"},
+		{"token-bucket(rate=NaN)", "bad parameter"},
+		{"token-bucket(rate=+Inf)", "bad parameter"},
+	}
+	for _, c := range bad {
+		if _, _, err := ParseSpec(c.spec); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("ParseSpec(%q) = %v, want error containing %q", c.spec, err, c.frag)
+		}
+	}
+}
+
+func TestFormatSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"always",
+		"token-bucket(burst=3,rate=0.5)",
+		"quota(jobs=8,tenants=2,window_s=120)",
+		"weighted(free=2,queue=0.5)",
+	}
+	for _, spec := range specs {
+		name, params, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		if got := FormatSpec(name, params); got != spec {
+			t.Errorf("FormatSpec(ParseSpec(%q)) = %q", spec, got)
+		}
+	}
+}
+
+func TestPolicyParamValidation(t *testing.T) {
+	cases := []struct {
+		kind string // "a" admission, "r" router
+		name string
+		p    Params
+		frag string
+	}{
+		{"a", "always", Params{"x": 1}, "unknown parameter"},
+		{"a", "token-bucket", Params{"rate": 0}, "rate must be > 0"},
+		{"a", "token-bucket", Params{"rate": -1}, "rate must be > 0"},
+		{"a", "token-bucket", Params{"burst": 0.5}, "burst must be >= 1"},
+		{"a", "token-bucket", Params{"x": 1}, "unknown parameter"},
+		{"a", "quota", Params{"tenants": 0}, "tenants must be >= 1"},
+		{"a", "quota", Params{"jobs": 0}, "jobs must be >= 1"},
+		{"a", "quota", Params{"window_s": 0}, "window_s must be > 0"},
+		{"a", "quota", Params{"x": 1}, "unknown parameter"},
+		{"r", "round-robin", Params{"x": 1}, "unknown parameter"},
+		{"r", "least-loaded", Params{"x": 1}, "unknown parameter"},
+		{"r", "weighted", Params{"x": 1}, "unknown parameter"},
+	}
+	for _, c := range cases {
+		var err error
+		if c.kind == "a" {
+			_, err = NewAdmission(c.name, c.p)
+		} else {
+			_, err = NewRouter(c.name, c.p)
+		}
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s %v: err = %v, want containing %q", c.name, c.p, err, c.frag)
+		}
+	}
+}

@@ -50,6 +50,28 @@ func TestScenarioDocExamplesParse(t *testing.T) {
 	}
 }
 
+// TestFederationDocExamplesParse: every ```json block in
+// docs/federation.md must be a complete federated scenario that parses,
+// validates and actually declares a federation block. Lives here (not in
+// internal/federation) because scenario imports federation.
+func TestFederationDocExamplesParse(t *testing.T) {
+	doc := filepath.Join("..", "..", "docs", "federation.md")
+	blocks := docJSONBlocks(t, doc)
+	if len(blocks) == 0 {
+		t.Fatalf("no json examples found in %s", doc)
+	}
+	for i, block := range blocks {
+		spec, err := Parse([]byte(block))
+		if err != nil {
+			t.Errorf("docs/federation.md example %d does not validate: %v\n%s", i, err, block)
+			continue
+		}
+		if spec.Federation == nil {
+			t.Errorf("docs/federation.md example %d has no federation block", i)
+		}
+	}
+}
+
 // jsonKeys collects every object key of a decoded JSON value,
 // recursively.
 func jsonKeys(v any, into map[string]bool) {

@@ -33,11 +33,23 @@ type CellParams struct {
 	// when the spec lists no appmodels, and -1 forces it.
 	AppModel    string
 	AppModelIdx int
-	Seed        uint64
+	// Admission and Routing select the federation policy axes, ignored
+	// for non-federated specs. Like Scheduler, the spec strings take
+	// precedence; when empty, AdmissionIdx / RoutingIdx index the
+	// federation block's lists (zero value = first entry).
+	Admission    string
+	AdmissionIdx int
+	Routing      string
+	RoutingIdx   int
+	Seed         uint64
 	// Probe attaches an observability probe to the run (nil = the
 	// zero-cost unobserved path). Attaching one never changes the
 	// CellRun: probes receive copies of plain values only.
 	Probe obs.Probe
+	// MemberProbes optionally attaches one probe per federated member
+	// cluster (index-aligned with the federation block's clusters); a
+	// nil entry falls back to Probe. Ignored for non-federated specs.
+	MemberProbes []obs.Probe
 	// SampleDTS overrides the time-series sample interval in virtual
 	// seconds; 0 falls back to the spec's observe.sample_dt_s. Sampling
 	// requires a Probe.
@@ -51,12 +63,24 @@ type CellRun struct {
 	// divided by the job's best-case runtime on its own MaxNodes
 	// allocation (≥ 1 up to scheduler effects).
 	Slowdowns []float64
+	// Rejected counts arrivals refused by the admission policy; Routed
+	// is the per-member delivered-job count and ClusterResults the
+	// per-member results, index-aligned with the federation block's
+	// clusters. All zero/nil for non-federated specs.
+	Rejected       int
+	Routed         []int
+	ClusterResults []cluster.Result
 }
 
 // RunCell expands one grid cell into a job stream and drives it through
 // the cluster simulator's step primitives, injecting each arrival as the
-// shared clock reaches it — the open-system event loop.
+// shared clock reaches it — the open-system event loop. For federated
+// specs the same loop dispatches each arrival through the federation's
+// admission and routing policies instead (runFederatedCell).
 func (s *Spec) RunCell(p CellParams) (*CellRun, error) {
+	if s.Federation != nil {
+		return s.runFederatedCell(p)
+	}
 	var schedSpec SchedulerSpec
 	switch {
 	case p.Scheduler != "":

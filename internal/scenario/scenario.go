@@ -107,6 +107,12 @@ type Spec struct {
 	// the CLIs should produce. nil leaves observation off — the simulator
 	// runs with no probe attached (the zero-cost path).
 	Observe *ObserveSpec `json:"observe,omitempty"`
+	// Federation turns the scenario into a multi-cluster experiment: the
+	// block's member clusters replace the spec-level nodes, schedulers,
+	// appmodels and availability axes (which must then be absent), and
+	// its admission × routing policy lists become grid axes instead. nil
+	// is the classic single-cluster scenario.
+	Federation *FederationSpec `json:"federation,omitempty"`
 
 	// dir is the directory of the scenario file, for resolving relative
 	// trace paths; empty for in-memory specs.
@@ -572,6 +578,13 @@ func Parse(data []byte) (*Spec, error) {
 
 // Validate checks the spec and fills defaults (Loads, Schedulers, Weight).
 func (s *Spec) Validate() error {
+	if s.Federation != nil {
+		// Validated first: the federation block forbids the spec-level
+		// axes it replaces and derives the nodes entry from the fleet.
+		if err := s.Federation.validate(s); err != nil {
+			return err
+		}
+	}
 	if len(s.Nodes) == 0 {
 		return fmt.Errorf("no cluster sizes (nodes)")
 	}
@@ -588,7 +601,7 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("invalid load %g", l)
 		}
 	}
-	if len(s.Schedulers) == 0 {
+	if len(s.Schedulers) == 0 && s.Federation == nil {
 		for _, name := range sched.Names() {
 			s.Schedulers = append(s.Schedulers, SchedulerSpec{Name: name})
 		}

@@ -62,22 +62,26 @@ type checkpointCell struct {
 // along so percentile columns survive the resume — the dominant cost of
 // a checkpoint, proportional to jobs folded so far.
 type accumState struct {
-	Unfinished int             `json:"unfinished"`
-	RespSum    float64         `json:"resp_sum"`
-	WaitSum    float64         `json:"wait_sum"`
-	SlowSum    float64         `json:"slow_sum"`
-	SlowN      int             `json:"slow_n"`
-	Responses  []float64       `json:"responses"`
-	Makespan   float64         `json:"makespan_s"`
-	Util       float64         `json:"utilization"`
-	AvailUtil  float64         `json:"avail_utilization"`
-	Reallocs   float64         `json:"reallocations"`
-	CapEvents  float64         `json:"capacity_events"`
-	LostWork   float64         `json:"lost_work_s"`
-	RedistS    float64         `json:"redistribution_s"`
-	RespW      metrics.Welford `json:"resp_welford"`
-	MakespanW  metrics.Welford `json:"makespan_welford"`
-	RespMM     metrics.MinMax  `json:"resp_minmax"`
+	Unfinished int       `json:"unfinished"`
+	RespSum    float64   `json:"resp_sum"`
+	WaitSum    float64   `json:"wait_sum"`
+	SlowSum    float64   `json:"slow_sum"`
+	SlowN      int       `json:"slow_n"`
+	Responses  []float64 `json:"responses"`
+	Makespan   float64   `json:"makespan_s"`
+	Util       float64   `json:"utilization"`
+	AvailUtil  float64   `json:"avail_utilization"`
+	Reallocs   float64   `json:"reallocations"`
+	CapEvents  float64   `json:"capacity_events"`
+	LostWork   float64   `json:"lost_work_s"`
+	RedistS    float64   `json:"redistribution_s"`
+	// Rejected sums the federation admission rejections; omitted from
+	// legacy checkpoints, it restores as 0 — exactly what a non-federated
+	// cell folded.
+	Rejected  float64         `json:"rejected_jobs,omitempty"`
+	RespW     metrics.Welford `json:"resp_welford"`
+	MakespanW metrics.Welford `json:"makespan_welford"`
+	RespMM    metrics.MinMax  `json:"resp_minmax"`
 }
 
 // state snapshots the accumulator. The responses slice is shared, not
@@ -97,6 +101,7 @@ func (a *cellAccum) state() accumState {
 		CapEvents:  a.capEvents,
 		LostWork:   a.lostWork,
 		RedistS:    a.redistS,
+		Rejected:   a.rejected,
 		RespW:      a.respW,
 		MakespanW:  a.makespanW,
 		RespMM:     a.respMM,
@@ -123,6 +128,7 @@ func (a *cellAccum) restore(st accumState) {
 		capEvents:  st.CapEvents,
 		lostWork:   st.LostWork,
 		redistS:    st.RedistS,
+		rejected:   st.Rejected,
 		respW:      st.RespW,
 		makespanW:  st.MakespanW,
 		respMM:     st.RespMM,

@@ -87,11 +87,12 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 }
 
 // csvHeader is the stable column order of WriteCSV.
-const csvHeader = "scenario,arrival,availability,nodes,load,scheduler,appmodel,replications,jobs,unfinished," +
+const csvHeader = "scenario,arrival,availability,nodes,load,scheduler,appmodel,admission,routing," +
+	"replications,jobs,unfinished," +
 	"mean_response_s,p50_response_s,p95_response_s,p99_response_s,mean_wait_s," +
 	"mean_makespan_s,mean_utilization,mean_avail_utilization,mean_slowdown," +
 	"mean_reallocations,mean_capacity_events,mean_lost_work_s,mean_redistribution_s," +
-	"ci95_response_s,ci95_makespan_s,min_response_s,max_response_s"
+	"mean_rejected_jobs,ci95_response_s,ci95_makespan_s,min_response_s,max_response_s"
 
 // CSVColumns returns WriteCSV's column names in order — the authoritative
 // list docs/output.md is pinned against (see TestOutputDocColumns).
@@ -120,6 +121,7 @@ func WriteCSV(w io.Writer, scenarioName string, stats []CellStats) error {
 		row := []string{
 			scenarioName, st.Arrival, st.Avail,
 			fmt.Sprintf("%d", st.Nodes), fmt.Sprintf("%g", st.Load), st.Scheduler, st.AppModel,
+			st.Admission, st.Routing,
 			fmt.Sprintf("%d", st.Replications), fmt.Sprintf("%d", st.Jobs),
 			fmt.Sprintf("%d", st.Unfinished),
 			fmt.Sprintf("%g", st.MeanResponse), fmt.Sprintf("%g", st.P50Response),
@@ -129,6 +131,7 @@ func WriteCSV(w io.Writer, scenarioName string, stats []CellStats) error {
 			fmt.Sprintf("%g", st.MeanAvailUtilization), fmt.Sprintf("%g", st.MeanSlowdown),
 			fmt.Sprintf("%g", st.MeanReallocations), fmt.Sprintf("%g", st.MeanCapacityEvents),
 			fmt.Sprintf("%g", st.MeanLostWork), fmt.Sprintf("%g", st.MeanRedistribution),
+			fmt.Sprintf("%g", st.MeanRejected),
 			fmt.Sprintf("%g", st.CI95Response), fmt.Sprintf("%g", st.CI95Makespan),
 			optG(st.MinResponse), optG(st.MaxResponse),
 		}
@@ -162,7 +165,7 @@ func WriteJSON(w io.Writer, scenarioName string, stats []CellStats) error {
 // time-series CSV prepends to obs.SampleColumns — one row fully names
 // its cell and replication.
 func TimeSeriesPrefixColumns() []string {
-	return []string{"arrival", "availability", "nodes", "load", "scheduler", "appmodel", "rep"}
+	return []string{"arrival", "availability", "nodes", "load", "scheduler", "appmodel", "admission", "routing", "rep"}
 }
 
 // TimeSeriesSink streams every observed replication's time-series
@@ -192,7 +195,7 @@ func (s *TimeSeriesSink) OnObserved(c Cell, rep int, p obs.Probe) {
 	prefix := []string{
 		c.Arrival, c.Avail,
 		fmt.Sprintf("%d", c.Nodes), fmt.Sprintf("%g", c.Load),
-		c.Scheduler, c.AppModel, fmt.Sprintf("%d", rep),
+		c.Scheduler, c.AppModel, c.Admission, c.Routing, fmt.Sprintf("%d", rep),
 	}
 	s.err = s.tw.WriteAll(prefix, rec.Samples())
 }

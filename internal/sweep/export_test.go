@@ -28,7 +28,7 @@ func TestWriteCSVQuotesSpecialFields(t *testing.T) {
 	if err != nil {
 		t.Fatalf("export not parseable: %v", err)
 	}
-	if len(rows) != 2 || len(rows[1]) != 27 {
+	if len(rows) != 2 || len(rows[1]) != 30 {
 		t.Fatalf("rows = %d, fields = %d", len(rows), len(rows[1]))
 	}
 	if rows[1][0] != "nodes,loads study" || rows[1][1] != `trace:odd,"name".csv` {

@@ -4,8 +4,9 @@ package sweep
 // over its resolved parameters — the scenario's workload blob plus the
 // cell's arrival, availability, scheduler and appmodel specs, the node
 // count and the offered load (internal/scenario's canonical
-// serialization). The hash, not the cell's position in the grid, is the
-// cell's identity:
+// serialization); federated cells additionally cover the member-cluster
+// topology and the cell's admission and routing policy specs. The hash,
+// not the cell's position in the grid, is the cell's identity:
 //
 //   - Replication seeds derive from (hash, replication index), so
 //     editing the grid — inserting a load, reordering an axis — never
@@ -84,13 +85,37 @@ func CellHashes(spec *scenario.Spec, cells []Cell) []CellHash {
 	for i := range spec.Availability {
 		avails[i] = spec.CanonicalAvailability(i)
 	}
-	scheds := make([][]byte, len(spec.Schedulers))
-	for i := range scheds {
+	// In a federated grid the scheduler axis collapses to the pseudo-entry
+	// index -1: the real per-cluster schedulers (and app models and
+	// availability) are covered by the federation topology section below,
+	// so the sentinel blob only keeps section alignment stable.
+	scheds := map[int][]byte{-1: []byte("federated")}
+	for i := range spec.Schedulers {
 		scheds[i] = spec.CanonicalScheduler(i)
 	}
 	models := map[int][]byte{-1: spec.CanonicalAppModel(-1)}
 	for i := range spec.AppModels {
 		models[i] = spec.CanonicalAppModel(i)
+	}
+
+	// Federation sections are appended only for federated scenarios, so
+	// every legacy cell's hash preimage stays byte-identical: seeds, dedup
+	// groups, checkpoints and shard artifacts of existing sweeps survive
+	// this axis unchanged. The topology blob is shared by all cells;
+	// admission and routing are separate per-axis sections, so editing one
+	// policy list never re-seeds cells of the other.
+	var fedBlob []byte
+	var admBlobs, rtBlobs [][]byte
+	if f := spec.Federation; f != nil {
+		fedBlob = spec.CanonicalFederation()
+		admBlobs = make([][]byte, len(f.Admissions))
+		for i := range admBlobs {
+			admBlobs[i] = spec.CanonicalAdmission(i)
+		}
+		rtBlobs = make([][]byte, len(f.Routings))
+		for i := range rtBlobs {
+			rtBlobs[i] = spec.CanonicalRouting(i)
+		}
 	}
 
 	hashes := make([]CellHash, len(cells))
@@ -104,6 +129,11 @@ func CellHashes(spec *scenario.Spec, cells []Cell) []CellHash {
 		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(c.Load))
 		buf = appendSection(buf, scheds[c.SchedulerIdx])
 		buf = appendSection(buf, models[c.AppModelIdx])
+		if spec.Federation != nil {
+			buf = appendSection(buf, fedBlob)
+			buf = appendSection(buf, admBlobs[c.AdmissionIdx])
+			buf = appendSection(buf, rtBlobs[c.RoutingIdx])
+		}
 		hashes[i] = sha256.Sum256(buf)
 	}
 	return hashes

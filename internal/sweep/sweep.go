@@ -1,7 +1,9 @@
 // Package sweep expands a scenario into an experiment grid — arrival
 // process × availability process × cluster size × offered load ×
 // scheduler × application model — and runs every cell, replicated over
-// derived seeds, across a pool of parallel workers.
+// derived seeds, across a pool of parallel workers. A federated
+// scenario instead sweeps its admission × routing policy axes over the
+// fixed multi-cluster topology declared in the federation block.
 //
 // Results are bit-identical for identical scenarios regardless of
 // worker count, sharding, deduplication or resume: every cell carries a
@@ -50,6 +52,17 @@ type Cell struct {
 	SchedulerIdx int     `json:"-"`
 	AppModel     string  `json:"appmodel"`
 	AppModelIdx  int     `json:"-"`
+	// Admission and Routing name the federation policies of a federated
+	// cell (scenario.AdmissionSpec/RoutingSpec labels). Non-federated
+	// grids collapse both axes to the single pseudo-entry "none" with
+	// index -1, adding no cells, so legacy grids keep their order. In a
+	// federated grid the per-cluster topology (schedulers, app models,
+	// availability) lives in the federation block, so the Scheduler,
+	// AppModel and Avail columns all read "federated" with index -1.
+	Admission    string `json:"admission"`
+	AdmissionIdx int    `json:"-"`
+	Routing      string `json:"routing"`
+	RoutingIdx   int    `json:"-"`
 }
 
 // CellStats aggregates a cell's replications.
@@ -88,6 +101,10 @@ type CellStats struct {
 	MeanCapacityEvents float64 `json:"mean_capacity_events"`
 	MeanLostWork       float64 `json:"mean_lost_work_s"`
 	MeanRedistribution float64 `json:"mean_redistribution_s"`
+	// MeanRejected is the per-replication mean count of jobs turned away
+	// by the federation admission policy. Always 0 for non-federated
+	// cells (nothing rejects) and for the always-admit policy.
+	MeanRejected float64 `json:"mean_rejected_jobs"`
 	// 95% confidence half-widths (normal approximation, Welford
 	// variance): CI95Response over the pooled per-job responses,
 	// CI95Makespan over the per-replication makespans. Zero when fewer
@@ -124,6 +141,7 @@ type cellAccum struct {
 	capEvents  float64
 	lostWork   float64
 	redistS    float64
+	rejected   float64
 	respW      metrics.Welford
 	makespanW  metrics.Welford
 	respMM     metrics.MinMax
@@ -155,6 +173,7 @@ func (a *cellAccum) fold(run *scenario.CellRun, reps int) {
 	a.capEvents += float64(run.Result.CapacityEvents)
 	a.lostWork += run.Result.LostWorkS
 	a.redistS += run.Result.RedistributionS
+	a.rejected += float64(run.Rejected)
 	a.makespanW.Add(run.Result.Makespan)
 }
 
@@ -179,6 +198,7 @@ func (a *cellAccum) stats(c Cell, reps int) CellStats {
 	st.MeanCapacityEvents = a.capEvents / float64(reps)
 	st.MeanLostWork = a.lostWork / float64(reps)
 	st.MeanRedistribution = a.redistS / float64(reps)
+	st.MeanRejected = a.rejected / float64(reps)
 	st.CI95Response = a.respW.CI95()
 	st.CI95Makespan = a.makespanW.CI95()
 	if a.respMM.N() > 0 {
@@ -324,28 +344,53 @@ func axisEntries(n int, none string, label func(int) string) []axisEntry {
 // cell order. Two axis entries may share a spec (e.g. spot with and
 // without notice, or A/B copies of one scheduler): duplicates keep
 // their position but their labels get a "#idx" suffix.
+//
+// A federated scenario replaces the scheduler, availability and
+// appmodel axes (the per-cluster topology lives in the federation
+// block — validation forbids the spec-level axes) with the single
+// pseudo-entry "federated", and instead sweeps the federation's
+// admission × routing policy axes, innermost after appmodel.
+// Non-federated grids collapse both policy axes to the single
+// pseudo-entry "none", adding no cells.
 func Cells(spec *scenario.Spec) []Cell {
 	avail := axisEntries(len(spec.Availability), "none",
 		func(i int) string { return spec.Availability[i].Label() })
 	models := axisEntries(len(spec.AppModels), "mix",
 		func(i int) string { return spec.AppModels[i].Label() })
-	scheds := axisLabels(len(spec.Schedulers),
+	scheds := axisEntries(len(spec.Schedulers), "none",
 		func(i int) string { return spec.Schedulers[i].Label() })
+	admissions := []axisEntry{{label: "none", idx: -1}}
+	routings := []axisEntry{{label: "none", idx: -1}}
+	if f := spec.Federation; f != nil {
+		fed := []axisEntry{{label: "federated", idx: -1}}
+		avail, models, scheds = fed, fed, fed
+		admissions = axisEntries(len(f.Admissions), "always",
+			func(i int) string { return f.Admissions[i].Label() })
+		routings = axisEntries(len(f.Routings), "round-robin",
+			func(i int) string { return f.Routings[i].Label() })
+	}
 	out := make([]Cell, 0,
-		len(spec.Arrivals)*len(avail)*len(spec.Nodes)*len(spec.Loads)*len(scheds)*len(models))
+		len(spec.Arrivals)*len(avail)*len(spec.Nodes)*len(spec.Loads)*
+			len(scheds)*len(models)*len(admissions)*len(routings))
 	for ai, a := range spec.Arrivals {
 		for _, v := range avail {
 			for _, n := range spec.Nodes {
 				for _, l := range spec.Loads {
-					for si := range spec.Schedulers {
+					for _, s := range scheds {
 						for _, m := range models {
-							out = append(out, Cell{
-								Arrival: a.Label(), ArrivalIdx: ai,
-								Avail: v.label, AvailIdx: v.idx,
-								Nodes: n, Load: l,
-								Scheduler: scheds[si], SchedulerIdx: si,
-								AppModel: m.label, AppModelIdx: m.idx,
-							})
+							for _, ad := range admissions {
+								for _, rt := range routings {
+									out = append(out, Cell{
+										Arrival: a.Label(), ArrivalIdx: ai,
+										Avail: v.label, AvailIdx: v.idx,
+										Nodes: n, Load: l,
+										Scheduler: s.label, SchedulerIdx: s.idx,
+										AppModel: m.label, AppModelIdx: m.idx,
+										Admission: ad.label, AdmissionIdx: ad.idx,
+										Routing: rt.label, RoutingIdx: rt.idx,
+									})
+								}
+							}
 						}
 					}
 				}
@@ -629,6 +674,8 @@ func runGrid(spec *scenario.Spec, opt Options) (*gridResult, error) {
 					ArrivalIdx:   c.ArrivalIdx,
 					AvailIdx:     c.AvailIdx,
 					AppModelIdx:  c.AppModelIdx,
+					AdmissionIdx: c.AdmissionIdx,
+					RoutingIdx:   c.RoutingIdx,
 					Seed:         runSeed(hashes[ci], rep),
 					Probe:        probe,
 					SampleDTS:    opt.SampleDTS,
@@ -644,8 +691,9 @@ func runGrid(spec *scenario.Spec, opt Options) (*gridResult, error) {
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
-						firstErr = fmt.Errorf("sweep: cell %s/%s/%d nodes/load %g/%s/%s rep %d: %w",
-							c.Arrival, c.Avail, c.Nodes, c.Load, c.Scheduler, c.AppModel, rep, err)
+						firstErr = fmt.Errorf("sweep: cell %s/%s/%d nodes/load %g/%s/%s/%s/%s rep %d: %w",
+							c.Arrival, c.Avail, c.Nodes, c.Load, c.Scheduler, c.AppModel,
+							c.Admission, c.Routing, rep, err)
 					}
 					// Fail fast: the dispatcher stops handing out runs; the
 					// in-flight ones drain so the fold frontier stays
